@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the per-figure experiment harnesses.
+ *
+ * Each bench binary regenerates one table or figure of the paper and
+ * prints the corresponding rows/series. Synthesis budgets are tuned
+ * for a single-core machine: they reproduce the paper's trends in
+ * minutes, not its absolute cluster-scale costs (see EXPERIMENTS.md).
+ */
+
+#ifndef QUEST_BENCH_COMMON_HH
+#define QUEST_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "algos/algorithms.hh"
+#include "baseline/pass_manager.hh"
+#include "ir/lower.hh"
+#include "metrics/magnetization.hh"
+#include "metrics/output_distance.hh"
+#include "quest/ensemble.hh"
+#include "quest/pipeline.hh"
+#include "sim/simulator.hh"
+#include "util/table.hh"
+
+namespace quest::bench {
+
+/** Paper setting: trials per hardware experiment. */
+constexpr int kShots = 8192;
+
+/** Single-core synthesis budget used by every figure harness. */
+inline QuestConfig
+benchConfig()
+{
+    QuestConfig cfg;
+    cfg.synth.beamWidth = 1;
+    cfg.synth.inst.multistarts = 2;
+    cfg.synth.inst.lbfgs.maxIterations = 250;
+    cfg.synth.maxLayers = 16;
+    cfg.synth.candidatesPerLevel = 6;
+    cfg.synth.stallLevels = 8;
+    cfg.anneal.maxIterations = 400;
+    return cfg;
+}
+
+/** Banner naming the figure a binary regenerates. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "==== " << title << " ====\n";
+}
+
+/** TVD between a configuration's noisy output and the ground truth. */
+inline double
+noisyTvd(const Circuit &circuit, const Distribution &truth,
+         NoiseModel noise, uint64_t seed, int shots = kShots)
+{
+    NoisySimulator sim(noise, seed);
+    return tvd(sim.run(circuit, shots), truth);
+}
+
+/** Noisy QUEST ensemble TVD against the ground truth. */
+inline double
+questNoisyTvd(const QuestResult &result, const Distribution &truth,
+              NoiseModel noise, uint64_t seed, bool apply_qiskit = true,
+              int shots = kShots)
+{
+    EnsembleOptions opts;
+    opts.noise = noise;
+    opts.shots = shots;
+    opts.applyQiskit = apply_qiskit;
+    opts.seed = seed;
+    return tvd(ensembleDistribution(result, opts), truth);
+}
+
+} // namespace quest::bench
+
+#endif // QUEST_BENCH_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 4: CNOT count vs output distance (TVD) for several exactly
+ * synthesized solutions of a four-qubit VQE circuit. All solutions
+ * share a tight process distance, yet their TVDs span a wide range —
+ * and the minimum-CNOT solution is not the minimum-TVD one, which is
+ * the motivation for approximate (rather than exact) synthesis.
+ */
+
+#include "bench_common.hh"
+
+#include "linalg/distance.hh"
+#include "synth/leap_synthesizer.hh"
+
+int
+main()
+{
+    using namespace quest;
+    using namespace quest::bench;
+
+    banner("Figure 4: exact syntheses of a 4-qubit VQE circuit");
+
+    Circuit baseline = lowerToNative(algos::vqe(4, 4));
+    Matrix target = circuitUnitary(baseline);
+    Distribution truth = idealDistribution(baseline);
+
+    std::vector<std::pair<int, int>> skeleton;
+    for (const Gate &g : baseline)
+        if (g.type == GateType::CX)
+            skeleton.emplace_back(g.qubits[0], g.qubits[1]);
+
+    // Collect many solutions by running the compiler under several
+    // seeds and keeping every candidate below the exactness
+    // threshold (relaxed from the paper's 1e-5 to 5e-2 to match this
+    // harness's single-core optimization budget).
+    const double exact_threshold = 5e-2;
+    const int seeds = 4;
+    std::vector<SynthCandidate> solutions;
+    for (uint64_t seed = 1; seed <= seeds; ++seed) {
+        SynthConfig cfg = benchConfig().synth;
+        cfg.seed = seed;
+        cfg.extraLevels = 4;
+        cfg.stallLevels = 20;  // never stall before the skeleton depth
+        cfg.inst.multistarts = 4;
+        cfg.inst.lbfgs.maxIterations = 400;
+        LeapSynthesizer synth(cfg);
+        // Allow a couple of levels above the original count so the
+        // above-minimum exact solutions the paper plots also appear.
+        SynthOutput out = synth.synthesize(
+            target, static_cast<int>(baseline.cnotCount()) + 2,
+            &skeleton);
+        for (const SynthCandidate &c : out.candidates)
+            if (c.distance < exact_threshold)
+                solutions.push_back(c);
+    }
+
+    // The paper's TVDs come from executing each exact solution on
+    // the noisy device: equal process distances do not imply equal
+    // noisy outputs, because gate counts and structures differ.
+    Table table({"cnots", "process_distance", "noisy_tvd"});
+    int min_cnots = 1 << 30;
+    double min_cnot_tvd = 0.0, best_tvd = 1.0;
+    uint64_t run = 0;
+    for (const SynthCandidate &c : solutions) {
+        NoisySimulator sim(NoiseModel::ibmqManila(), 60 + run++);
+        double t = tvd(truth, sim.run(c.circuit, kShots));
+        table.addRow({std::to_string(c.cnotCount),
+                      Table::num(c.distance, 6), Table::num(t, 5)});
+        if (c.cnotCount < min_cnots) {
+            min_cnots = c.cnotCount;
+            min_cnot_tvd = t;
+        }
+        best_tvd = std::min(best_tvd, t);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nsolutions: " << solutions.size()
+              << "; min-CNOT solution TVD = " << Table::num(min_cnot_tvd, 5)
+              << "; best TVD among all = " << Table::num(best_tvd, 5)
+              << "\nExpected shape (paper): similar process distances "
+                 "but a wide TVD range; the fewest-CNOT solution is "
+                 "not the lowest-TVD one.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 7: the Sec. 3.8 theoretical upper bound (sum of per-block HS
+ * distances) vs the directly computed full-circuit process distance,
+ * over many approximation samples of several algorithms.
+ */
+
+#include "bench_common.hh"
+
+#include "linalg/distance.hh"
+#include "partition/scan_partitioner.hh"
+#include "quest/bound.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace quest;
+using namespace quest::bench;
+
+Circuit
+perturb(const Circuit &c, double scale, Rng &rng)
+{
+    Circuit out(c.numQubits());
+    for (const Gate &g : c) {
+        Gate copy = g;
+        for (double &p : copy.params)
+            p += rng.normal(0.0, scale);
+        out.append(std::move(copy));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace quest;
+    using namespace quest::bench;
+
+    banner("Figure 7: theoretical bound vs actual process distance");
+
+    Table table({"benchmark", "scale", "bound", "actual", "respected"});
+    Rng rng(2022);
+    int violations = 0, samples = 0;
+
+    for (const char *name :
+         {"adder_4", "qft_5", "tfim_8", "heisenberg_4", "qaoa_5"}) {
+        auto suite = algos::standardSuite();
+        const auto &spec = algos::findSpec(suite, name);
+        Circuit original =
+            lowerToNative(spec.build()).withoutPseudoOps();
+        ScanPartitioner partitioner(3);
+        auto blocks = partitioner.partition(original);
+
+        for (double scale : {0.02, 0.05, 0.1, 0.25, 0.5}) {
+            auto approx_blocks = blocks;
+            std::vector<double> dists;
+            for (size_t b = 0; b < blocks.size(); ++b) {
+                approx_blocks[b].circuit =
+                    perturb(blocks[b].circuit, scale, rng);
+                dists.push_back(hsDistance(
+                    circuitUnitary(blocks[b].circuit),
+                    circuitUnitary(approx_blocks[b].circuit)));
+            }
+            Circuit approx =
+                assembleBlocks(approx_blocks, original.numQubits());
+            double bound = processDistanceBound(dists);
+            double actual = actualProcessDistance(original, approx);
+            bool ok = actual <= bound + 1e-9;
+            violations += !ok;
+            ++samples;
+            table.addRow({spec.name, Table::num(scale, 2),
+                          Table::num(bound, 4), Table::num(actual, 4),
+                          ok ? "yes" : "NO"});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nbound respected in " << (samples - violations) << "/"
+              << samples << " samples"
+              << "\nExpected shape (paper): the bound holds for every "
+                 "sample and is relatively tight.\n";
+    return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 9: output distance (TVD and JSD) between the ground-truth
+ * Baseline output and QUEST's averaged noiseless ensemble output —
+ * approximation error alone, without hardware noise.
+ *
+ * Includes the selector ablation from DESIGN.md: QUEST's dissimilar
+ * selection vs taking only the minimum-CNOT sample.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace quest;
+    using namespace quest::bench;
+
+    banner("Figure 9: ideal-simulation output distance of QUEST");
+
+    Table table({"benchmark", "samples", "tvd", "jsd", "tvd_minCX_only"});
+
+    QuestPipeline pipeline(benchConfig());
+    for (const auto &spec : algos::standardSuite()) {
+        Circuit baseline = lowerToNative(spec.build());
+        Distribution truth = idealDistribution(baseline);
+
+        QuestResult result = pipeline.run(spec.build());
+        Distribution ensemble = ensembleDistribution(result);
+
+        // Ablation: only the single lowest-CNOT sample (the first
+        // selected one), no averaging.
+        size_t min_idx = 0;
+        for (size_t i = 1; i < result.samples.size(); ++i)
+            if (result.samples[i].cnotCount <
+                result.samples[min_idx].cnotCount)
+                min_idx = i;
+        Distribution lone =
+            idealDistribution(result.samples[min_idx].circuit);
+
+        table.addRow({spec.name,
+                      std::to_string(result.samples.size()),
+                      Table::num(tvd(truth, ensemble), 4),
+                      Table::num(jsd(truth, ensemble), 4),
+                      Table::num(tvd(truth, lone), 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper): both metrics stay low "
+                 "(approximately 0.0-0.1) across all algorithms "
+                 "despite the CNOT reduction; the averaged ensemble "
+                 "is at least as reliable as any single low-CNOT "
+                 "sample.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 10: TVD from the ground truth when circuits run on the
+ * IBMQ-Manila-like 5-qubit device: Qiskit alone vs QUEST + Qiskit.
+ *
+ * Faithful to the hardware setting: every executed circuit is first
+ * routed onto Manila's line topology (SWAP insertion), then lowered,
+ * so CNOT overheads from mapping are part of what QUEST saves.
+ */
+
+#include "bench_common.hh"
+
+#include "route/router.hh"
+
+namespace {
+
+using namespace quest;
+using namespace quest::bench;
+
+/** Route onto the line, lower, run noisily, undo the permutation. */
+double
+deviceTvd(const Circuit &logical, const Distribution &truth,
+          uint64_t seed)
+{
+    CouplingMap manila = CouplingMap::line(logical.numQubits());
+    RoutingResult routed = routeCircuit(
+        lowerToNative(logical).withoutPseudoOps(), manila);
+    NoisySimulator sim(NoiseModel::ibmqManila(), seed);
+    Distribution physical =
+        sim.run(lowerToNative(routed.circuit), kShots);
+    return tvd(truth,
+               unpermuteDistribution(physical, routed.finalLayout));
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 10: TVD on the IBMQ-Manila device model");
+
+    Table table({"benchmark", "qiskit_tvd", "quest+qiskit_tvd",
+                 "reduction_pts"});
+    QuestPipeline pipeline(benchConfig());
+
+    for (const auto &spec : algos::manilaSuite()) {
+        Circuit baseline = lowerToNative(spec.build());
+        Distribution truth = idealDistribution(baseline);
+
+        double qiskit_tvd =
+            deviceTvd(qiskitLikeOptimize(spec.build()), truth, 7);
+
+        // QUEST + Qiskit: noisy runs of every sample, averaged.
+        QuestResult result = pipeline.run(spec.build());
+        std::vector<Distribution> outputs;
+        for (size_t i = 0; i < result.samples.size(); ++i) {
+            const Circuit sample =
+                qiskitLikeOptimize(result.samples[i].circuit);
+            CouplingMap manila = CouplingMap::line(sample.numQubits());
+            RoutingResult routed =
+                routeCircuit(sample.withoutPseudoOps(), manila);
+            NoisySimulator sim(NoiseModel::ibmqManila(), 7 + i);
+            Distribution physical =
+                sim.run(lowerToNative(routed.circuit), kShots);
+            outputs.push_back(
+                unpermuteDistribution(physical, routed.finalLayout));
+        }
+        double quest_tvd = tvd(truth, Distribution::average(outputs));
+
+        table.addRow({spec.name, Table::num(qiskit_tvd, 3),
+                      Table::num(quest_tvd, 3),
+                      Table::num(qiskit_tvd - quest_tvd, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper): QUEST + Qiskit reduces the "
+                 "TVD, by up to ~0.3 for the deep circuits (e.g. the "
+                 "four-qubit TFIM drops from ~0.35 to ~0.08).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 13: TFIM and Heisenberg case study — time evolution of the
+ * average magnetization on the Manila-like device: ground truth vs
+ * Qiskit vs QUEST + Qiskit. Each timestep is a separate circuit run
+ * through the full QUEST pipeline.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace quest;
+using namespace quest::bench;
+
+void
+runModel(const std::string &name,
+         const std::function<Circuit(int)> &build, int max_steps)
+{
+    Table table({"timestep", "truth_mag", "qiskit_mag",
+                 "quest+qiskit_mag", "quest_min_cx", "baseline_cx"});
+    QuestPipeline pipeline(benchConfig());
+    const NoiseModel manila = NoiseModel::ibmqManila();
+
+    for (int step = 1; step <= max_steps; ++step) {
+        Circuit circuit = build(step);
+        Circuit baseline = lowerToNative(circuit);
+        Distribution truth = idealDistribution(baseline);
+
+        NoisySimulator sim(manila, 40 + step);
+        Distribution qiskit_out =
+            sim.run(qiskitLikeOptimize(circuit), kShots);
+
+        QuestResult result = pipeline.run(circuit);
+        EnsembleOptions opts;
+        opts.noise = manila;
+        opts.applyQiskit = true;
+        opts.seed = 80 + step;
+        Distribution quest_out = ensembleDistribution(result, opts);
+
+        table.addRow({std::to_string(step),
+                      Table::num(averageMagnetization(truth), 3),
+                      Table::num(averageMagnetization(qiskit_out), 3),
+                      Table::num(averageMagnetization(quest_out), 3),
+                      std::to_string(result.minSampleCnots()),
+                      std::to_string(baseline.cnotCount())});
+    }
+    std::cout << "\n-- " << name << " (4 spins, Manila noise) --\n";
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 13: magnetization time evolution on Manila");
+    runModel("TFIM", [](int s) { return algos::tfim(4, s); }, 8);
+    runModel("Heisenberg",
+             [](int s) { return algos::heisenberg(4, s); }, 6);
+    std::cout << "\nExpected shape (paper): the QUEST + Qiskit series "
+                 "tracks the ground-truth magnetization much more "
+                 "closely than Qiskit alone, which drifts badly at "
+                 "later timesteps.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 14: the TFIM/Heisenberg case study under decreasing Pauli
+ * noise (1%, 0.5%, 0.1%): TVD of Qiskit vs QUEST + Qiskit from the
+ * ground truth, at a representative timestep.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace quest;
+    using namespace quest::bench;
+
+    banner("Figure 14: case study vs hardware noise level");
+
+    struct Case
+    {
+        const char *name;
+        Circuit circuit;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"tfim_4(t=5)", algos::tfim(4, 5)});
+    cases.push_back({"heisenberg_4(t=3)", algos::heisenberg(4, 3)});
+
+    QuestPipeline pipeline(benchConfig());
+    Table table({"case", "noise", "qiskit_tvd", "quest+qiskit_tvd"});
+
+    for (const Case &c : cases) {
+        Circuit baseline = lowerToNative(c.circuit);
+        Distribution truth = idealDistribution(baseline);
+        Circuit qiskit = qiskitLikeOptimize(c.circuit);
+        QuestResult result = pipeline.run(c.circuit);
+
+        for (double level : {0.01, 0.005, 0.001}) {
+            const NoiseModel noise = NoiseModel::pauli(level);
+            table.addRow(
+                {c.name, Table::pct(level, 1),
+                 Table::num(noisyTvd(qiskit, truth, noise, 5), 3),
+                 Table::num(questNoisyTvd(result, truth, noise, 5),
+                            3)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper): QUEST's TVD shrinks as the "
+                 "noise drops (TFIM), and for Heisenberg QUEST stays "
+                 "close to the ground truth even at 1% noise thanks "
+                 "to the large CNOT reduction.\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fig. 16: sensitivity to the process-distance threshold used by the
+ * dual-annealing engine. Too-high thresholds admit coarse
+ * approximations and blow up the output distance; QUEST performs
+ * well over a wide low-to-mid range.
+ *
+ * Also runs the DESIGN.md selector ablation: QUEST's dissimilar
+ * selection vs random feasible sampling at each threshold.
+ */
+
+#include "bench_common.hh"
+
+#include "quest/objective.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace quest;
+using namespace quest::bench;
+
+/** Random feasible samples instead of dual-annealing selection. */
+Distribution
+randomSelection(const QuestResult &result, int count, Rng &rng)
+{
+    std::vector<std::vector<int>> selected;
+    SelectionObjective obj(result, selected, result.threshold, 0.5);
+    std::vector<Distribution> outputs;
+    int guard = 0;
+    while (static_cast<int>(outputs.size()) < count && guard < 4000) {
+        ++guard;
+        std::vector<int> choice(result.blockApprox.size());
+        for (size_t b = 0; b < choice.size(); ++b)
+            choice[b] = static_cast<int>(
+                rng.uniformInt(static_cast<uint32_t>(
+                    result.blockApprox[b].size())));
+        if (obj.bound(choice) > result.threshold)
+            continue;
+        auto blocks = result.blocks;
+        for (size_t b = 0; b < choice.size(); ++b)
+            blocks[b].circuit = result.blockApprox[b][choice[b]].circuit;
+        outputs.push_back(idealDistribution(
+            assembleBlocks(blocks, result.original.numQubits())));
+    }
+    if (outputs.empty())
+        outputs.push_back(idealDistribution(result.original));
+    return Distribution::average(outputs);
+}
+
+void
+runModel(const std::string &name, const Circuit &circuit)
+{
+    Circuit baseline = lowerToNative(circuit);
+    Distribution truth = idealDistribution(baseline);
+    Rng rng(16);
+
+    Table table({"threshold", "quest_tvd", "random_tvd",
+                 "quest_min_cx"});
+    for (double threshold : {0.05, 0.1, 0.2, 0.4, 0.7, 0.9}) {
+        QuestConfig cfg = benchConfig();
+        cfg.thresholdPerBlock = threshold;
+        QuestResult result = QuestPipeline(cfg).run(circuit);
+
+        Distribution ensemble = ensembleDistribution(result);
+        Distribution random = randomSelection(
+            result, static_cast<int>(result.samples.size()), rng);
+
+        table.addRow({Table::num(threshold, 2),
+                      Table::num(tvd(truth, ensemble), 4),
+                      Table::num(tvd(truth, random), 4),
+                      std::to_string(result.minSampleCnots())});
+    }
+    std::cout << "\n-- " << name << " --\n";
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 16: process-distance threshold sensitivity");
+    runModel("tfim_4(t=5)", algos::tfim(4, 5));
+    runModel("heisenberg_4(t=3)", algos::heisenberg(4, 3));
+    std::cout << "\nExpected shape (paper): output error stays low for "
+                 "a wide range of thresholds and degrades when the "
+                 "threshold admits very coarse approximations; "
+                 "QUEST's dissimilar selection beats random feasible "
+                 "sampling.\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the hot kernels behind the
+ * QUEST pipeline: statevector gate application, HS distance,
+ * gradient evaluation, instantiation and annealing steps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "algos/algorithms.hh"
+#include "anneal/dual_annealing.hh"
+#include "ir/lower.hh"
+#include "linalg/distance.hh"
+#include "sim/statevector.hh"
+#include "sim/unitary_builder.hh"
+#include "synth/hs_cost.hh"
+#include "synth/instantiater.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace quest;
+
+void
+BM_StateVectorCx(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    StateVector sv(n);
+    sv.applyGate(Gate::h(0));
+    for (auto _ : state) {
+        sv.applyGate(Gate::cx(0, n - 1));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StateVectorCx)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_StateVectorU3(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    StateVector sv(n);
+    Gate g = Gate::u3(n / 2, 0.3, 0.2, -0.4);
+    for (auto _ : state) {
+        sv.applyGate(g);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StateVectorU3)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_CircuitSimulation(benchmark::State &state)
+{
+    const int steps = static_cast<int>(state.range(0));
+    Circuit c = lowerToNative(algos::tfim(8, steps));
+    for (auto _ : state) {
+        StateVector sv(8);
+        sv.applyCircuit(c);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_CircuitSimulation)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_HsDistance(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Matrix u = buildUnitary(lowerToNative(algos::tfim(n, 1)));
+    Matrix v = buildUnitary(lowerToNative(algos::tfim(n, 2)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hsDistance(u, v));
+}
+BENCHMARK(BM_HsDistance)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_BuildUnitary(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Circuit c = lowerToNative(algos::tfim(n, 2));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildUnitary(c));
+}
+BENCHMARK(BM_BuildUnitary)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_CostGradient(benchmark::State &state)
+{
+    const int layers = static_cast<int>(state.range(0));
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(4, 2)));
+    Ansatz a = Ansatz::initialLayer(4);
+    for (int l = 0; l < layers; ++l)
+        a.addLayer(l % 3, l % 3 + 1);
+    HsCost cost(target, a);
+    Rng rng(1);
+    std::vector<double> x(a.paramCount());
+    for (double &v : x)
+        v = rng.uniform(-3.0, 3.0);
+    std::vector<double> grad;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cost.evaluate(x, &grad));
+}
+BENCHMARK(BM_CostGradient)->Arg(2)->Arg(6)->Arg(12);
+
+void
+BM_Instantiation(benchmark::State &state)
+{
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
+    Ansatz a = Ansatz::initialLayer(3);
+    a.addLayer(0, 1);
+    a.addLayer(1, 2);
+    InstantiaterOptions opts;
+    opts.multistarts = 1;
+    opts.lbfgs.maxIterations = 100;
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(instantiate(target, a, rng, opts));
+}
+BENCHMARK(BM_Instantiation);
+
+void
+BM_DualAnnealingStep(benchmark::State &state)
+{
+    AnnealObjective f = [](const std::vector<double> &x) {
+        double v = 0.0;
+        for (double xi : x)
+            v += (xi - 0.4) * (xi - 0.4);
+        return v;
+    };
+    AnnealOptions opts;
+    opts.maxIterations = 100;
+    opts.localSearch = false;
+    std::vector<double> lo(8, 0.0), hi(8, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dualAnnealing(f, lo, hi, opts));
+}
+BENCHMARK(BM_DualAnnealingStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

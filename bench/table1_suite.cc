@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table 1: the evaluation benchmark suite and its circuit
+ * characteristics after lowering to the native {U3, CX} set.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace quest;
+    using namespace quest::bench;
+
+    banner("Table 1: algorithms and benchmarks");
+    Table table({"benchmark", "qubits", "gates", "cnots", "depth"});
+    for (const auto &spec : algos::standardSuite()) {
+        Circuit c = lowerToNative(spec.build());
+        table.addRow({spec.name, std::to_string(spec.nQubits),
+                      std::to_string(c.gateCount()),
+                      std::to_string(c.cnotCount()),
+                      std::to_string(c.depth())});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Noise-resilience study: how the benefit of QUEST's approximation
+ * ensemble changes with hardware quality. Runs a 4-qubit QAOA MaxCut
+ * circuit at several Pauli noise levels and reports the TVD of the
+ * Baseline, Qiskit, and QUEST + Qiskit configurations — the
+ * projection experiment of Fig. 11 as a library-user program.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "algos/algorithms.hh"
+#include "baseline/pass_manager.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "quest/ensemble.hh"
+#include "quest/pipeline.hh"
+#include "sim/simulator.hh"
+
+int
+main()
+{
+    using namespace quest;
+
+    Circuit circuit = algos::qaoa(4, 2);  // two QAOA rounds
+    Circuit baseline = lowerToNative(circuit);
+    Circuit qiskit = qiskitLikeOptimize(circuit);
+    Distribution truth = idealDistribution(baseline);
+
+    QuestConfig config;
+    config.synth.beamWidth = 1;
+    config.synth.inst.multistarts = 2;
+    config.synth.inst.lbfgs.maxIterations = 250;
+    config.synth.maxLayers = 12;
+    QuestResult result = QuestPipeline(config).run(circuit);
+
+    std::cout << "QAOA-4 (2 rounds): baseline " << baseline.cnotCount()
+              << " CNOTs, qiskit " << qiskit.cnotCount()
+              << ", quest min " << result.minSampleCnots() << " over "
+              << result.samples.size() << " samples\n\n";
+
+    std::cout << std::setw(8) << "noise" << std::setw(14)
+              << "baseline_tvd" << std::setw(12) << "qiskit_tvd"
+              << std::setw(18) << "quest+qiskit_tvd\n";
+
+    for (double level : {0.02, 0.01, 0.005, 0.001}) {
+        NoiseModel noise = NoiseModel::pauli(level);
+        NoisySimulator sim_base(noise, 11);
+        NoisySimulator sim_qiskit(noise, 13);
+
+        EnsembleOptions opts;
+        opts.noise = noise;
+        opts.applyQiskit = true;
+        opts.seed = 17;
+
+        std::cout << std::fixed << std::setprecision(4) << std::setw(8)
+                  << level << std::setw(14)
+                  << tvd(truth, sim_base.run(baseline, 8192))
+                  << std::setw(12)
+                  << tvd(truth, sim_qiskit.run(qiskit, 8192))
+                  << std::setw(18)
+                  << tvd(truth, ensembleDistribution(result, opts))
+                  << "\n";
+    }
+
+    std::cout << "\nThe QUEST column should sit below the others at "
+                 "every noise level, with the gap persisting as "
+                 "hardware improves.\n";
+    return 0;
+}

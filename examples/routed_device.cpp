@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Device-mapping workflow: take a 4-spin XY-model evolution, route it
+ * onto a line-topology device (like IBMQ Manila), and show how the
+ * routing SWAP overhead amplifies noise — and how much of it QUEST's
+ * approximations claw back.
+ */
+
+#include <iostream>
+
+#include "algos/algorithms.hh"
+#include "baseline/pass_manager.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "quest/pipeline.hh"
+#include "route/router.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace quest;
+
+/** Route, lower, execute noisily, and undo the layout permutation. */
+double
+runOnDevice(const Circuit &logical, const Distribution &truth,
+            uint64_t seed, size_t *routed_cx = nullptr)
+{
+    CouplingMap device = CouplingMap::line(logical.numQubits());
+    RoutingResult routed = routeCircuit(
+        lowerToNative(logical).withoutPseudoOps(), device);
+    Circuit physical = lowerToNative(routed.circuit);
+    if (routed_cx)
+        *routed_cx = physical.cnotCount();
+
+    NoisySimulator sim(NoiseModel::ibmqManila(), seed);
+    Distribution out = sim.run(physical, 8192);
+    return tvd(truth, unpermuteDistribution(out, routed.finalLayout));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace quest;
+
+    Circuit circuit = algos::xy(4, 4);
+    Circuit baseline = lowerToNative(circuit);
+    Distribution truth = idealDistribution(baseline);
+
+    std::cout << "XY-4 (4 Trotter steps) on a line-topology device\n";
+    std::cout << "logical baseline: " << baseline.cnotCount()
+              << " CNOTs\n";
+
+    size_t routed_cx = 0;
+    double qiskit_tvd =
+        runOnDevice(qiskitLikeOptimize(circuit), truth, 3, &routed_cx);
+    std::cout << "qiskit, routed: " << routed_cx << " CNOTs, TVD "
+              << qiskit_tvd << "\n";
+
+    QuestConfig config;
+    config.synth.beamWidth = 1;
+    config.synth.inst.multistarts = 2;
+    config.synth.inst.lbfgs.maxIterations = 300;
+    config.synth.maxLayers = 16;
+    config.synth.stallLevels = 8;
+    QuestResult result = QuestPipeline(config).run(circuit);
+
+    // Average the routed noisy outputs of every selected sample.
+    std::vector<Distribution> outputs;
+    size_t min_cx = static_cast<size_t>(-1);
+    for (size_t i = 0; i < result.samples.size(); ++i) {
+        Circuit sample =
+            qiskitLikeOptimize(result.samples[i].circuit);
+        CouplingMap device = CouplingMap::line(sample.numQubits());
+        RoutingResult routed =
+            routeCircuit(sample.withoutPseudoOps(), device);
+        Circuit physical = lowerToNative(routed.circuit);
+        min_cx = std::min(min_cx, physical.cnotCount());
+
+        NoisySimulator sim(NoiseModel::ibmqManila(), 11 + i);
+        outputs.push_back(unpermuteDistribution(
+            sim.run(physical, 8192), routed.finalLayout));
+    }
+    double quest_tvd = tvd(truth, Distribution::average(outputs));
+    std::cout << "quest+qiskit, routed: min " << min_cx
+              << " CNOTs over " << result.samples.size()
+              << " samples, TVD " << quest_tvd << "\n";
+
+    std::cout << "\nRouting inflates CNOT counts on sparse devices, "
+                 "which makes QUEST's reduction matter even more.\n";
+    return 0;
+}

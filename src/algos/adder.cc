@@ -1,0 +1,68 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+
+namespace quest::algos {
+
+namespace {
+
+/** MAJ block of the Cuccaro adder. */
+void
+maj(Circuit &c, int carry, int b, int a)
+{
+    c.append(Gate::cx(a, b));
+    c.append(Gate::cx(a, carry));
+    c.append(Gate::ccx(carry, b, a));
+}
+
+/** UMA (unmajority-and-add) block. */
+void
+uma(Circuit &c, int carry, int b, int a)
+{
+    c.append(Gate::ccx(carry, b, a));
+    c.append(Gate::cx(a, carry));
+    c.append(Gate::cx(carry, b));
+}
+
+} // namespace
+
+Circuit
+adder(int n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 4 && n_qubits % 2 == 0,
+                 "adder needs an even qubit count >= 4, got ", n_qubits);
+    const int k = (n_qubits - 2) / 2;
+
+    // Layout: q[0] = carry-in, q[1..k] = a (LSB first),
+    // q[k+1..2k] = b (LSB first), q[2k+1] = carry-out.
+    Circuit c(n_qubits);
+    auto a_wire = [&](int i) { return 1 + i; };
+    auto b_wire = [&](int i) { return 1 + k + i; };
+    const int cin = 0;
+    const int cout = 2 * k + 1;
+
+    // Load fixed inputs a = 0b10101..., b = 0b110110... (truncated).
+    for (int i = 0; i < k; ++i) {
+        if (i % 2 == 0)
+            c.append(Gate::x(a_wire(i)));
+        if (i % 3 != 2)
+            c.append(Gate::x(b_wire(i)));
+    }
+
+    // Ripple the carry up through MAJ blocks.
+    maj(c, cin, b_wire(0), a_wire(0));
+    for (int i = 1; i < k; ++i)
+        maj(c, a_wire(i - 1), b_wire(i), a_wire(i));
+
+    // Copy the final carry into the carry-out wire.
+    c.append(Gate::cx(a_wire(k - 1), cout));
+
+    // Undo the ripple with UMA blocks, leaving the sum in b.
+    for (int i = k - 1; i >= 1; --i)
+        uma(c, a_wire(i - 1), b_wire(i), a_wire(i));
+    uma(c, cin, b_wire(0), a_wire(0));
+
+    return c;
+}
+
+} // namespace quest::algos

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Benchmark circuit generators (Table 1 of the paper).
+ *
+ * Every generator returns an un-lowered circuit; callers lower to the
+ * native {U3, CX} set with lowerToNative() to obtain the Baseline
+ * circuit whose CNOT count the paper reports against.
+ */
+
+#ifndef QUEST_ALGOS_ALGORITHMS_HH
+#define QUEST_ALGOS_ALGORITHMS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hh"
+
+namespace quest::algos {
+
+/**
+ * Cuccaro ripple-carry adder [Cuccaro et al. 2004].
+ *
+ * Wires: carry-in, a-register (k bits), b-register (k bits),
+ * carry-out, so n_qubits = 2k + 2 (n_qubits >= 4, even). Input values
+ * are loaded with X gates so the circuit computes a fixed nontrivial
+ * sum.
+ */
+Circuit adder(int n_qubits);
+
+/**
+ * Array multiplier: registers a (k), b (k) and product (2k) with
+ * n_qubits = 4k; partial products via Toffoli gates and ripple
+ * carries.
+ */
+Circuit multiplier(int n_qubits);
+
+/** Quantum Fourier transform with final swaps. */
+Circuit qft(int n_qubits);
+
+/**
+ * Hidden linear function circuit [Bravyi et al. 2018] for a random
+ * symmetric adjacency matrix drawn from @p seed: H^n, CZ on edges,
+ * S on diagonal entries, H^n.
+ */
+Circuit hlf(int n_qubits, uint64_t seed = 7);
+
+/**
+ * QAOA MaxCut ansatz [Farhi & Harrow 2016] on a ring plus seeded
+ * random chords, with @p rounds (gamma, beta) layers at fixed angles.
+ */
+Circuit qaoa(int n_qubits, int rounds = 1, uint64_t seed = 11);
+
+/**
+ * Hardware-efficient VQE ansatz [McClean et al. 2016]: layers of RY
+ * and RZ rotations with a linear CX entangler, parameters drawn from
+ * @p seed.
+ */
+Circuit vqe(int n_qubits, int layers = 2, uint64_t seed = 13);
+
+/**
+ * Trotterized transverse-field Ising model evolution (z-coupling
+ * only), following ArQTiC [Bassman et al. 2021]:
+ * H = -J sum Z_i Z_{i+1} - h sum X_i, first-order Trotter with
+ * @p steps steps of size @p dt.
+ */
+Circuit tfim(int n_spins, int steps, double dt = 0.1, double coupling = 1.0,
+             double field = 1.0);
+
+/**
+ * Trotterized Heisenberg evolution (x, y and z couplings plus
+ * transverse field).
+ */
+Circuit heisenberg(int n_spins, int steps, double dt = 0.1,
+                   double coupling = 1.0, double field = 1.0);
+
+/** Trotterized XY-model evolution (x and y couplings). */
+Circuit xy(int n_spins, int steps, double dt = 0.1, double coupling = 1.0,
+           double field = 1.0);
+
+/** A named benchmark instance in the evaluation suite. */
+struct BenchmarkSpec
+{
+    std::string name;      //!< e.g. "tfim_4"
+    int nQubits;
+    std::function<Circuit()> build;
+};
+
+/**
+ * The evaluation suite used by the Fig. 8/9 benches: one instance of
+ * each Table-1 algorithm at the paper's small-to-medium sizes.
+ */
+std::vector<BenchmarkSpec> standardSuite();
+
+/** The subset of the suite that fits on a 5-qubit device (Fig. 10). */
+std::vector<BenchmarkSpec> manilaSuite();
+
+/** Find a spec by name (panics if absent). */
+const BenchmarkSpec &findSpec(const std::vector<BenchmarkSpec> &suite,
+                              const std::string &name);
+
+} // namespace quest::algos
+
+#endif // QUEST_ALGOS_ALGORITHMS_HH

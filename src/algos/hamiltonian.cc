@@ -1,0 +1,68 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+
+namespace quest::algos {
+
+namespace {
+
+/**
+ * First-order Trotter evolution shared by the three spin models.
+ * Per step: exp(-i dt J (sx XX + sy YY + sz ZZ)) on nearest-neighbor
+ * pairs, then exp(-i dt h X) on every spin for the transverse field.
+ */
+Circuit
+trotterEvolution(int n_spins, int steps, double dt, double coupling,
+                 double field, bool sx, bool sy, bool sz)
+{
+    QUEST_ASSERT(n_spins >= 2, "spin chain needs at least two spins");
+    QUEST_ASSERT(steps >= 1, "need at least one Trotter step");
+
+    Circuit c(n_spins);
+    const double jtheta = 2.0 * coupling * dt;
+    const double htheta = 2.0 * field * dt;
+
+    for (int step = 0; step < steps; ++step) {
+        // Even bonds then odd bonds (standard even-odd ordering).
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int i = parity; i + 1 < n_spins; i += 2) {
+                if (sx)
+                    c.append(Gate::rxx(i, i + 1, jtheta));
+                if (sy)
+                    c.append(Gate::ryy(i, i + 1, jtheta));
+                if (sz)
+                    c.append(Gate::rzz(i, i + 1, jtheta));
+            }
+        }
+        if (field != 0.0) {
+            for (int q = 0; q < n_spins; ++q)
+                c.append(Gate::rx(q, htheta));
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+Circuit
+tfim(int n_spins, int steps, double dt, double coupling, double field)
+{
+    return trotterEvolution(n_spins, steps, dt, coupling, field,
+                            false, false, true);
+}
+
+Circuit
+heisenberg(int n_spins, int steps, double dt, double coupling, double field)
+{
+    return trotterEvolution(n_spins, steps, dt, coupling, field,
+                            true, true, true);
+}
+
+Circuit
+xy(int n_spins, int steps, double dt, double coupling, double field)
+{
+    return trotterEvolution(n_spins, steps, dt, coupling, field,
+                            true, true, false);
+}
+
+} // namespace quest::algos

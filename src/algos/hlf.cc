@@ -1,0 +1,36 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace quest::algos {
+
+Circuit
+hlf(int n_qubits, uint64_t seed)
+{
+    QUEST_ASSERT(n_qubits >= 2, "hlf needs at least two qubits");
+    Rng rng(seed);
+
+    Circuit c(n_qubits);
+    for (int q = 0; q < n_qubits; ++q)
+        c.append(Gate::h(q));
+
+    // Random symmetric adjacency matrix A: CZ for off-diagonal ones,
+    // S for diagonal ones (Bravyi-Gosset-Koenig shallow circuit).
+    for (int i = 0; i < n_qubits; ++i) {
+        for (int j = i + 1; j < n_qubits; ++j) {
+            if (rng.bernoulli(0.5))
+                c.append(Gate::cz(i, j));
+        }
+    }
+    for (int i = 0; i < n_qubits; ++i) {
+        if (rng.bernoulli(0.5))
+            c.append(Gate::s(i));
+    }
+
+    for (int q = 0; q < n_qubits; ++q)
+        c.append(Gate::h(q));
+    return c;
+}
+
+} // namespace quest::algos

@@ -1,0 +1,53 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+
+namespace quest::algos {
+
+Circuit
+multiplier(int n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 4 && n_qubits % 4 == 0,
+                 "multiplier needs a multiple of four qubits, got ",
+                 n_qubits);
+    const int k = n_qubits / 4;
+
+    // Layout: a (k wires), b (k wires), product (2k - 1 wires, LSB
+    // first), one ancilla for partial-product bits. The product is
+    // computed modulo 2^(2k - 1); carries beyond one position are
+    // dropped when they collide, which cannot happen for the default
+    // operands below.
+    Circuit c(n_qubits);
+    auto a_wire = [&](int i) { return i; };
+    auto b_wire = [&](int i) { return k + i; };
+    auto p_wire = [&](int i) { return 2 * k + i; };
+    const int anc = 4 * k - 1;
+    const int p_bits = 2 * k - 1;
+
+    // Load fixed inputs a = 0b11..., b = 0b...0101.
+    for (int i = 0; i < k; ++i) {
+        c.append(Gate::x(a_wire(i)));
+        if (i % 2 == 0)
+            c.append(Gate::x(b_wire(i)));
+    }
+
+    // Schoolbook partial products: for each (i, j), add the bit
+    // a_i AND b_j into p[i + j] with a one-level carry:
+    //   anc = a_i b_j; p[t+1] ^= anc p[t]; p[t] ^= anc; uncompute.
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+            const int t = i + j;
+            if (t >= p_bits)
+                continue;
+            c.append(Gate::ccx(a_wire(i), b_wire(j), anc));
+            if (t + 1 < p_bits)
+                c.append(Gate::ccx(anc, p_wire(t), p_wire(t + 1)));
+            c.append(Gate::cx(anc, p_wire(t)));
+            c.append(Gate::ccx(a_wire(i), b_wire(j), anc));
+        }
+    }
+
+    return c;
+}
+
+} // namespace quest::algos

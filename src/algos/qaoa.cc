@@ -1,0 +1,46 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace quest::algos {
+
+Circuit
+qaoa(int n_qubits, int rounds, uint64_t seed)
+{
+    QUEST_ASSERT(n_qubits >= 3, "qaoa needs at least three qubits");
+    QUEST_ASSERT(rounds >= 1, "qaoa needs at least one round");
+    Rng rng(seed);
+
+    // MaxCut instance: ring edges plus ~n/2 random chords. A qubit
+    // coupling to a rotating set of partners is exactly the
+    // hard-to-partition structure the paper calls out for QAOA.
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n_qubits; ++i)
+        edges.emplace_back(i, (i + 1) % n_qubits);
+    for (int extra = 0; extra < n_qubits / 2; ++extra) {
+        int a = static_cast<int>(rng.uniformInt(n_qubits));
+        int b = static_cast<int>(rng.uniformInt(n_qubits));
+        if (a == b || (b == (a + 1) % n_qubits) ||
+            (a == (b + 1) % n_qubits)) {
+            continue;
+        }
+        edges.emplace_back(a, b);
+    }
+
+    Circuit c(n_qubits);
+    for (int q = 0; q < n_qubits; ++q)
+        c.append(Gate::h(q));
+
+    for (int r = 0; r < rounds; ++r) {
+        double gamma = 0.4 + 0.3 * r;
+        double beta = 0.7 - 0.2 * r;
+        for (auto [a, b] : edges)
+            c.append(Gate::rzz(a, b, 2.0 * gamma));
+        for (int q = 0; q < n_qubits; ++q)
+            c.append(Gate::rx(q, 2.0 * beta));
+    }
+    return c;
+}
+
+} // namespace quest::algos

@@ -1,0 +1,34 @@
+#include "algos/algorithms.hh"
+
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace quest::algos {
+
+Circuit
+qft(int n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 1, "qft needs at least one qubit");
+    constexpr double pi = std::numbers::pi;
+
+    Circuit c(n_qubits);
+
+    // Prepare a nontrivial input so the output distribution is not a
+    // delta (the paper's input files encode a fixed basis state).
+    for (int q = 0; q < n_qubits; q += 2)
+        c.append(Gate::x(q));
+
+    for (int i = 0; i < n_qubits; ++i) {
+        c.append(Gate::h(i));
+        for (int j = i + 1; j < n_qubits; ++j) {
+            double angle = pi / static_cast<double>(1 << (j - i));
+            c.append(Gate::cp(j, i, angle));
+        }
+    }
+    for (int i = 0; i < n_qubits / 2; ++i)
+        c.append(Gate::swap(i, n_qubits - 1 - i));
+    return c;
+}
+
+} // namespace quest::algos

@@ -1,0 +1,54 @@
+#include "algos/algorithms.hh"
+
+#include "util/logging.hh"
+
+namespace quest::algos {
+
+std::vector<BenchmarkSpec>
+standardSuite()
+{
+    // One instance of each Table-1 algorithm at sizes comparable to
+    // the paper's 4-8 qubit configurations (where noisy simulation
+    // and direct validation are tractable), plus a couple of larger
+    // instances for scaling figures.
+    std::vector<BenchmarkSpec> suite;
+    suite.push_back({"adder_4", 4, []() { return adder(4); }});
+    suite.push_back({"heisenberg_4", 4, []() {
+        return heisenberg(4, 5);
+    }});
+    suite.push_back({"heisenberg_8", 8, []() {
+        return heisenberg(8, 5);
+    }});
+    suite.push_back({"hlf_4", 4, []() { return hlf(4); }});
+    suite.push_back({"qft_4", 4, []() { return qft(4); }});
+    suite.push_back({"qft_5", 5, []() { return qft(5); }});
+    suite.push_back({"qaoa_5", 5, []() { return qaoa(5); }});
+    suite.push_back({"mult_8", 8, []() { return multiplier(8); }});
+    suite.push_back({"tfim_4", 4, []() { return tfim(4, 10); }});
+    suite.push_back({"tfim_8", 8, []() { return tfim(8, 10); }});
+    suite.push_back({"vqe_4", 4, []() { return vqe(4, 4); }});
+    suite.push_back({"vqe_5", 5, []() { return vqe(5, 3); }});
+    suite.push_back({"xy_4", 4, []() { return xy(4, 5); }});
+    return suite;
+}
+
+std::vector<BenchmarkSpec>
+manilaSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    for (auto &spec : standardSuite())
+        if (spec.nQubits <= 5)
+            suite.push_back(spec);
+    return suite;
+}
+
+const BenchmarkSpec &
+findSpec(const std::vector<BenchmarkSpec> &suite, const std::string &name)
+{
+    for (const auto &spec : suite)
+        if (spec.name == name)
+            return spec;
+    QUEST_PANIC("no benchmark named ", name);
+}
+
+} // namespace quest::algos

@@ -1,0 +1,36 @@
+#include "algos/algorithms.hh"
+
+#include <numbers>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace quest::algos {
+
+Circuit
+vqe(int n_qubits, int layers, uint64_t seed)
+{
+    QUEST_ASSERT(n_qubits >= 2, "vqe needs at least two qubits");
+    QUEST_ASSERT(layers >= 1, "vqe needs at least one layer");
+    Rng rng(seed);
+    constexpr double pi = std::numbers::pi;
+
+    Circuit c(n_qubits);
+    auto angle = [&]() { return rng.uniform(-pi, pi); };
+
+    for (int layer = 0; layer < layers; ++layer) {
+        for (int q = 0; q < n_qubits; ++q) {
+            c.append(Gate::ry(q, angle()));
+            c.append(Gate::rz(q, angle()));
+        }
+        for (int q = 0; q + 1 < n_qubits; ++q)
+            c.append(Gate::cx(q, q + 1));
+    }
+    for (int q = 0; q < n_qubits; ++q) {
+        c.append(Gate::ry(q, angle()));
+        c.append(Gate::rz(q, angle()));
+    }
+    return c;
+}
+
+} // namespace quest::algos

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dual annealing global minimizer (STEP 3's search engine, Sec. 3.6).
+ *
+ * Re-implements the generalized simulated annealing algorithm behind
+ * SciPy's dual_annealing [Xiang et al.; Tsallis]: a distorted-Cauchy
+ * visiting distribution with parameter q_v, a generalized Metropolis
+ * acceptance with parameter q_a, geometric-like temperature decay
+ * with restarts, and an optional greedy local-polish phase.
+ */
+
+#ifndef QUEST_ANNEAL_DUAL_ANNEALING_HH
+#define QUEST_ANNEAL_DUAL_ANNEALING_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace quest {
+
+/** Objective over a box-bounded vector. */
+using AnnealObjective =
+    std::function<double(const std::vector<double> &x)>;
+
+/** Dual-annealing options (defaults follow SciPy's). */
+struct AnnealOptions
+{
+    int maxIterations = 600;       //!< annealing sweeps
+    double initialTemp = 5230.0;
+    double restartTempRatio = 2e-5;
+    double visitParam = 2.62;      //!< q_v
+    double acceptParam = -5.0;     //!< q_a
+    bool localSearch = true;       //!< greedy coordinate polish
+    uint64_t seed = 42;
+
+    /** Optional start point (defaults to a uniform random draw). */
+    std::optional<std::vector<double>> initial;
+};
+
+/** Minimization outcome. */
+struct AnnealResult
+{
+    std::vector<double> x;
+    double value = 0.0;
+    int evaluations = 0;
+};
+
+/**
+ * Minimize @p objective over the box [lo_i, hi_i]^d.
+ */
+AnnealResult dualAnnealing(const AnnealObjective &objective,
+                           const std::vector<double> &lo,
+                           const std::vector<double> &hi,
+                           const AnnealOptions &options = {});
+
+} // namespace quest
+
+#endif // QUEST_ANNEAL_DUAL_ANNEALING_HH

@@ -1,0 +1,47 @@
+#include "baseline/pass_manager.hh"
+
+#include "ir/lower.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+void
+PassManager::addPass(std::unique_ptr<Pass> pass)
+{
+    passes.push_back(std::move(pass));
+}
+
+Circuit
+PassManager::optimize(const Circuit &circuit, int max_iterations) const
+{
+    Circuit result = circuit;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        for (const auto &pass : passes)
+            changed |= pass->run(result);
+        if (!changed)
+            return result;
+    }
+    warn("pass manager did not reach a fixpoint in ", max_iterations,
+         " sweeps");
+    return result;
+}
+
+PassManager
+PassManager::standard()
+{
+    PassManager manager;
+    manager.addPass(std::make_unique<SingleQubitFusionPass>());
+    manager.addPass(std::make_unique<CnotCancellationPass>());
+    manager.addPass(std::make_unique<IdentityRemovalPass>());
+    return manager;
+}
+
+Circuit
+qiskitLikeOptimize(const Circuit &circuit)
+{
+    static const PassManager manager = PassManager::standard();
+    return manager.optimize(lowerToNative(circuit));
+}
+
+} // namespace quest

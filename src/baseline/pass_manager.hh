@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixpoint pass manager, the "Qiskit" configuration of the paper's
+ * evaluation (all compiler optimizations applied one after another
+ * until nothing changes).
+ */
+
+#ifndef QUEST_BASELINE_PASS_MANAGER_HH
+#define QUEST_BASELINE_PASS_MANAGER_HH
+
+#include <memory>
+#include <vector>
+
+#include "baseline/passes.hh"
+
+namespace quest {
+
+/** Runs a pass pipeline to fixpoint. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+
+    /** Append a pass to the pipeline. */
+    void addPass(std::unique_ptr<Pass> pass);
+
+    /**
+     * Run the pipeline repeatedly until a full sweep makes no change
+     * (bounded at @p max_iterations sweeps).
+     */
+    Circuit optimize(const Circuit &circuit, int max_iterations = 32) const;
+
+    /**
+     * The standard "Qiskit" configuration: 1q fusion, commutative CX
+     * cancellation and identity removal.
+     */
+    static PassManager standard();
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes;
+};
+
+/** Shorthand: lower to native and run the standard pipeline. */
+Circuit qiskitLikeOptimize(const Circuit &circuit);
+
+} // namespace quest
+
+#endif // QUEST_BASELINE_PASS_MANAGER_HH

@@ -1,0 +1,184 @@
+#include "baseline/passes.hh"
+
+#include <optional>
+
+#include "linalg/decompose.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+bool
+isOneQubitUnitary(const Gate &g)
+{
+    return gateArity(g.type) == 1 && g.type != GateType::Measure &&
+           g.type != GateType::Barrier;
+}
+
+/** True if the gate's matrix is diagonal (commutes with CX control). */
+bool
+isDiagonal(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::Z: case GateType::S: case GateType::Sdg:
+      case GateType::T: case GateType::Tdg: case GateType::RZ:
+      case GateType::U1:
+        return true;
+      case GateType::U3:
+        return std::abs(std::sin(g.params[0] / 2.0)) < 1e-12;
+      default:
+        return false;
+    }
+}
+
+/** True if the gate is an X-axis rotation (commutes with CX target). */
+bool
+isXAxis(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::X: case GateType::RX: case GateType::SX:
+        return true;
+      case GateType::U3: {
+        // U3(theta, -pi/2, pi/2) is RX(theta).
+        Matrix m = gateMatrix(g);
+        return std::abs(m(0, 1) - m(1, 0)) < 1e-12 &&
+               std::abs(m(0, 0) - m(1, 1)) < 1e-12 &&
+               std::abs(m(0, 0).imag()) < 1e-12 &&
+               std::abs(m(0, 1).real()) < 1e-12;
+      }
+      default:
+        return false;
+    }
+}
+
+bool
+isIdentityUpToPhase(const Gate &g, double tol = 1e-10)
+{
+    if (!isOneQubitUnitary(g))
+        return false;
+    return gateMatrix(g).equalUpToPhase(Matrix::identity(2), tol);
+}
+
+} // namespace
+
+bool
+SingleQubitFusionPass::run(Circuit &circuit) const
+{
+    bool changed = false;
+    // pending[q]: index of an unfused one-qubit gate awaiting a
+    // successor on wire q.
+    std::vector<std::optional<size_t>> pending(circuit.numQubits());
+
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit[i];
+        if (isOneQubitUnitary(g)) {
+            int q = g.qubits[0];
+            if (pending[q]) {
+                // Combine: later gate g applied after earlier one.
+                Matrix fused =
+                    gateMatrix(g) * gateMatrix(circuit[*pending[q]]);
+                ZyzAngles a = zyzDecompose(fused);
+                circuit.replace(*pending[q],
+                                Gate::u3(q, a.theta, a.phi, a.lambda));
+                circuit.erase(i);
+                --i;
+                changed = true;
+            } else {
+                pending[q] = i;
+            }
+        } else {
+            for (int q : g.qubits)
+                pending[q].reset();
+        }
+    }
+
+    // Drop fused gates that became the identity.
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        if (isIdentityUpToPhase(circuit[i])) {
+            circuit.erase(i);
+            --i;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+CnotCancellationPass::run(Circuit &circuit) const
+{
+    bool changed = false;
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit[i];
+        if (g.type != GateType::CX)
+            continue;
+        const int control = g.qubits[0];
+        const int target = g.qubits[1];
+
+        // Scan forward for a cancelling CX, skipping commuting gates.
+        for (size_t j = i + 1; j < circuit.size(); ++j) {
+            const Gate &h = circuit[j];
+            if (h.type == GateType::Barrier || h.type == GateType::Measure) {
+                bool overlap = false;
+                for (int q : h.qubits)
+                    overlap |= (q == control || q == target);
+                if (overlap)
+                    break;
+                continue;
+            }
+            if (h.type == GateType::CX && h.qubits[0] == control &&
+                h.qubits[1] == target) {
+                circuit.erase(j);
+                circuit.erase(i);
+                // Restart from the gate before i (loop ++ follows).
+                i = (i <= 1) ? static_cast<size_t>(-1) : i - 2;
+                changed = true;
+                break;
+            }
+
+            bool touches_control = h.actsOn(control);
+            bool touches_target = h.actsOn(target);
+            if (!touches_control && !touches_target)
+                continue;
+
+            bool commutes = true;
+            if (touches_control) {
+                if (isOneQubitUnitary(h)) {
+                    commutes &= isDiagonal(h);
+                } else if (h.type == GateType::CX) {
+                    commutes &= h.qubits[0] == control;
+                } else {
+                    commutes = false;
+                }
+            }
+            if (commutes && touches_target) {
+                if (isOneQubitUnitary(h)) {
+                    commutes &= isXAxis(h);
+                } else if (h.type == GateType::CX) {
+                    commutes &= h.qubits[1] == target;
+                } else {
+                    commutes = false;
+                }
+            }
+            if (!commutes)
+                break;
+        }
+    }
+    return changed;
+}
+
+bool
+IdentityRemovalPass::run(Circuit &circuit) const
+{
+    bool changed = false;
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        if (isIdentityUpToPhase(circuit[i])) {
+            circuit.erase(i);
+            --i;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // namespace quest

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Peephole optimization passes modelled after the Qiskit transpiler
+ * passes that matter for CNOT count on the paper's benchmarks. They
+ * are the "Qiskit" comparison configuration of the evaluation.
+ *
+ * All passes preserve the circuit unitary up to a global phase.
+ */
+
+#ifndef QUEST_BASELINE_PASSES_HH
+#define QUEST_BASELINE_PASSES_HH
+
+#include <string>
+
+#include "ir/circuit.hh"
+
+namespace quest {
+
+/** Interface for a rewrite pass. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Human-readable pass name. */
+    virtual std::string name() const = 0;
+
+    /** Rewrite in place; returns true if anything changed. */
+    virtual bool run(Circuit &circuit) const = 0;
+};
+
+/**
+ * Fuse runs of adjacent one-qubit gates on the same wire into one U3
+ * (Qiskit's Optimize1qGates): multiplies the 2x2 matrices and
+ * re-decomposes, dropping the result entirely if it is the identity
+ * up to phase.
+ */
+class SingleQubitFusionPass : public Pass
+{
+  public:
+    std::string name() const override { return "1q-fusion"; }
+    bool run(Circuit &circuit) const override;
+};
+
+/**
+ * Cancel CX pairs with identical control/target separated only by
+ * gates that commute with the CX (Qiskit's CommutativeCancellation):
+ * diagonal gates on the control wire, X-axis gates on the target
+ * wire, and CXs sharing the same control or the same target.
+ */
+class CnotCancellationPass : public Pass
+{
+  public:
+    std::string name() const override { return "cx-cancellation"; }
+    bool run(Circuit &circuit) const override;
+};
+
+/** Remove one-qubit gates that are the identity up to global phase. */
+class IdentityRemovalPass : public Pass
+{
+  public:
+    std::string name() const override { return "identity-removal"; }
+    bool run(Circuit &circuit) const override;
+};
+
+} // namespace quest
+
+#endif // QUEST_BASELINE_PASSES_HH

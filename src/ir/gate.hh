@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Quantum gate representation.
+ *
+ * The gate set covers everything the Table-1 benchmark generators
+ * emit plus the {U3, CX} native set that partitioning and synthesis
+ * operate on (see ir/lower.hh for the lowering).
+ */
+
+#ifndef QUEST_IR_GATE_HH
+#define QUEST_IR_GATE_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace quest {
+
+/** Supported gate kinds. */
+enum class GateType
+{
+    // One-qubit parameterized.
+    U1, U2, U3, RX, RY, RZ,
+    // One-qubit fixed.
+    X, Y, Z, H, S, Sdg, T, Tdg, SX,
+    // Two-qubit.
+    CX, CZ, SWAP, RZZ, RXX, RYY, CRZ, CP,
+    // Three-qubit.
+    CCX,
+    // Pseudo-operations.
+    Barrier, Measure,
+};
+
+/** Lower-case OpenQASM mnemonic for a gate type. */
+const char *gateName(GateType type);
+
+/** Number of qubits the gate type acts on (Barrier/Measure: 1). */
+int gateArity(GateType type);
+
+/** Number of rotation-angle parameters the gate type takes. */
+int gateParamCount(GateType type);
+
+/** True for multi-qubit entangling gates (not Barrier/Measure). */
+bool isEntangling(GateType type);
+
+/**
+ * Number of CNOT gates in the textbook decomposition of the gate
+ * (CX: 1, SWAP: 3, RZZ/RXX/RYY/CRZ/CP/CZ: 2 or 1, CCX: 6, 1q: 0).
+ * Used to compare CNOT budgets of un-lowered circuits.
+ */
+int cnotEquivalents(GateType type);
+
+/**
+ * A gate instance: a type, the circuit wires it acts on (most
+ * significant first), and its parameters.
+ */
+struct Gate
+{
+    GateType type;
+    std::vector<int> qubits;
+    std::vector<double> params;
+
+    Gate() : type(GateType::Barrier) {}
+    Gate(GateType type, std::vector<int> qubits,
+         std::vector<double> params = {});
+
+    /** @name Factory helpers for common gates. */
+    /// @{
+    static Gate u1(int q, double lambda);
+    static Gate u2(int q, double phi, double lambda);
+    static Gate u3(int q, double theta, double phi, double lambda);
+    static Gate rx(int q, double theta);
+    static Gate ry(int q, double theta);
+    static Gate rz(int q, double theta);
+    static Gate x(int q);
+    static Gate y(int q);
+    static Gate z(int q);
+    static Gate h(int q);
+    static Gate s(int q);
+    static Gate sdg(int q);
+    static Gate t(int q);
+    static Gate tdg(int q);
+    static Gate sx(int q);
+    static Gate cx(int control, int target);
+    static Gate cz(int a, int b);
+    static Gate swap(int a, int b);
+    static Gate rzz(int a, int b, double theta);
+    static Gate rxx(int a, int b, double theta);
+    static Gate ryy(int a, int b, double theta);
+    static Gate crz(int control, int target, double theta);
+    static Gate cp(int control, int target, double theta);
+    static Gate ccx(int c1, int c2, int target);
+    static Gate barrier(std::vector<int> qubits);
+    static Gate measure(int q);
+    /// @}
+
+    /** Arity of this instance. */
+    int arity() const { return static_cast<int>(qubits.size()); }
+
+    /** True if this gate touches circuit wire q. */
+    bool actsOn(int q) const;
+
+    /** The inverse gate (panics for Measure). */
+    Gate inverse() const;
+
+    /** OpenQASM-style rendering, e.g. "cx q[0],q[1];". */
+    std::string toString() const;
+};
+
+/**
+ * The unitary of a gate on its own wires (dimension 2^arity), with
+ * qubits[0] as the most significant qubit. Panics for Barrier and
+ * Measure.
+ */
+Matrix gateMatrix(const Gate &gate);
+
+} // namespace quest
+
+#endif // QUEST_IR_GATE_HH

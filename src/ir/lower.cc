@@ -1,0 +1,189 @@
+#include "ir/lower.hh"
+
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+void lowerGate(const Gate &g, Circuit &out);
+
+void
+emitU3(Circuit &out, int q, double t, double p, double l)
+{
+    out.append(Gate::u3(q, t, p, l));
+}
+
+/** RZ up to global phase (as a U1-style U3). */
+void
+emitRz(Circuit &out, int q, double theta)
+{
+    emitU3(out, q, 0.0, 0.0, theta);
+}
+
+void
+emitH(Circuit &out, int q)
+{
+    emitU3(out, q, pi / 2, 0.0, pi);
+}
+
+/** RZZ(theta) on (a, b): CX(a,b) RZ_b(theta) CX(a,b). */
+void
+lowerRzz(Circuit &out, int a, int b, double theta)
+{
+    out.append(Gate::cx(a, b));
+    emitRz(out, b, theta);
+    out.append(Gate::cx(a, b));
+}
+
+void
+lowerCcx(const Gate &g, Circuit &out)
+{
+    const int a = g.qubits[0], b = g.qubits[1], c = g.qubits[2];
+    // Standard 6-CNOT Toffoli network.
+    lowerGate(Gate::h(c), out);
+    out.append(Gate::cx(b, c));
+    lowerGate(Gate::tdg(c), out);
+    out.append(Gate::cx(a, c));
+    lowerGate(Gate::t(c), out);
+    out.append(Gate::cx(b, c));
+    lowerGate(Gate::tdg(c), out);
+    out.append(Gate::cx(a, c));
+    lowerGate(Gate::t(b), out);
+    lowerGate(Gate::t(c), out);
+    lowerGate(Gate::h(c), out);
+    out.append(Gate::cx(a, b));
+    lowerGate(Gate::t(a), out);
+    lowerGate(Gate::tdg(b), out);
+    out.append(Gate::cx(a, b));
+}
+
+void
+lowerGate(const Gate &g, Circuit &out)
+{
+    switch (g.type) {
+      case GateType::U3:
+      case GateType::CX:
+      case GateType::Measure:
+        out.append(g);
+        return;
+      case GateType::Barrier:
+        return;
+      case GateType::U1:
+        emitU3(out, g.qubits[0], 0.0, 0.0, g.params[0]);
+        return;
+      case GateType::U2:
+        emitU3(out, g.qubits[0], pi / 2, g.params[0], g.params[1]);
+        return;
+      case GateType::RX:
+        emitU3(out, g.qubits[0], g.params[0], -pi / 2, pi / 2);
+        return;
+      case GateType::RY:
+        emitU3(out, g.qubits[0], g.params[0], 0.0, 0.0);
+        return;
+      case GateType::RZ:
+        emitRz(out, g.qubits[0], g.params[0]);
+        return;
+      case GateType::X:
+        emitU3(out, g.qubits[0], pi, 0.0, pi);
+        return;
+      case GateType::Y:
+        emitU3(out, g.qubits[0], pi, pi / 2, pi / 2);
+        return;
+      case GateType::Z:
+        emitU3(out, g.qubits[0], 0.0, 0.0, pi);
+        return;
+      case GateType::H:
+        emitH(out, g.qubits[0]);
+        return;
+      case GateType::S:
+        emitU3(out, g.qubits[0], 0.0, 0.0, pi / 2);
+        return;
+      case GateType::Sdg:
+        emitU3(out, g.qubits[0], 0.0, 0.0, -pi / 2);
+        return;
+      case GateType::T:
+        emitU3(out, g.qubits[0], 0.0, 0.0, pi / 4);
+        return;
+      case GateType::Tdg:
+        emitU3(out, g.qubits[0], 0.0, 0.0, -pi / 4);
+        return;
+      case GateType::SX:
+        emitU3(out, g.qubits[0], pi / 2, -pi / 2, pi / 2);
+        return;
+      case GateType::CZ:
+        emitH(out, g.qubits[1]);
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        emitH(out, g.qubits[1]);
+        return;
+      case GateType::SWAP:
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        out.append(Gate::cx(g.qubits[1], g.qubits[0]));
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        return;
+      case GateType::RZZ:
+        lowerRzz(out, g.qubits[0], g.qubits[1], g.params[0]);
+        return;
+      case GateType::RXX:
+        emitH(out, g.qubits[0]);
+        emitH(out, g.qubits[1]);
+        lowerRzz(out, g.qubits[0], g.qubits[1], g.params[0]);
+        emitH(out, g.qubits[0]);
+        emitH(out, g.qubits[1]);
+        return;
+      case GateType::RYY:
+        // Conjugate RZZ by RX(pi/2) on both wires.
+        emitU3(out, g.qubits[0], pi / 2, -pi / 2, pi / 2);
+        emitU3(out, g.qubits[1], pi / 2, -pi / 2, pi / 2);
+        lowerRzz(out, g.qubits[0], g.qubits[1], g.params[0]);
+        emitU3(out, g.qubits[0], -pi / 2, -pi / 2, pi / 2);
+        emitU3(out, g.qubits[1], -pi / 2, -pi / 2, pi / 2);
+        return;
+      case GateType::CRZ:
+        emitRz(out, g.qubits[1], g.params[0] / 2);
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        emitRz(out, g.qubits[1], -g.params[0] / 2);
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        return;
+      case GateType::CP:
+        emitRz(out, g.qubits[0], g.params[0] / 2);
+        emitRz(out, g.qubits[1], g.params[0] / 2);
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        emitRz(out, g.qubits[1], -g.params[0] / 2);
+        out.append(Gate::cx(g.qubits[0], g.qubits[1]));
+        return;
+      case GateType::CCX:
+        lowerCcx(g, out);
+        return;
+    }
+    QUEST_PANIC("unknown gate type in lowering");
+}
+
+} // namespace
+
+Circuit
+lowerToNative(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : circuit)
+        lowerGate(g, out);
+    return out;
+}
+
+bool
+isNative(const Circuit &circuit)
+{
+    for (const Gate &g : circuit) {
+        if (g.type != GateType::U3 && g.type != GateType::CX &&
+            g.type != GateType::Measure) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace quest

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Lowering to the native {U3, CX} gate set.
+ *
+ * QUEST's partitioner, synthesizer and baseline CNOT counts all
+ * operate on circuits in this native set (the paper: "all quantum
+ * algorithms can be represented as a sequence of one-qubit rotation
+ * gates and two-qubit CNOT gates").
+ */
+
+#ifndef QUEST_IR_LOWER_HH
+#define QUEST_IR_LOWER_HH
+
+#include "ir/circuit.hh"
+
+namespace quest {
+
+/**
+ * Rewrite every gate into U3 and CX gates using textbook
+ * decompositions (CCX via the 6-CNOT network, SWAP via 3 CNOTs,
+ * two-qubit rotations via 2 CNOTs). The result's unitary equals the
+ * input's up to a global phase. Barriers are dropped; measurements
+ * are preserved.
+ */
+Circuit lowerToNative(const Circuit &circuit);
+
+/** True if the circuit contains only U3, CX and Measure gates. */
+bool isNative(const Circuit &circuit);
+
+} // namespace quest
+
+#endif // QUEST_IR_LOWER_HH

@@ -1,0 +1,386 @@
+#include "ir/qasm.hh"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+/** Render a parameter with enough digits to round-trip. */
+std::string
+formatParam(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+// ---------------------------------------------------------------
+// Constant-expression parser for gate parameters: numbers, pi,
+// + - * /, unary minus, parentheses.
+// ---------------------------------------------------------------
+
+class ExprParser
+{
+  public:
+    explicit ExprParser(const std::string &text) : text(text), pos(0) {}
+
+    double
+    parse()
+    {
+        double value = parseExpr();
+        skipWs();
+        if (pos != text.size())
+            throw QasmError("trailing characters in expression: " + text);
+        return value;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    double
+    parseExpr()
+    {
+        double value = parseTerm();
+        for (;;) {
+            if (consume('+'))
+                value += parseTerm();
+            else if (consume('-'))
+                value -= parseTerm();
+            else
+                return value;
+        }
+    }
+
+    double
+    parseTerm()
+    {
+        double value = parseUnary();
+        for (;;) {
+            if (consume('*')) {
+                value *= parseUnary();
+            } else if (consume('/')) {
+                double denom = parseUnary();
+                if (denom == 0.0)
+                    throw QasmError("division by zero in expression");
+                value /= denom;
+            } else {
+                return value;
+            }
+        }
+    }
+
+    double
+    parseUnary()
+    {
+        if (consume('-'))
+            return -parseUnary();
+        if (consume('+'))
+            return parseUnary();
+        return parseAtom();
+    }
+
+    double
+    parseAtom()
+    {
+        skipWs();
+        if (consume('(')) {
+            double value = parseExpr();
+            if (!consume(')'))
+                throw QasmError("missing ')' in expression");
+            return value;
+        }
+        if (pos + 1 < text.size() && text.compare(pos, 2, "pi") == 0) {
+            pos += 2;
+            return std::numbers::pi;
+        }
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                ((text[pos] == '+' || text[pos] == '-') && pos > start &&
+                 (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+            ++pos;
+        }
+        if (pos == start)
+            throw QasmError("expected number in expression: " + text);
+        return std::stod(text.substr(start, pos - start));
+    }
+
+    const std::string &text;
+    size_t pos;
+};
+
+GateType
+gateTypeFromName(const std::string &name)
+{
+    static const std::map<std::string, GateType> table = {
+        {"u1", GateType::U1},   {"u2", GateType::U2},
+        {"u3", GateType::U3},   {"u", GateType::U3},
+        {"rx", GateType::RX},   {"ry", GateType::RY},
+        {"rz", GateType::RZ},   {"x", GateType::X},
+        {"y", GateType::Y},     {"z", GateType::Z},
+        {"h", GateType::H},     {"s", GateType::S},
+        {"sdg", GateType::Sdg}, {"t", GateType::T},
+        {"tdg", GateType::Tdg}, {"sx", GateType::SX},
+        {"cx", GateType::CX},   {"CX", GateType::CX},
+        {"cz", GateType::CZ},   {"swap", GateType::SWAP},
+        {"rzz", GateType::RZZ}, {"rxx", GateType::RXX},
+        {"ryy", GateType::RYY}, {"crz", GateType::CRZ},
+        {"cp", GateType::CP},   {"cu1", GateType::CP},
+        {"ccx", GateType::CCX},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        throw QasmError("unsupported gate: " + name);
+    return it->second;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+/** Split a comma-separated list, respecting parentheses depth. */
+std::vector<std::string>
+splitArgs(const std::string &s)
+{
+    std::vector<std::string> parts;
+    int depth = 0;
+    std::string current;
+    for (char c : s) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!trim(current).empty())
+        parts.push_back(trim(current));
+    return parts;
+}
+
+/** Extract the index from "name[k]". */
+int
+parseIndex(const std::string &ref, const std::string &reg_name)
+{
+    size_t open = ref.find('[');
+    size_t close = ref.find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        throw QasmError("malformed register reference: " + ref);
+    }
+    std::string name = trim(ref.substr(0, open));
+    if (!reg_name.empty() && name != reg_name)
+        throw QasmError("unknown register '" + name + "' in: " + ref);
+    return std::stoi(ref.substr(open + 1, close - open - 1));
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    if (circuit.hasMeasurements())
+        os << "creg c[" << circuit.numQubits() << "];\n";
+
+    for (const Gate &g : circuit) {
+        if (g.type == GateType::Measure) {
+            os << "measure q[" << g.qubits[0] << "] -> c["
+               << g.qubits[0] << "];\n";
+            continue;
+        }
+        os << gateName(g.type);
+        if (!g.params.empty()) {
+            os << "(";
+            for (size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << formatParam(g.params[i]);
+            }
+            os << ")";
+        }
+        os << " ";
+        for (size_t i = 0; i < g.qubits.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "q[" << g.qubits[i] << "]";
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+Circuit
+parseQasm(const std::string &text)
+{
+    // Strip comments, then split into ';'-terminated statements.
+    std::string clean;
+    clean.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n')
+                ++i;
+        }
+        if (i < text.size())
+            clean += text[i];
+    }
+
+    std::vector<std::string> statements;
+    std::string current;
+    for (char c : clean) {
+        if (c == ';') {
+            statements.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!trim(current).empty())
+        throw QasmError("missing ';' after: " + trim(current));
+
+    std::string qreg_name;
+    int n_qubits = -1;
+    std::vector<Gate> pending;
+
+    for (const std::string &stmt : statements) {
+        if (stmt.empty())
+            continue;
+        if (stmt.rfind("OPENQASM", 0) == 0 ||
+            stmt.rfind("include", 0) == 0 ||
+            stmt.rfind("creg", 0) == 0) {
+            continue;
+        }
+        if (stmt.rfind("qreg", 0) == 0) {
+            if (n_qubits >= 0)
+                throw QasmError("multiple qreg declarations");
+            std::string decl = trim(stmt.substr(4));
+            size_t open = decl.find('[');
+            if (open == std::string::npos)
+                throw QasmError("malformed qreg: " + stmt);
+            qreg_name = trim(decl.substr(0, open));
+            n_qubits = parseIndex(decl, qreg_name);
+            if (n_qubits <= 0)
+                throw QasmError("qreg must have positive size");
+            continue;
+        }
+        if (n_qubits < 0)
+            throw QasmError("gate before qreg declaration: " + stmt);
+
+        if (stmt.rfind("barrier", 0) == 0) {
+            auto refs = splitArgs(trim(stmt.substr(7)));
+            std::vector<int> wires;
+            for (const auto &r : refs)
+                wires.push_back(parseIndex(r, qreg_name));
+            if (!wires.empty())
+                pending.push_back(Gate::barrier(wires));
+            continue;
+        }
+        if (stmt.rfind("measure", 0) == 0) {
+            std::string rest = trim(stmt.substr(7));
+            size_t arrow = rest.find("->");
+            std::string src =
+                arrow == std::string::npos ? rest : trim(rest.substr(0,
+                                                                     arrow));
+            pending.push_back(Gate::measure(parseIndex(src, qreg_name)));
+            continue;
+        }
+
+        // Gate application: name[(params)] ref[,ref...]
+        size_t name_end = 0;
+        while (name_end < stmt.size() &&
+               (std::isalnum(static_cast<unsigned char>(stmt[name_end])))) {
+            ++name_end;
+        }
+        std::string name = stmt.substr(0, name_end);
+        GateType type = gateTypeFromName(name);
+        std::string rest = trim(stmt.substr(name_end));
+
+        std::vector<double> params;
+        if (!rest.empty() && rest[0] == '(') {
+            int depth = 0;
+            size_t close = 0;
+            for (size_t i = 0; i < rest.size(); ++i) {
+                if (rest[i] == '(')
+                    ++depth;
+                else if (rest[i] == ')' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == 0)
+                throw QasmError("unbalanced parens: " + stmt);
+            for (const auto &expr :
+                 splitArgs(rest.substr(1, close - 1))) {
+                params.push_back(ExprParser(expr).parse());
+            }
+            rest = trim(rest.substr(close + 1));
+        }
+        // "u" is a three-parameter alias of u3; "cu1"/"cp" share CP.
+        if (static_cast<int>(params.size()) != gateParamCount(type)) {
+            throw QasmError("gate " + name + " expects " +
+                            std::to_string(gateParamCount(type)) +
+                            " params, got " +
+                            std::to_string(params.size()));
+        }
+
+        std::vector<int> wires;
+        for (const auto &ref : splitArgs(rest)) {
+            int q = parseIndex(ref, qreg_name);
+            if (q < 0 || q >= n_qubits)
+                throw QasmError("wire out of range: " + ref);
+            wires.push_back(q);
+        }
+        if (static_cast<int>(wires.size()) != gateArity(type))
+            throw QasmError("gate " + name + " wire-count mismatch");
+        pending.emplace_back(type, std::move(wires), std::move(params));
+    }
+
+    if (n_qubits < 0)
+        throw QasmError("no qreg declaration found");
+    Circuit circuit(n_qubits);
+    for (auto &g : pending)
+        circuit.append(std::move(g));
+    return circuit;
+}
+
+} // namespace quest

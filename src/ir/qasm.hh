@@ -1,0 +1,43 @@
+/**
+ * @file
+ * OpenQASM 2.0 emission and parsing (the subset used by the paper's
+ * artifact: qelib1 gates, one quantum register, optional trailing
+ * measurements).
+ */
+
+#ifndef QUEST_IR_QASM_HH
+#define QUEST_IR_QASM_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/circuit.hh"
+
+namespace quest {
+
+/** Error thrown on malformed QASM input. */
+class QasmError : public std::runtime_error
+{
+  public:
+    explicit QasmError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Serialize a circuit to OpenQASM 2.0. */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parse an OpenQASM 2.0 program into a Circuit.
+ *
+ * Supported: the gates in GateType, one qreg, one optional creg,
+ * barrier, measure, comments, and constant parameter expressions
+ * built from numbers, pi, + - * / and parentheses.
+ *
+ * @throws QasmError on malformed input.
+ */
+Circuit parseQasm(const std::string &text);
+
+} // namespace quest
+
+#endif // QUEST_IR_QASM_HH

@@ -1,0 +1,39 @@
+#include "linalg/distance.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+Complex
+hsInnerProduct(const Matrix &u, const Matrix &v)
+{
+    QUEST_ASSERT(u.isSquare() && v.isSquare() && u.rows() == v.rows(),
+                 "hsInnerProduct shape mismatch");
+    // Tr(U^dagger V) = sum_ij conj(U_ij) V_ij; avoids forming the
+    // product matrix.
+    Complex sum(0.0, 0.0);
+    const auto &ud = u.data();
+    const auto &vd = v.data();
+    for (size_t i = 0; i < ud.size(); ++i)
+        sum += std::conj(ud[i]) * vd[i];
+    return sum;
+}
+
+double
+hsDistanceFromTrace(Complex trace, size_t dim)
+{
+    double n2 = static_cast<double>(dim) * static_cast<double>(dim);
+    double frac = std::norm(trace) / n2;
+    return std::sqrt(std::max(0.0, 1.0 - frac));
+}
+
+double
+hsDistance(const Matrix &u, const Matrix &v)
+{
+    return hsDistanceFromTrace(hsInnerProduct(u, v), u.rows());
+}
+
+} // namespace quest

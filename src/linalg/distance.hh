@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Hilbert-Schmidt process-distance metrics (Sec. 2 of the paper).
+ */
+
+#ifndef QUEST_LINALG_DISTANCE_HH
+#define QUEST_LINALG_DISTANCE_HH
+
+#include "linalg/matrix.hh"
+
+namespace quest {
+
+/** Hilbert-Schmidt inner product Tr(U-dagger V). */
+Complex hsInnerProduct(const Matrix &u, const Matrix &v);
+
+/**
+ * Hilbert-Schmidt process distance:
+ * sqrt(max(0, 1 - |Tr(U-dagger V)|^2 / N^2)).
+ *
+ * Global-phase invariant; 0 means the unitaries are equivalent, 1 is
+ * the maximum distance. Both operands must be square N x N.
+ */
+double hsDistance(const Matrix &u, const Matrix &v);
+
+/**
+ * The same distance computed from a precomputed trace value and
+ * dimension (used by the synthesis cost function, which evaluates the
+ * trace incrementally).
+ */
+double hsDistanceFromTrace(Complex trace, size_t dim);
+
+} // namespace quest
+
+#endif // QUEST_LINALG_DISTANCE_HH

@@ -1,0 +1,266 @@
+#include "linalg/matrix.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : nRows(rows), nCols(cols), elts(rows * cols, Complex(0.0, 0.0))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+    : nRows(rows.size()), nCols(0)
+{
+    for (const auto &row : rows) {
+        if (nCols == 0) {
+            nCols = row.size();
+        }
+        QUEST_ASSERT(row.size() == nCols, "ragged initializer list");
+        elts.insert(elts.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = Complex(1.0, 0.0);
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    Matrix result = *this;
+    result += other;
+    return result;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    Matrix result = *this;
+    result -= other;
+    return result;
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    QUEST_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                 "matrix shape mismatch in +=");
+    for (size_t i = 0; i < elts.size(); ++i)
+        elts[i] += other.elts[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    QUEST_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                 "matrix shape mismatch in -=");
+    for (size_t i = 0; i < elts.size(); ++i)
+        elts[i] -= other.elts[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(Complex scalar)
+{
+    for (auto &e : elts)
+        e *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::operator*(Complex scalar) const
+{
+    Matrix result = *this;
+    result *= scalar;
+    return result;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    QUEST_ASSERT(nCols == other.nRows, "matrix shape mismatch in *: ",
+                 nRows, "x", nCols, " times ", other.nRows, "x",
+                 other.nCols);
+    Matrix result(nRows, other.nCols);
+    // ikj loop order for cache friendliness on row-major storage.
+    for (size_t i = 0; i < nRows; ++i) {
+        for (size_t k = 0; k < nCols; ++k) {
+            Complex aik = (*this)(i, k);
+            if (aik == Complex(0.0, 0.0))
+                continue;
+            const Complex *brow = &other.elts[k * other.nCols];
+            Complex *crow = &result.elts[i * other.nCols];
+            for (size_t j = 0; j < other.nCols; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+    return result;
+}
+
+Matrix
+Matrix::adjoint() const
+{
+    Matrix result(nCols, nRows);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            result(c, r) = std::conj((*this)(r, c));
+    return result;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix result(nCols, nRows);
+    for (size_t r = 0; r < nRows; ++r)
+        for (size_t c = 0; c < nCols; ++c)
+            result(c, r) = (*this)(r, c);
+    return result;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix result = *this;
+    for (auto &e : result.elts)
+        e = std::conj(e);
+    return result;
+}
+
+Complex
+Matrix::trace() const
+{
+    QUEST_ASSERT(isSquare(), "trace of non-square matrix");
+    Complex sum(0.0, 0.0);
+    for (size_t i = 0; i < nRows; ++i)
+        sum += (*this)(i, i);
+    return sum;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (const auto &e : elts)
+        sum += std::norm(e);
+    return std::sqrt(sum);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    QUEST_ASSERT(nRows == other.nRows && nCols == other.nCols,
+                 "matrix shape mismatch in maxAbsDiff");
+    double worst = 0.0;
+    for (size_t i = 0; i < elts.size(); ++i)
+        worst = std::max(worst, std::abs(elts[i] - other.elts[i]));
+    return worst;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (!isSquare())
+        return false;
+    Matrix product = (*this) * adjoint();
+    return product.maxAbsDiff(identity(nRows)) < tol;
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, double tol) const
+{
+    if (nRows != other.nRows || nCols != other.nCols)
+        return false;
+    return maxAbsDiff(other) < tol;
+}
+
+bool
+Matrix::equalUpToPhase(const Matrix &other, double tol) const
+{
+    if (nRows != other.nRows || nCols != other.nCols)
+        return false;
+    // Find the largest-magnitude entry of other to estimate the phase.
+    size_t best = 0;
+    double bestMag = 0.0;
+    for (size_t i = 0; i < elts.size(); ++i) {
+        double mag = std::abs(other.elts[i]);
+        if (mag > bestMag) {
+            bestMag = mag;
+            best = i;
+        }
+    }
+    if (bestMag < tol) {
+        // other is (approximately) zero; compare directly.
+        return maxAbsDiff(other) < tol;
+    }
+    Complex phase = elts[best] / other.elts[best];
+    double mag = std::abs(phase);
+    if (std::abs(mag - 1.0) > tol)
+        return false;
+    phase /= mag;
+    double worst = 0.0;
+    for (size_t i = 0; i < elts.size(); ++i)
+        worst = std::max(worst, std::abs(elts[i] - phase * other.elts[i]));
+    return worst < tol;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision);
+    for (size_t r = 0; r < nRows; ++r) {
+        os << "[ ";
+        for (size_t c = 0; c < nCols; ++c) {
+            const Complex &e = (*this)(r, c);
+            os << e.real() << (e.imag() < 0 ? "-" : "+")
+               << std::abs(e.imag()) << "i ";
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+Matrix
+kron(const Matrix &a, const Matrix &b)
+{
+    Matrix result(a.rows() * b.rows(), a.cols() * b.cols());
+    for (size_t ar = 0; ar < a.rows(); ++ar) {
+        for (size_t ac = 0; ac < a.cols(); ++ac) {
+            Complex av = a(ar, ac);
+            if (av == Complex(0.0, 0.0))
+                continue;
+            for (size_t br = 0; br < b.rows(); ++br)
+                for (size_t bc = 0; bc < b.cols(); ++bc)
+                    result(ar * b.rows() + br, ac * b.cols() + bc) =
+                        av * b(br, bc);
+        }
+    }
+    return result;
+}
+
+std::vector<Complex>
+matVec(const Matrix &m, const std::vector<Complex> &v)
+{
+    QUEST_ASSERT(m.cols() == v.size(), "matVec shape mismatch");
+    std::vector<Complex> result(m.rows(), Complex(0.0, 0.0));
+    for (size_t r = 0; r < m.rows(); ++r) {
+        Complex sum(0.0, 0.0);
+        for (size_t c = 0; c < m.cols(); ++c)
+            sum += m(r, c) * v[c];
+        result[r] = sum;
+    }
+    return result;
+}
+
+} // namespace quest

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Dense complex matrix type used for unitaries throughout QUEST.
+ *
+ * Block unitaries are at most 16x16 (four-qubit blocks), and
+ * full-circuit unitaries are only materialized for validation on
+ * small circuits, so a straightforward row-major dense implementation
+ * is the right tool.
+ *
+ * Qubit ordering convention (used consistently by ir/, sim/ and
+ * linalg/embed): qubit 0 is the MOST significant bit of a basis-state
+ * index, i.e. basis index k encodes qubit q as bit (n - 1 - q) of k.
+ */
+
+#ifndef QUEST_LINALG_MATRIX_HH
+#define QUEST_LINALG_MATRIX_HH
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace quest {
+
+using Complex = std::complex<double>;
+
+/** Dense row-major complex matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() : nRows(0), nCols(0) {}
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Square matrix from a nested initializer list (for tests). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** n x n identity. */
+    static Matrix identity(size_t n);
+
+    /** n x n zero matrix. */
+    static Matrix zero(size_t n) { return Matrix(n, n); }
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+    bool isSquare() const { return nRows == nCols; }
+
+    Complex &operator()(size_t r, size_t c) { return elts[r * nCols + c]; }
+    const Complex &
+    operator()(size_t r, size_t c) const
+    {
+        return elts[r * nCols + c];
+    }
+
+    /** Raw storage access (row-major). */
+    const std::vector<Complex> &data() const { return elts; }
+    std::vector<Complex> &data() { return elts; }
+
+    Matrix operator+(const Matrix &other) const;
+    Matrix operator-(const Matrix &other) const;
+    Matrix operator*(const Matrix &other) const;
+    Matrix operator*(Complex scalar) const;
+    Matrix &operator+=(const Matrix &other);
+    Matrix &operator-=(const Matrix &other);
+    Matrix &operator*=(Complex scalar);
+
+    /** Conjugate transpose. */
+    Matrix adjoint() const;
+
+    /** Transpose without conjugation. */
+    Matrix transpose() const;
+
+    /** Elementwise conjugate. */
+    Matrix conjugate() const;
+
+    /** Trace (square matrices only). */
+    Complex trace() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest elementwise |a - b| against another matrix. */
+    double maxAbsDiff(const Matrix &other) const;
+
+    /** True if U U-dagger is within @p tol of identity elementwise. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** Elementwise approximate equality. */
+    bool approxEqual(const Matrix &other, double tol = 1e-9) const;
+
+    /**
+     * Approximate equality up to a global phase: true when there is a
+     * unit scalar c with |this - c*other| < tol elementwise.
+     */
+    bool equalUpToPhase(const Matrix &other, double tol = 1e-9) const;
+
+    /** Human-readable dump (for debugging and tests). */
+    std::string toString(int precision = 3) const;
+
+  private:
+    size_t nRows;
+    size_t nCols;
+    std::vector<Complex> elts;
+};
+
+/** Scalar * matrix. */
+inline Matrix
+operator*(Complex scalar, const Matrix &m)
+{
+    return m * scalar;
+}
+
+/** Kronecker (tensor) product a (x) b. */
+Matrix kron(const Matrix &a, const Matrix &b);
+
+/** Matrix-vector product. */
+std::vector<Complex> matVec(const Matrix &m, const std::vector<Complex> &v);
+
+} // namespace quest
+
+#endif // QUEST_LINALG_MATRIX_HH

@@ -1,0 +1,41 @@
+#include "metrics/magnetization.hh"
+
+#include "util/logging.hh"
+
+namespace quest {
+
+double
+zExpectation(const Distribution &d, int q)
+{
+    const int n = d.numQubits();
+    QUEST_ASSERT(q >= 0 && q < n, "wire out of range");
+    const size_t bit = size_t{1} << (n - 1 - q);
+    double sum = 0.0;
+    for (size_t k = 0; k < d.size(); ++k)
+        sum += (k & bit) ? -d[k] : d[k];
+    return sum;
+}
+
+double
+averageMagnetization(const Distribution &d)
+{
+    const int n = d.numQubits();
+    double sum = 0.0;
+    for (int q = 0; q < n; ++q)
+        sum += zExpectation(d, q);
+    return sum / n;
+}
+
+double
+staggeredMagnetization(const Distribution &d)
+{
+    const int n = d.numQubits();
+    double sum = 0.0;
+    for (int q = 0; q < n; ++q) {
+        double z = zExpectation(d, q);
+        sum += (q % 2 == 0) ? z : -z;
+    }
+    return sum / n;
+}
+
+} // namespace quest

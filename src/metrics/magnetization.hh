@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Spin-chain observables for the TFIM / Heisenberg / XY case study
+ * (Figs. 1, 13, 14): average and staggered magnetization computed
+ * from a measurement distribution.
+ */
+
+#ifndef QUEST_METRICS_MAGNETIZATION_HH
+#define QUEST_METRICS_MAGNETIZATION_HH
+
+#include "sim/distribution.hh"
+
+namespace quest {
+
+/** Expectation of Z on wire q: sum_k p(k) * (+1 if bit 0 else -1). */
+double zExpectation(const Distribution &d, int q);
+
+/** Average magnetization (1/n) sum_q <Z_q>, in [-1, 1]. */
+double averageMagnetization(const Distribution &d);
+
+/** Staggered magnetization (1/n) sum_q (-1)^q <Z_q>. */
+double staggeredMagnetization(const Distribution &d);
+
+} // namespace quest
+
+#endif // QUEST_METRICS_MAGNETIZATION_HH

@@ -1,0 +1,48 @@
+#include "metrics/output_distance.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+double
+tvd(const Distribution &p, const Distribution &q)
+{
+    QUEST_ASSERT(p.size() == q.size(), "distribution size mismatch");
+    double sum = 0.0;
+    for (size_t k = 0; k < p.size(); ++k)
+        sum += std::abs(p[k] - q[k]);
+    return 0.5 * sum;
+}
+
+double
+klDivergence(const Distribution &p, const Distribution &q)
+{
+    QUEST_ASSERT(p.size() == q.size(), "distribution size mismatch");
+    double sum = 0.0;
+    for (size_t k = 0; k < p.size(); ++k) {
+        if (p[k] <= 0.0)
+            continue;
+        if (q[k] <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        sum += p[k] * std::log2(p[k] / q[k]);
+    }
+    return sum;
+}
+
+double
+jsd(const Distribution &p, const Distribution &q)
+{
+    QUEST_ASSERT(p.size() == q.size(), "distribution size mismatch");
+    std::vector<double> mid(p.size());
+    for (size_t k = 0; k < p.size(); ++k)
+        mid[k] = 0.5 * (p[k] + q[k]);
+    Distribution m(std::move(mid));
+    double value = 0.5 * (klDivergence(p, m) + klDivergence(q, m));
+    // Numerical floor: the divergence is mathematically >= 0.
+    return std::sqrt(std::max(0.0, value));
+}
+
+} // namespace quest

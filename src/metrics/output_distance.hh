@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Output-distance metrics between measurement distributions (Sec. 2):
+ * Total Variation Distance and Jensen-Shannon Divergence.
+ */
+
+#ifndef QUEST_METRICS_OUTPUT_DISTANCE_HH
+#define QUEST_METRICS_OUTPUT_DISTANCE_HH
+
+#include "sim/distribution.hh"
+
+namespace quest {
+
+/** Total Variation Distance: (1/2) sum |p(k) - q(k)|, in [0, 1]. */
+double tvd(const Distribution &p, const Distribution &q);
+
+/**
+ * Kullback-Leibler divergence sum p log2(p / q) with the 0 log 0 = 0
+ * convention. Infinite when q(k) = 0 < p(k).
+ */
+double klDivergence(const Distribution &p, const Distribution &q);
+
+/**
+ * Jensen-Shannon Divergence, the paper's square-root form
+ * sqrt((D(p||m) + D(q||m)) / 2) with m the pointwise mean; log base 2
+ * so the value lies in [0, 1].
+ */
+double jsd(const Distribution &p, const Distribution &q);
+
+} // namespace quest
+
+#endif // QUEST_METRICS_OUTPUT_DISTANCE_HH

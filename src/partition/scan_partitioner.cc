@@ -1,0 +1,130 @@
+#include "partition/scan_partitioner.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+ScanPartitioner::ScanPartitioner(int max_block_size)
+    : maxBlockSize(max_block_size)
+{
+    QUEST_ASSERT(max_block_size >= 2, "blocks need at least two qubits");
+}
+
+std::vector<Block>
+ScanPartitioner::partition(const Circuit &circuit) const
+{
+    QUEST_ASSERT(!circuit.hasMeasurements(),
+                 "partition a measurement-free circuit");
+    const int n = circuit.numQubits();
+
+    // Indices of gates not yet assigned to any block, in order.
+    std::vector<size_t> remaining;
+    remaining.reserve(circuit.size());
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        if (circuit[i].type != GateType::Barrier)
+            remaining.push_back(i);
+    }
+
+    std::vector<Block> blocks;
+    std::vector<bool> blocked(n);
+    std::vector<bool> in_set(n);
+
+    while (!remaining.empty()) {
+        std::fill(blocked.begin(), blocked.end(), false);
+        std::fill(in_set.begin(), in_set.end(), false);
+
+        std::vector<size_t> absorbed;
+        std::vector<int> set_wires;
+
+        auto add_wires = [&](const Gate &g) {
+            for (int q : g.qubits) {
+                if (!in_set[q]) {
+                    in_set[q] = true;
+                    set_wires.push_back(q);
+                }
+            }
+        };
+
+        // Seed the block with the first remaining gate.
+        const Gate &seed = circuit[remaining.front()];
+        QUEST_ASSERT(seed.arity() <= maxBlockSize,
+                     "gate wider than the block limit");
+        add_wires(seed);
+        absorbed.push_back(remaining.front());
+
+        for (size_t r = 1; r < remaining.size(); ++r) {
+            const Gate &g = circuit[remaining[r]];
+
+            bool hits_blocked = false;
+            int new_wires = 0;
+            for (int q : g.qubits) {
+                hits_blocked |= blocked[q];
+                new_wires += in_set[q] ? 0 : 1;
+            }
+
+            if (!hits_blocked &&
+                static_cast<int>(set_wires.size()) + new_wires <=
+                    maxBlockSize) {
+                add_wires(g);
+                absorbed.push_back(remaining[r]);
+                continue;
+            }
+
+            // Defer the gate: everything on its wires now depends on
+            // it, so those wires close for this block.
+            bool all_closed = true;
+            for (int q : g.qubits)
+                blocked[q] = true;
+            for (int q : set_wires)
+                all_closed &= blocked[q];
+            if (all_closed &&
+                static_cast<int>(set_wires.size()) >= maxBlockSize) {
+                break;
+            }
+        }
+
+        // Materialize the block with sorted local wire order.
+        std::vector<int> wires = set_wires;
+        std::sort(wires.begin(), wires.end());
+        std::vector<int> local(n, -1);
+        for (size_t i = 0; i < wires.size(); ++i)
+            local[wires[i]] = static_cast<int>(i);
+
+        Block block{Circuit(static_cast<int>(wires.size())), wires};
+        for (size_t idx : absorbed) {
+            Gate g = circuit[idx];
+            for (int &q : g.qubits)
+                q = local[q];
+            block.circuit.append(std::move(g));
+        }
+        blocks.push_back(std::move(block));
+
+        // Drop absorbed gates from the remaining list.
+        std::vector<size_t> next;
+        next.reserve(remaining.size() - absorbed.size());
+        size_t a = 0;
+        for (size_t idx : remaining) {
+            if (a < absorbed.size() && absorbed[a] == idx) {
+                ++a;
+            } else {
+                next.push_back(idx);
+            }
+        }
+        remaining = std::move(next);
+    }
+
+    return blocks;
+}
+
+Circuit
+assembleBlocks(const std::vector<Block> &blocks, int n_qubits)
+{
+    Circuit result(n_qubits);
+    for (const Block &block : blocks)
+        result.appendCircuit(block.circuit, block.qubits);
+    return result;
+}
+
+} // namespace quest

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Circuit partitioning into synthesizable blocks (STEP 1, Sec. 3.3).
+ *
+ * Re-implements the BQSKit scan partitioner the paper uses: a single
+ * front-to-back scan that greedily grows blocks of at most
+ * max_block_size qubits, deferring gates that depend on gates already
+ * deferred. Reassembling the blocks in creation order reproduces the
+ * original circuit exactly.
+ */
+
+#ifndef QUEST_PARTITION_SCAN_PARTITIONER_HH
+#define QUEST_PARTITION_SCAN_PARTITIONER_HH
+
+#include <vector>
+
+#include "ir/circuit.hh"
+
+namespace quest {
+
+/**
+ * One partition block: a subcircuit over local wires together with
+ * the mapping back to circuit wires (local wire i is circuit wire
+ * qubits[i]; qubits is sorted ascending).
+ */
+struct Block
+{
+    Circuit circuit;
+    std::vector<int> qubits;
+
+    /** Number of qubits the block spans. */
+    int width() const { return static_cast<int>(qubits.size()); }
+};
+
+/** Greedy single-scan partitioner (paper Sec. 4.1). */
+class ScanPartitioner
+{
+  public:
+    /** @param max_block_size paper default: four qubits. */
+    explicit ScanPartitioner(int max_block_size = 4);
+
+    /**
+     * Partition a measurement-free circuit. Every gate lands in
+     * exactly one block; blocks are emitted in a valid topological
+     * order.
+     */
+    std::vector<Block> partition(const Circuit &circuit) const;
+
+  private:
+    int maxBlockSize;
+};
+
+/**
+ * Stitch blocks back into a full circuit on @p n_qubits wires (used
+ * after per-block synthesis, and by the partition correctness tests).
+ */
+Circuit assembleBlocks(const std::vector<Block> &blocks, int n_qubits);
+
+} // namespace quest
+
+#endif // QUEST_PARTITION_SCAN_PARTITIONER_HH

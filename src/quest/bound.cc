@@ -1,0 +1,31 @@
+#include "quest/bound.hh"
+
+#include "linalg/distance.hh"
+#include "sim/unitary_builder.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+double
+processDistanceBound(const std::vector<double> &block_distances)
+{
+    double sum = 0.0;
+    for (double d : block_distances) {
+        QUEST_ASSERT(d >= 0.0, "negative block distance");
+        sum += d;
+    }
+    return sum;
+}
+
+double
+actualProcessDistance(const Circuit &original,
+                      const Circuit &approximation)
+{
+    QUEST_ASSERT(original.numQubits() == approximation.numQubits(),
+                 "width mismatch");
+    Matrix u = buildUnitary(original);
+    Matrix v = buildUnitary(approximation);
+    return hsDistance(u, v);
+}
+
+} // namespace quest

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The Sec. 3.8 theoretical upper bound on full-circuit process
+ * distance: sum of the per-block HS distances.
+ */
+
+#ifndef QUEST_QUEST_BOUND_HH
+#define QUEST_QUEST_BOUND_HH
+
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "partition/scan_partitioner.hh"
+
+namespace quest {
+
+/**
+ * The theorem's bound: the HS process distance of the assembled
+ * approximation is at most the sum of the block distances.
+ */
+double processDistanceBound(const std::vector<double> &block_distances);
+
+/**
+ * Direct full-circuit HS distance between an original circuit and an
+ * approximation — only feasible for small circuits; used to validate
+ * the bound (Fig. 7) and in tests.
+ */
+double actualProcessDistance(const Circuit &original,
+                             const Circuit &approximation);
+
+} // namespace quest
+
+#endif // QUEST_QUEST_BOUND_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * QUEST pipeline configuration (Sec. 4.1 defaults).
+ */
+
+#ifndef QUEST_QUEST_CONFIG_HH
+#define QUEST_QUEST_CONFIG_HH
+
+#include <cstdint>
+
+#include "anneal/dual_annealing.hh"
+#include "synth/leap_synthesizer.hh"
+
+namespace quest {
+
+/** End-to-end pipeline settings. */
+struct QuestConfig
+{
+    /** Maximum partition block width (paper: four qubits). */
+    int maxBlockSize = 4;
+
+    /**
+     * Full-circuit process-distance threshold per block: the
+     * annealer rejects samples whose Sec. 3.8 bound exceeds
+     * thresholdPerBlock * numBlocks (the paper scales the threshold
+     * proportionally to the block count). Fig. 16 shows QUEST's
+     * ensemble output stays accurate across a wide 0.1-0.5 range;
+     * 0.3 admits the coarse approximations that deliver the deep
+     * Trotter-circuit reductions.
+     */
+    double thresholdPerBlock = 0.3;
+
+    /**
+     * Absolute ceiling on the full-circuit threshold. Linear block
+     * scaling alone makes many-block circuits accept arbitrarily
+     * coarse samples (and starves the annealer when no mix fits);
+     * capping keeps the ensemble output meaningful while still
+     * letting QUEST approximate the blocks that compress best.
+     */
+    double thresholdCap = 0.6;
+
+    /** Maximum ensemble size M (paper: 16). */
+    int maxSamples = 16;
+
+    /** Objective weight on normalized CNOT count (paper: 0.5, with
+     *  1 - cnotWeight on approximation dissimilarity). */
+    double cnotWeight = 0.5;
+
+    /** Cap on approximations kept per block (bounds annealer cost). */
+    int maxApproxPerBlock = 24;
+
+    /** Per-block synthesis settings. */
+    SynthConfig synth;
+
+    /** Dual-annealing settings for sample selection. */
+    AnnealOptions anneal;
+
+    /** Worker threads for parallel block synthesis (0 = all cores). */
+    unsigned threads = 0;
+
+    /** Master seed (annealer seeds derive from it per sample). */
+    uint64_t seed = 99;
+};
+
+} // namespace quest
+
+#endif // QUEST_QUEST_CONFIG_HH

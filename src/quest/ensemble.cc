@@ -1,0 +1,73 @@
+#include "quest/ensemble.hh"
+
+#include <cmath>
+
+#include "baseline/pass_manager.hh"
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+std::vector<Circuit>
+sampleCircuits(const QuestResult &result, bool apply_qiskit)
+{
+    QUEST_ASSERT(!result.samples.empty(), "no samples to evaluate");
+    std::vector<Circuit> circuits;
+    circuits.reserve(result.samples.size());
+    for (const ApproxSample &s : result.samples) {
+        circuits.push_back(apply_qiskit ? qiskitLikeOptimize(s.circuit)
+                                        : s.circuit);
+    }
+    return circuits;
+}
+
+Distribution
+ensembleDistribution(const QuestResult &result,
+                     const EnsembleOptions &options)
+{
+    std::vector<Circuit> circuits =
+        sampleCircuits(result, options.applyQiskit);
+
+    std::vector<Distribution> outputs;
+    outputs.reserve(circuits.size());
+    if (options.noise.isIdeal() && options.exactIdeal) {
+        for (const Circuit &c : circuits)
+            outputs.push_back(idealDistribution(c));
+    } else {
+        NoisySimulator simulator(options.noise, options.seed);
+        for (const Circuit &c : circuits)
+            outputs.push_back(simulator.run(c, options.shots));
+    }
+    if (options.cnotWeightLambda == 0.0)
+        return Distribution::average(outputs);
+
+    // Noise-aware weighting: shorter samples count for more.
+    QUEST_ASSERT(options.cnotWeightLambda > 0.0,
+                 "cnot weight lambda must be non-negative");
+    std::vector<double> weights(circuits.size());
+    double total = 0.0;
+    for (size_t i = 0; i < circuits.size(); ++i) {
+        weights[i] = std::exp(-options.cnotWeightLambda *
+                              static_cast<double>(
+                                  circuits[i].cnotCount()));
+        total += weights[i];
+    }
+    Distribution blended(outputs.front().numQubits());
+    for (size_t i = 0; i < outputs.size(); ++i)
+        for (size_t k = 0; k < blended.size(); ++k)
+            blended[k] += weights[i] / total * outputs[i][k];
+    return blended;
+}
+
+double
+ensembleCnotCount(const QuestResult &result, bool apply_qiskit)
+{
+    std::vector<Circuit> circuits =
+        sampleCircuits(result, apply_qiskit);
+    double sum = 0.0;
+    for (const Circuit &c : circuits)
+        sum += static_cast<double>(c.cnotCount());
+    return sum / static_cast<double>(circuits.size());
+}
+
+} // namespace quest

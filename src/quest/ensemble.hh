@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ensemble evaluation: run each selected approximation and average
+ * the output distributions (the paper's evaluation methodology).
+ */
+
+#ifndef QUEST_QUEST_ENSEMBLE_HH
+#define QUEST_QUEST_ENSEMBLE_HH
+
+#include <cstdint>
+
+#include "quest/result.hh"
+#include "sim/noise.hh"
+#include "sim/distribution.hh"
+
+namespace quest {
+
+/** Evaluation settings for an ensemble run. */
+struct EnsembleOptions
+{
+    NoiseModel noise = NoiseModel::ideal();
+    int shots = 8192;        //!< ignored for exact ideal evaluation
+    bool exactIdeal = true;  //!< ideal runs use exact probabilities
+    bool applyQiskit = false; //!< run the baseline passes on each
+                              //!< sample first (QUEST + Qiskit)
+
+    /**
+     * Noise-aware sample weighting (an extension beyond the paper's
+     * uniform average): sample i gets weight exp(-lambda * cnots_i),
+     * favoring the approximations that will suffer least on a noisy
+     * device. 0 reproduces the paper's plain average.
+     */
+    double cnotWeightLambda = 0.0;
+
+    uint64_t seed = 7;
+};
+
+/** The selected sample circuits (optionally Qiskit-optimized). */
+std::vector<Circuit> sampleCircuits(const QuestResult &result,
+                                    bool apply_qiskit);
+
+/**
+ * Averaged output distribution over the selected samples.
+ */
+Distribution ensembleDistribution(const QuestResult &result,
+                                  const EnsembleOptions &options = {});
+
+/** Mean CNOT count of the (optionally optimized) sample circuits. */
+double ensembleCnotCount(const QuestResult &result, bool apply_qiskit);
+
+} // namespace quest
+
+#endif // QUEST_QUEST_ENSEMBLE_HH

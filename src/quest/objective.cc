@@ -1,0 +1,99 @@
+#include "quest/objective.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+SelectionObjective::SelectionObjective(
+    const QuestResult &result,
+    const std::vector<std::vector<int>> &selected, double threshold,
+    double cnot_weight)
+    : result(result), selected(selected), threshold(threshold),
+      cnotWeight(cnot_weight)
+{
+    QUEST_ASSERT(cnot_weight >= 0.0 && cnot_weight <= 1.0,
+                 "cnot weight must be in [0, 1]");
+}
+
+std::vector<int>
+SelectionObjective::toChoice(const std::vector<double> &x) const
+{
+    QUEST_ASSERT(x.size() == result.blockApprox.size(),
+                 "coordinate arity mismatch");
+    std::vector<int> choice(x.size());
+    for (size_t b = 0; b < x.size(); ++b) {
+        const int count =
+            static_cast<int>(result.blockApprox[b].size());
+        int idx = static_cast<int>(std::floor(x[b] * count));
+        choice[b] = std::clamp(idx, 0, count - 1);
+    }
+    return choice;
+}
+
+double
+SelectionObjective::bound(const std::vector<int> &choice) const
+{
+    double sum = 0.0;
+    for (size_t b = 0; b < choice.size(); ++b)
+        sum += result.blockApprox[b][choice[b]].distance;
+    return sum;
+}
+
+size_t
+SelectionObjective::cnots(const std::vector<int> &choice) const
+{
+    size_t sum = 0;
+    for (size_t b = 0; b < choice.size(); ++b)
+        sum += result.blockApprox[b][choice[b]].cnotCount;
+    return sum;
+}
+
+double
+SelectionObjective::scoreChoice(const std::vector<int> &choice) const
+{
+    const double b = bound(choice);
+    if (b > threshold) {
+        // Coarse approximation: eliminated (Alg. 1 line 7). The
+        // excess grades the plateau so annealing can descend toward
+        // the feasible region; anything >= 1.0 is never selected.
+        return 1.0 + (b - threshold);
+    }
+
+    const double cnorm =
+        result.originalCnots == 0
+            ? 0.0
+            : static_cast<double>(cnots(choice)) /
+                  static_cast<double>(result.originalCnots);
+
+    if (selected.empty())
+        return cnorm;  // first sample: pure CNOT minimization
+
+    // Mean over selected samples of the fraction of similar blocks.
+    double total = 0.0;
+    const size_t num_blocks = choice.size();
+    for (const auto &s : selected) {
+        size_t similar = 0;
+        for (size_t b = 0; b < num_blocks; ++b) {
+            const size_t count = result.blockApprox[b].size();
+            similar += result.blockSimilar[b][choice[b] * count + s[b]]
+                           ? 1
+                           : 0;
+        }
+        total += static_cast<double>(similar) /
+                 static_cast<double>(num_blocks);
+    }
+    const double similarity = total / static_cast<double>(selected.size());
+
+    return cnotWeight * cnorm + (1.0 - cnotWeight) * similarity;
+}
+
+double
+SelectionObjective::operator()(const std::vector<double> &x) const
+{
+    return scoreChoice(toChoice(x));
+}
+
+} // namespace quest

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The dual-annealing objective of Algorithm 1, generalized to
+ * partitioned circuits via the block-similarity fraction (Sec. 3.6).
+ */
+
+#ifndef QUEST_QUEST_OBJECTIVE_HH
+#define QUEST_QUEST_OBJECTIVE_HH
+
+#include <vector>
+
+#include "quest/result.hh"
+
+namespace quest {
+
+/**
+ * Scores a candidate full-circuit approximation (one approximation
+ * index per block) against the already-selected samples:
+ *
+ *   - 1.0 if the Sec. 3.8 distance bound exceeds the threshold;
+ *   - normalized CNOT count if nothing is selected yet;
+ *   - w * cnorm + (1 - w) * similarity otherwise, where similarity
+ *     is the mean over selected samples of the fraction of blocks
+ *     whose approximations are "similar" (Alg. 1 line 13).
+ */
+class SelectionObjective
+{
+  public:
+    /**
+     * @param result   pipeline state with blockApprox/blockSimilar
+     *                 populated
+     * @param selected already-selected choice vectors
+     * @param threshold bound threshold
+     * @param cnot_weight objective weight on CNOT count
+     */
+    SelectionObjective(const QuestResult &result,
+                       const std::vector<std::vector<int>> &selected,
+                       double threshold, double cnot_weight);
+
+    /** Map annealer coordinates in [0, 1) to approximation indices. */
+    std::vector<int> toChoice(const std::vector<double> &x) const;
+
+    /** Score a choice vector. */
+    double scoreChoice(const std::vector<int> &choice) const;
+
+    /** Annealer-facing objective over [0, 1)^numBlocks. */
+    double operator()(const std::vector<double> &x) const;
+
+    /** Distance bound (sum of chosen block distances). */
+    double bound(const std::vector<int> &choice) const;
+
+    /** CNOT count of the assembled choice. */
+    size_t cnots(const std::vector<int> &choice) const;
+
+  private:
+    const QuestResult &result;
+    const std::vector<std::vector<int>> &selected;
+    double threshold;
+    double cnotWeight;
+};
+
+} // namespace quest
+
+#endif // QUEST_QUEST_OBJECTIVE_HH

@@ -1,0 +1,245 @@
+#include "quest/pipeline.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "ir/lower.hh"
+#include "linalg/distance.hh"
+#include "quest/objective.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace quest {
+
+namespace {
+
+/** Byte-exact cache key for a block unitary (identical Trotter
+ *  blocks repeat across a circuit; synthesize each only once). */
+std::string
+matrixKey(const Matrix &m)
+{
+    std::string key(reinterpret_cast<const char *>(m.data().data()),
+                    m.data().size() * sizeof(Complex));
+    return key;
+}
+
+} // namespace
+
+size_t
+QuestResult::minSampleCnots() const
+{
+    QUEST_ASSERT(!samples.empty(), "no samples selected");
+    size_t best = samples.front().cnotCount;
+    for (const auto &s : samples)
+        best = std::min(best, s.cnotCount);
+    return best;
+}
+
+double
+QuestResult::meanSampleCnots() const
+{
+    QUEST_ASSERT(!samples.empty(), "no samples selected");
+    double sum = 0.0;
+    for (const auto &s : samples)
+        sum += static_cast<double>(s.cnotCount);
+    return sum / static_cast<double>(samples.size());
+}
+
+QuestPipeline::QuestPipeline(QuestConfig config)
+    : cfg(std::move(config))
+{
+    QUEST_ASSERT(cfg.maxSamples >= 1, "need at least one sample");
+    QUEST_ASSERT(cfg.maxApproxPerBlock >= 2,
+                 "need at least two approximations per block");
+}
+
+QuestResult
+QuestPipeline::run(const Circuit &circuit) const
+{
+    QuestResult result;
+    Stopwatch partition_watch, synth_watch, anneal_watch;
+
+    // ---- STEP 1: lower and partition. --------------------------------
+    {
+        ScopedTimer timer(partition_watch);
+        result.original = lowerToNative(circuit).withoutPseudoOps();
+        ScanPartitioner partitioner(cfg.maxBlockSize);
+        result.blocks = partitioner.partition(result.original);
+    }
+    result.originalCnots = result.original.cnotCount();
+    const size_t num_blocks = result.blocks.size();
+    QUEST_ASSERT(num_blocks > 0, "empty circuit");
+    result.threshold = std::min(cfg.thresholdPerBlock *
+                                    static_cast<double>(num_blocks),
+                                cfg.thresholdCap);
+
+    // ---- STEP 2: approximate synthesis per block (parallel, with a
+    // cache so identical block unitaries synthesize once). ------------
+    {
+        ScopedTimer timer(synth_watch);
+
+        std::vector<Matrix> targets(num_blocks);
+        for (size_t b = 0; b < num_blocks; ++b)
+            targets[b] = circuitUnitary(result.blocks[b].circuit);
+
+        std::map<std::string, size_t> unique;  // key -> first block
+        std::vector<size_t> canonical(num_blocks);
+        for (size_t b = 0; b < num_blocks; ++b) {
+            auto [it, inserted] =
+                unique.try_emplace(matrixKey(targets[b]), b);
+            canonical[b] = it->second;
+        }
+
+        std::vector<SynthOutput> outputs(num_blocks);
+        {
+            std::vector<size_t> work;
+            for (size_t b = 0; b < num_blocks; ++b)
+                if (canonical[b] == b)
+                    work.push_back(b);
+
+            // Few unique blocks: parallelize inside the synthesizer;
+            // many blocks: parallelize across them.
+            SynthConfig synth_cfg = cfg.synth;
+            unsigned across = cfg.threads == 0
+                                  ? std::thread::hardware_concurrency()
+                                  : cfg.threads;
+            if (work.size() < across)
+                synth_cfg.threads = std::max(1u, across /
+                                    static_cast<unsigned>(work.size()));
+            LeapSynthesizer synthesizer(synth_cfg);
+
+            ThreadPool pool(std::min<unsigned>(
+                across, static_cast<unsigned>(work.size())));
+            pool.parallelFor(work.size(), [&](size_t i) {
+                const size_t b = work[i];
+                const Circuit &block = result.blocks[b].circuit;
+                std::vector<std::pair<int, int>> skeleton;
+                for (const Gate &g : block)
+                    if (g.type == GateType::CX)
+                        skeleton.emplace_back(g.qubits[0],
+                                              g.qubits[1]);
+                outputs[b] = synthesizer.synthesize(
+                    targets[b], static_cast<int>(skeleton.size()),
+                    &skeleton);
+            });
+        }
+
+        result.blockApprox.resize(num_blocks);
+        std::vector<std::vector<Matrix>> approx_unitaries(num_blocks);
+        for (size_t b = 0; b < num_blocks; ++b) {
+            const SynthOutput &out = outputs[canonical[b]];
+            auto &list = result.blockApprox[b];
+            auto &mats = approx_unitaries[b];
+
+            // Index 0: the original block itself (distance zero) so a
+            // feasible choice always exists and QUEST can never do
+            // worse than the Baseline.
+            const int original_cnots = static_cast<int>(
+                result.blocks[b].circuit.cnotCount());
+            list.push_back({result.blocks[b].circuit, 0.0,
+                            original_cnots});
+            mats.push_back(targets[b]);
+
+            // Keep only candidates that can appear in a feasible
+            // sample (a single block distance above the full-circuit
+            // threshold already violates the bound) and that do not
+            // exceed the original block's CNOT count.
+            for (const SynthCandidate &c : out.candidates) {
+                if (static_cast<int>(list.size()) >=
+                    cfg.maxApproxPerBlock) {
+                    break;
+                }
+                if (c.distance > result.threshold ||
+                    c.cnotCount > original_cnots) {
+                    continue;
+                }
+                list.push_back({c.circuit, c.distance, c.cnotCount});
+                mats.push_back(circuitUnitary(c.circuit));
+            }
+        }
+
+        // Pairwise block-approximation similarity (Alg. 1 line 13):
+        // similar iff hs(A_i, A_j) <= max(dist_i, dist_j).
+        result.blockSimilar.resize(num_blocks);
+        for (size_t b = 0; b < num_blocks; ++b) {
+            const auto &list = result.blockApprox[b];
+            const auto &mats = approx_unitaries[b];
+            const size_t count = list.size();
+            auto &sim = result.blockSimilar[b];
+            sim.assign(count * count, 0);
+            for (size_t i = 0; i < count; ++i) {
+                sim[i * count + i] = 1;
+                for (size_t j = i + 1; j < count; ++j) {
+                    double dij = hsDistance(mats[i], mats[j]);
+                    char s = dij <= std::max(list[i].distance,
+                                             list[j].distance)
+                                 ? 1
+                                 : 0;
+                    sim[i * count + j] = s;
+                    sim[j * count + i] = s;
+                }
+            }
+        }
+    }
+
+    // ---- STEP 3: dual-annealing selection of dissimilar samples. -----
+    {
+        ScopedTimer timer(anneal_watch);
+
+        std::vector<std::vector<int>> selected;
+        std::set<std::vector<int>> seen;
+        const std::vector<double> lo(num_blocks, 0.0);
+        const std::vector<double> hi(num_blocks, 1.0);
+
+        for (int s = 0; s < cfg.maxSamples; ++s) {
+            SelectionObjective objective(result, selected,
+                                         result.threshold,
+                                         cfg.cnotWeight);
+            AnnealOptions options = cfg.anneal;
+            options.seed = cfg.seed + 0x9e3779b9ull * (s + 1);
+            // Start at the always-feasible all-original choice so
+            // large-block-count searches are not lost in the
+            // infeasible region.
+            options.initial =
+                std::vector<double>(num_blocks, 0.0);
+            AnnealResult r = dualAnnealing(objective, lo, hi, options);
+            std::vector<int> choice = objective.toChoice(r.x);
+
+            if (objective.bound(choice) > result.threshold) {
+                // The annealer found nothing feasible; fall back to
+                // the always-feasible original choice once.
+                if (!selected.empty())
+                    break;
+                choice.assign(num_blocks, 0);
+            }
+            if (!seen.insert(choice).second)
+                break;  // duplicate: the search space is exhausted
+
+            ApproxSample sample;
+            sample.choice = choice;
+            sample.distanceBound = objective.bound(choice);
+            sample.cnotCount = objective.cnots(choice);
+
+            std::vector<Block> chosen = result.blocks;
+            for (size_t b = 0; b < num_blocks; ++b)
+                chosen[b].circuit =
+                    result.blockApprox[b][choice[b]].circuit;
+            sample.circuit = assembleBlocks(
+                chosen, result.original.numQubits());
+
+            selected.push_back(std::move(choice));
+            result.samples.push_back(std::move(sample));
+        }
+    }
+
+    result.partitionSeconds = partition_watch.seconds();
+    result.synthesisSeconds = synth_watch.seconds();
+    result.annealSeconds = anneal_watch.seconds();
+    return result;
+}
+
+} // namespace quest

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The end-to-end QUEST pipeline (Fig. 2): partition, approximate
+ * per-block synthesis, dual-annealing selection of dissimilar
+ * low-CNOT full-circuit approximations.
+ */
+
+#ifndef QUEST_QUEST_PIPELINE_HH
+#define QUEST_QUEST_PIPELINE_HH
+
+#include "ir/circuit.hh"
+#include "quest/config.hh"
+#include "quest/result.hh"
+
+namespace quest {
+
+/** Orchestrates the three QUEST steps. */
+class QuestPipeline
+{
+  public:
+    explicit QuestPipeline(QuestConfig config = {});
+
+    /**
+     * Run QUEST on a circuit (measurements are stripped; the input
+     * is lowered to the native {U3, CX} set first). Returns the
+     * ensemble of selected approximations plus all intermediate
+     * state and stage timings.
+     */
+    QuestResult run(const Circuit &circuit) const;
+
+    const QuestConfig &config() const { return cfg; }
+
+  private:
+    QuestConfig cfg;
+};
+
+} // namespace quest
+
+#endif // QUEST_QUEST_PIPELINE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * QUEST pipeline result types.
+ */
+
+#ifndef QUEST_QUEST_RESULT_HH
+#define QUEST_QUEST_RESULT_HH
+
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "partition/scan_partitioner.hh"
+
+namespace quest {
+
+/** One synthesized approximation of a block. */
+struct BlockApprox
+{
+    Circuit circuit;        //!< block-local native circuit
+    double distance = 0.0;  //!< HS distance to the block unitary
+    int cnotCount = 0;
+};
+
+/** One selected full-circuit approximation sample. */
+struct ApproxSample
+{
+    std::vector<int> choice;   //!< approximation index per block
+    Circuit circuit;           //!< assembled full circuit
+    size_t cnotCount = 0;
+    double distanceBound = 0.0; //!< Sec. 3.8 bound: sum of block dists
+};
+
+/** Everything the pipeline produced. */
+struct QuestResult
+{
+    Circuit original;          //!< lowered input circuit
+    std::vector<Block> blocks;
+
+    /** Approximations per block (index 0 is always the original
+     *  block circuit itself, distance zero). */
+    std::vector<std::vector<BlockApprox>> blockApprox;
+
+    /** Pairwise block-approximation similarity (Alg. 1 line 13):
+     *  blockSimilar[b][i * numApprox_b + j]. */
+    std::vector<std::vector<char>> blockSimilar;
+
+    /** Selected dissimilar samples, in selection order. */
+    std::vector<ApproxSample> samples;
+
+    double threshold = 0.0;    //!< bound threshold used for selection
+    size_t originalCnots = 0;
+
+    /** Stage wall-clock (Fig. 12). */
+    double partitionSeconds = 0.0;
+    double synthesisSeconds = 0.0;
+    double annealSeconds = 0.0;
+
+    /** Lowest CNOT count among the selected samples. */
+    size_t minSampleCnots() const;
+
+    /** Mean CNOT count over the selected samples. */
+    double meanSampleCnots() const;
+};
+
+} // namespace quest
+
+#endif // QUEST_QUEST_RESULT_HH

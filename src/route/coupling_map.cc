@@ -1,0 +1,116 @@
+#include "route/coupling_map.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+CouplingMap::CouplingMap(int n_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : nQubits(n_qubits), edgeList(std::move(edges)),
+      adjacency(n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 1, "coupling map needs qubits");
+    for (auto &[a, b] : edgeList) {
+        QUEST_ASSERT(a >= 0 && a < n_qubits && b >= 0 && b < n_qubits &&
+                     a != b,
+                     "bad edge (", a, ",", b, ")");
+        if (a > b)
+            std::swap(a, b);
+    }
+    std::sort(edgeList.begin(), edgeList.end());
+    edgeList.erase(std::unique(edgeList.begin(), edgeList.end()),
+                   edgeList.end());
+    for (auto [a, b] : edgeList) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+    }
+
+    // All-pairs hop distances by BFS from every node.
+    distances.assign(n_qubits, std::vector<int>(n_qubits, -1));
+    for (int start = 0; start < n_qubits; ++start) {
+        std::queue<int> frontier;
+        distances[start][start] = 0;
+        frontier.push(start);
+        while (!frontier.empty()) {
+            int q = frontier.front();
+            frontier.pop();
+            for (int next : adjacency[q]) {
+                if (distances[start][next] < 0) {
+                    distances[start][next] = distances[start][q] + 1;
+                    frontier.push(next);
+                }
+            }
+        }
+    }
+}
+
+CouplingMap
+CouplingMap::line(int n_qubits)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n_qubits; ++i)
+        edges.emplace_back(i, i + 1);
+    return {n_qubits, std::move(edges)};
+}
+
+CouplingMap
+CouplingMap::ring(int n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 3, "ring needs at least three qubits");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n_qubits; ++i)
+        edges.emplace_back(i, (i + 1) % n_qubits);
+    return {n_qubits, std::move(edges)};
+}
+
+CouplingMap
+CouplingMap::grid(int rows, int cols)
+{
+    QUEST_ASSERT(rows >= 1 && cols >= 1, "bad grid shape");
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return {rows * cols, std::move(edges)};
+}
+
+CouplingMap
+CouplingMap::fullyConnected(int n_qubits)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n_qubits; ++a)
+        for (int b = a + 1; b < n_qubits; ++b)
+            edges.emplace_back(a, b);
+    return {n_qubits, std::move(edges)};
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    for (int next : adjacency[a])
+        if (next == b)
+            return true;
+    return false;
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    QUEST_ASSERT(a >= 0 && a < nQubits && b >= 0 && b < nQubits,
+                 "qubit out of range");
+    int d = distances[a][b];
+    QUEST_ASSERT(d >= 0, "coupling graph is disconnected between ", a,
+                 " and ", b);
+    return d;
+}
+
+} // namespace quest

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Device coupling maps: which physical qubit pairs support a CNOT.
+ *
+ * Used by the router (the layout-aware half of the Qiskit-like
+ * baseline) and by topology-restricted synthesis. IBMQ Manila — the
+ * paper's hardware target — is a five-qubit line.
+ */
+
+#ifndef QUEST_ROUTE_COUPLING_MAP_HH
+#define QUEST_ROUTE_COUPLING_MAP_HH
+
+#include <utility>
+#include <vector>
+
+namespace quest {
+
+/** Undirected device connectivity graph. */
+class CouplingMap
+{
+  public:
+    /** Build from an explicit undirected edge list. */
+    CouplingMap(int n_qubits, std::vector<std::pair<int, int>> edges);
+
+    /** Linear chain 0-1-...-(n-1). */
+    static CouplingMap line(int n_qubits);
+
+    /** Ring topology. */
+    static CouplingMap ring(int n_qubits);
+
+    /** rows x cols grid. */
+    static CouplingMap grid(int rows, int cols);
+
+    /** Fully connected (no routing needed). */
+    static CouplingMap fullyConnected(int n_qubits);
+
+    /** IBMQ Manila: a five-qubit line. */
+    static CouplingMap ibmqManila() { return line(5); }
+
+    int numQubits() const { return nQubits; }
+    const std::vector<std::pair<int, int>> &edges() const
+    {
+        return edgeList;
+    }
+
+    /** True if a CNOT between a and b is directly executable. */
+    bool connected(int a, int b) const;
+
+    /** Neighbors of physical qubit q. */
+    const std::vector<int> &neighbors(int q) const
+    {
+        return adjacency[q];
+    }
+
+    /** Hop distance between two physical qubits (BFS, precomputed).
+     *  Panics if the graph is disconnected. */
+    int distance(int a, int b) const;
+
+  private:
+    int nQubits;
+    std::vector<std::pair<int, int>> edgeList;
+    std::vector<std::vector<int>> adjacency;
+    std::vector<std::vector<int>> distances;
+};
+
+} // namespace quest
+
+#endif // QUEST_ROUTE_COUPLING_MAP_HH

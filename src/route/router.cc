@@ -1,0 +1,107 @@
+#include "route/router.hh"
+
+#include "util/logging.hh"
+
+namespace quest {
+
+RoutingResult
+routeCircuit(const Circuit &circuit, const CouplingMap &device)
+{
+    const int n_logical = circuit.numQubits();
+    const int n_physical = device.numQubits();
+    QUEST_ASSERT(n_logical <= n_physical,
+                 "circuit needs ", n_logical, " qubits but device has ",
+                 n_physical);
+
+    RoutingResult result;
+    result.circuit = Circuit(n_physical);
+    result.initialLayout.resize(n_logical);
+    for (int l = 0; l < n_logical; ++l)
+        result.initialLayout[l] = l;
+
+    std::vector<int> layout = result.initialLayout;  // logical -> phys
+    std::vector<int> occupant(n_physical, -1);       // phys -> logical
+    for (int l = 0; l < n_logical; ++l)
+        occupant[l] = l;
+
+    auto emit_swap = [&](int pa, int pb) {
+        result.circuit.append(Gate::swap(pa, pb));
+        ++result.swapCount;
+        std::swap(occupant[pa], occupant[pb]);
+        if (occupant[pa] >= 0)
+            layout[occupant[pa]] = pa;
+        if (occupant[pb] >= 0)
+            layout[occupant[pb]] = pb;
+    };
+
+    for (const Gate &g : circuit) {
+        switch (g.arity()) {
+          case 1: {
+            Gate mapped = g;
+            mapped.qubits[0] = layout[g.qubits[0]];
+            result.circuit.append(std::move(mapped));
+            break;
+          }
+          case 2: {
+            int pa = layout[g.qubits[0]];
+            const int pb = layout[g.qubits[1]];
+            // Walk the first operand toward the second along a
+            // shortest path.
+            while (device.distance(pa, pb) > 1) {
+                int best = -1;
+                for (int next : device.neighbors(pa)) {
+                    if (best < 0 || device.distance(next, pb) <
+                                        device.distance(best, pb)) {
+                        best = next;
+                    }
+                }
+                QUEST_ASSERT(best >= 0, "routing walked off the graph");
+                emit_swap(pa, best);
+                pa = best;
+            }
+            Gate mapped = g;
+            mapped.qubits[0] = pa;
+            mapped.qubits[1] = pb;
+            result.circuit.append(std::move(mapped));
+            break;
+          }
+          default:
+            if (g.type == GateType::Barrier) {
+                std::vector<int> wires;
+                for (int q : g.qubits)
+                    wires.push_back(layout[q]);
+                result.circuit.append(Gate::barrier(std::move(wires)));
+                break;
+            }
+            QUEST_PANIC("route a lowered circuit (gate ",
+                        gateName(g.type), " is ", g.arity(),
+                        "-qubit wide)");
+        }
+    }
+
+    result.finalLayout = layout;
+    return result;
+}
+
+Distribution
+unpermuteDistribution(const Distribution &physical,
+                      const std::vector<int> &final_layout)
+{
+    const int n_physical = physical.numQubits();
+    const int n_logical = static_cast<int>(final_layout.size());
+    QUEST_ASSERT(n_logical <= n_physical, "layout wider than device");
+
+    Distribution logical(n_logical);
+    for (size_t kp = 0; kp < physical.size(); ++kp) {
+        size_t kl = 0;
+        for (int l = 0; l < n_logical; ++l) {
+            size_t bit =
+                (kp >> (n_physical - 1 - final_layout[l])) & 1u;
+            kl |= bit << (n_logical - 1 - l);
+        }
+        logical[kl] += physical[kp];
+    }
+    return logical;
+}
+
+} // namespace quest

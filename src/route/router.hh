@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SWAP-insertion routing: map a logical circuit onto a device
+ * coupling graph (the layout-aware mapping half of the baseline
+ * compiler stack the paper compares against).
+ */
+
+#ifndef QUEST_ROUTE_ROUTER_HH
+#define QUEST_ROUTE_ROUTER_HH
+
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "route/coupling_map.hh"
+#include "sim/distribution.hh"
+
+namespace quest {
+
+/** Result of routing: the physical circuit plus the wire mappings. */
+struct RoutingResult
+{
+    /** The routed circuit on physical wires (SWAPs inserted). */
+    Circuit circuit;
+
+    /** initialLayout[logical] = physical wire before the circuit. */
+    std::vector<int> initialLayout;
+
+    /** finalLayout[logical] = physical wire after the circuit (the
+     *  inserted SWAPs move logical qubits around). */
+    std::vector<int> finalLayout;
+
+    /** Number of SWAP gates inserted. */
+    size_t swapCount = 0;
+};
+
+/**
+ * Greedy shortest-path router: multi-qubit gates between distant
+ * wires are preceded by SWAPs that walk the first operand toward the
+ * second along a BFS shortest path. The identity initial layout is
+ * used (the greedy layout choice is deliberately simple; the paper's
+ * point is that mapping alone cannot recover deep-circuit fidelity).
+ *
+ * Gates wider than two qubits must be lowered first (panics
+ * otherwise). Measurements are re-emitted on the final physical wire
+ * of their logical qubit.
+ */
+RoutingResult routeCircuit(const Circuit &circuit,
+                           const CouplingMap &device);
+
+/**
+ * Undo the routing permutation on a measurement distribution over
+ * physical wires, yielding the distribution over logical wires (for
+ * verifying routed circuits and for interpreting device results).
+ */
+Distribution unpermuteDistribution(const Distribution &physical,
+                                   const std::vector<int> &final_layout);
+
+} // namespace quest
+
+#endif // QUEST_ROUTE_ROUTER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exact density-matrix simulation with Pauli noise channels.
+ *
+ * The Monte-Carlo trajectory simulator (sim/simulator.hh) samples the
+ * same channel stochastically; this simulator applies it exactly, so
+ * the two can be cross-validated and small-circuit experiments can
+ * run without shot noise. Memory is 2^2n amplitudes — practical to
+ * about eight qubits.
+ */
+
+#ifndef QUEST_SIM_DENSITY_MATRIX_HH
+#define QUEST_SIM_DENSITY_MATRIX_HH
+
+#include "ir/circuit.hh"
+#include "linalg/matrix.hh"
+#include "sim/distribution.hh"
+#include "sim/noise.hh"
+
+namespace quest {
+
+/** An n-qubit mixed state rho. */
+class DensityMatrix
+{
+  public:
+    /** Initialize to |0...0><0...0|. */
+    explicit DensityMatrix(int n_qubits);
+
+    int numQubits() const { return nQubits; }
+    const Matrix &matrix() const { return rho; }
+
+    /** Apply a unitary gate: rho <- U rho U^dagger. */
+    void applyGate(const Gate &gate);
+
+    /**
+     * Apply the symmetric Pauli channel on wire q:
+     * rho <- (1 - p) rho + (p/3)(X rho X + Y rho Y + Z rho Z).
+     */
+    void applyPauliChannel(int q, double p);
+
+    /** Trace of rho (1.0 for a valid state). */
+    double trace() const;
+
+    /** Purity Tr(rho^2) (1.0 for pure states). */
+    double purity() const;
+
+    /** Measurement probabilities (the diagonal of rho). */
+    Distribution probabilities() const;
+
+  private:
+    int nQubits;
+    Matrix rho;
+};
+
+/**
+ * Exact noisy output distribution of a circuit under a NoiseModel:
+ * the Pauli channel after every gate on each involved wire, then the
+ * per-qubit readout bit-flip confusion applied to the diagonal.
+ * This is the infinite-shot limit of NoisySimulator::run.
+ */
+Distribution exactNoisyDistribution(const Circuit &circuit,
+                                    const NoiseModel &noise);
+
+} // namespace quest
+
+#endif // QUEST_SIM_DENSITY_MATRIX_HH

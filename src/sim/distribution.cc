@@ -1,0 +1,108 @@
+#include "sim/distribution.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+int
+log2Exact(size_t n)
+{
+    int bits = 0;
+    while ((size_t{1} << bits) < n)
+        ++bits;
+    QUEST_ASSERT((size_t{1} << bits) == n,
+                 "distribution size must be a power of two, got ", n);
+    return bits;
+}
+
+} // namespace
+
+Distribution::Distribution(int n_qubits)
+    : nQubits(n_qubits), probs(size_t{1} << n_qubits, 0.0)
+{
+    QUEST_ASSERT(n_qubits >= 1 && n_qubits <= 30, "bad qubit count");
+}
+
+Distribution::Distribution(std::vector<double> p)
+    : nQubits(log2Exact(p.size())), probs(std::move(p))
+{
+    for (double v : probs)
+        QUEST_ASSERT(v >= -1e-12, "negative probability");
+}
+
+Distribution
+Distribution::fromCounts(const std::vector<uint64_t> &counts)
+{
+    std::vector<double> p(counts.size());
+    uint64_t total = 0;
+    for (uint64_t c : counts)
+        total += c;
+    QUEST_ASSERT(total > 0, "no counts");
+    for (size_t i = 0; i < counts.size(); ++i)
+        p[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+    return Distribution(std::move(p));
+}
+
+Distribution
+Distribution::average(const std::vector<Distribution> &members)
+{
+    QUEST_ASSERT(!members.empty(), "cannot average zero distributions");
+    Distribution result(members.front().numQubits());
+    for (const auto &d : members) {
+        QUEST_ASSERT(d.size() == result.size(),
+                     "distribution size mismatch in average");
+        for (size_t k = 0; k < d.size(); ++k)
+            result[k] += d[k];
+    }
+    for (size_t k = 0; k < result.size(); ++k)
+        result[k] /= static_cast<double>(members.size());
+    return result;
+}
+
+double
+Distribution::total() const
+{
+    double sum = 0.0;
+    for (double p : probs)
+        sum += p;
+    return sum;
+}
+
+void
+Distribution::normalize()
+{
+    double sum = total();
+    if (sum <= 0.0)
+        return;
+    for (double &p : probs)
+        p /= sum;
+}
+
+size_t
+Distribution::sample(Rng &rng) const
+{
+    double r = rng.uniform() * total();
+    double acc = 0.0;
+    for (size_t k = 0; k < probs.size(); ++k) {
+        acc += probs[k];
+        if (r < acc)
+            return k;
+    }
+    return probs.size() - 1;
+}
+
+Distribution
+Distribution::sampled(int shots, Rng &rng) const
+{
+    QUEST_ASSERT(shots > 0, "shots must be positive");
+    std::vector<uint64_t> counts(probs.size(), 0);
+    for (int s = 0; s < shots; ++s)
+        ++counts[sample(rng)];
+    return fromCounts(counts);
+}
+
+} // namespace quest

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Measurement-outcome probability distributions.
+ */
+
+#ifndef QUEST_SIM_DISTRIBUTION_HH
+#define QUEST_SIM_DISTRIBUTION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace quest {
+
+/**
+ * A probability distribution over the 2^n computational basis states
+ * of an n-qubit circuit.
+ */
+class Distribution
+{
+  public:
+    /** Uniform-zero distribution over 2^n_qubits outcomes. */
+    explicit Distribution(int n_qubits);
+
+    /** Wrap an explicit probability vector (size must be 2^k). */
+    explicit Distribution(std::vector<double> probs);
+
+    /** Build an empirical distribution from measurement counts. */
+    static Distribution fromCounts(const std::vector<uint64_t> &counts);
+
+    /** Pointwise average of several distributions (QUEST ensembles). */
+    static Distribution average(const std::vector<Distribution> &members);
+
+    size_t size() const { return probs.size(); }
+    int numQubits() const { return nQubits; }
+
+    double operator[](size_t k) const { return probs[k]; }
+    double &operator[](size_t k) { return probs[k]; }
+    const std::vector<double> &values() const { return probs; }
+
+    /** Sum of all probabilities (1.0 when normalized). */
+    double total() const;
+
+    /** Scale so probabilities sum to one (no-op on a zero vector). */
+    void normalize();
+
+    /** Sample one outcome index. */
+    size_t sample(Rng &rng) const;
+
+    /**
+     * Draw @p shots outcomes and return the empirical distribution
+     * (models finite-shot sampling noise).
+     */
+    Distribution sampled(int shots, Rng &rng) const;
+
+  private:
+    int nQubits;
+    std::vector<double> probs;
+};
+
+} // namespace quest
+
+#endif // QUEST_SIM_DISTRIBUTION_HH

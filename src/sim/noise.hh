@@ -1,0 +1,65 @@
+/**
+ * @file
+ * NISQ noise models (Sec. 4.1 of the paper).
+ *
+ * The paper's noisy simulations use a Pauli noise model on all qubits
+ * at levels 1%, 0.5% and 0.1%, with the two-qubit error rate an order
+ * of magnitude above the one-qubit rate, plus readout error. The
+ * IBMQ Manila runs are modelled with a calibration-like preset.
+ */
+
+#ifndef QUEST_SIM_NOISE_HH
+#define QUEST_SIM_NOISE_HH
+
+namespace quest {
+
+/** Pauli-channel noise parameters for trajectory simulation. */
+struct NoiseModel
+{
+    /** Probability of a random Pauli on each wire after a 1q gate. */
+    double p1 = 0.0;
+
+    /** Probability of a random Pauli on each wire after a 2q gate. */
+    double p2 = 0.0;
+
+    /** Per-qubit readout bit-flip probability. */
+    double pReadout = 0.0;
+
+    /** No noise at all. */
+    static NoiseModel
+    ideal()
+    {
+        return {};
+    }
+
+    /**
+     * The paper's uniform Pauli model at "noise level" p: two-qubit
+     * error p, one-qubit error p/10, readout error p.
+     */
+    static NoiseModel
+    pauli(double p)
+    {
+        return {p / 10.0, p, p};
+    }
+
+    /**
+     * IBMQ-Manila-like preset: CNOT error ~1e-2, 1q error ~3e-4,
+     * readout ~2.5e-2 (typical published calibration ranges for that
+     * 5-qubit Falcon device).
+     */
+    static NoiseModel
+    ibmqManila()
+    {
+        return {3.0e-4, 1.0e-2, 2.5e-2};
+    }
+
+    bool
+    isIdeal() const
+    {
+        return p1 == 0.0 && p2 == 0.0 && pReadout == 0.0;
+    }
+};
+
+} // namespace quest
+
+#endif // QUEST_SIM_NOISE_HH

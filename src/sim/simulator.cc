@@ -1,0 +1,96 @@
+#include "sim/simulator.hh"
+
+#include "sim/statevector.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+Distribution
+idealDistribution(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    state.applyCircuit(circuit);
+    return state.probabilities();
+}
+
+NoisySimulator::NoisySimulator(NoiseModel model, uint64_t seed)
+    : noise(model), rng(seed)
+{
+}
+
+Distribution
+NoisySimulator::run(const Circuit &circuit, int shots)
+{
+    QUEST_ASSERT(shots > 0, "shots must be positive");
+    const int n = circuit.numQubits();
+
+    if (noise.isIdeal()) {
+        StateVector state(n);
+        state.applyCircuit(circuit);
+        return state.probabilities().sampled(shots, rng);
+    }
+
+    // Ideal final state reused by the (common) zero-error shots.
+    StateVector ideal(n);
+    ideal.applyCircuit(circuit);
+
+    // One error event: after gate `gate`, Pauli `pauli` on wire `q`.
+    struct ErrorEvent
+    {
+        size_t gate;
+        int q;
+        int pauli;  // 1 X, 2 Y, 3 Z
+    };
+
+    std::vector<uint64_t> counts(size_t{1} << n, 0);
+    std::vector<ErrorEvent> events;
+
+    const auto &gates = circuit.gates();
+    for (int shot = 0; shot < shots; ++shot) {
+        events.clear();
+        for (size_t gi = 0; gi < gates.size(); ++gi) {
+            const Gate &g = gates[gi];
+            if (g.type == GateType::Barrier ||
+                g.type == GateType::Measure) {
+                continue;
+            }
+            double p = g.arity() >= 2 ? noise.p2 : noise.p1;
+            if (p <= 0.0)
+                continue;
+            for (int q : g.qubits) {
+                if (rng.bernoulli(p)) {
+                    int pauli = 1 + static_cast<int>(rng.uniformInt(3));
+                    events.push_back({gi, q, pauli});
+                }
+            }
+        }
+
+        size_t outcome;
+        if (events.empty()) {
+            outcome = ideal.sample(rng);
+        } else {
+            StateVector state(n);
+            size_t next = 0;
+            for (size_t gi = 0; gi < gates.size(); ++gi) {
+                state.applyGate(gates[gi]);
+                while (next < events.size() && events[next].gate == gi) {
+                    state.applyPauli(events[next].pauli, events[next].q);
+                    ++next;
+                }
+            }
+            outcome = state.sample(rng);
+        }
+
+        if (noise.pReadout > 0.0) {
+            for (int q = 0; q < n; ++q) {
+                if (rng.bernoulli(noise.pReadout))
+                    outcome ^= size_t{1} << (n - 1 - q);
+            }
+        }
+        ++counts[outcome];
+    }
+
+    return Distribution::fromCounts(counts);
+}
+
+} // namespace quest

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ideal and noisy circuit simulators.
+ */
+
+#ifndef QUEST_SIM_SIMULATOR_HH
+#define QUEST_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "ir/circuit.hh"
+#include "sim/distribution.hh"
+#include "sim/noise.hh"
+
+namespace quest {
+
+/**
+ * Exact measurement distribution of a circuit on |0...0> (the paper's
+ * "ground truth" unitary simulation).
+ */
+Distribution idealDistribution(const Circuit &circuit);
+
+/**
+ * Monte-Carlo Pauli-trajectory noisy simulator.
+ *
+ * Each shot simulates one statevector trajectory: after every gate,
+ * each involved wire suffers a uniformly random Pauli with the
+ * model's probability; the final sample is passed through per-qubit
+ * readout flips. Matches the expectation of the paper's Pauli noise
+ * channel.
+ */
+class NoisySimulator
+{
+  public:
+    NoisySimulator(NoiseModel model, uint64_t seed);
+
+    /** Empirical output distribution over @p shots trajectories. */
+    Distribution run(const Circuit &circuit, int shots);
+
+    const NoiseModel &model() const { return noise; }
+
+  private:
+    NoiseModel noise;
+    Rng rng;
+};
+
+} // namespace quest
+
+#endif // QUEST_SIM_SIMULATOR_HH

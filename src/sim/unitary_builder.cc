@@ -1,0 +1,82 @@
+#include "sim/unitary_builder.hh"
+
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+/**
+ * Left-multiply the full matrix by a k-qubit gate: mixes the row
+ * groups that differ only in the gate's bit positions. Rows are
+ * contiguous in the row-major layout, so this streams well.
+ */
+void
+applyGateToRows(Matrix &m, const Matrix &g, const std::vector<int> &qubits,
+                int n_qubits)
+{
+    const size_t k = qubits.size();
+    const size_t sub_dim = size_t{1} << k;
+    const size_t dim = m.rows();
+
+    std::vector<size_t> offsets(sub_dim);
+    size_t mask = 0;
+    {
+        std::vector<size_t> bit(k);
+        for (size_t i = 0; i < k; ++i) {
+            bit[i] = size_t{1} << (n_qubits - 1 - qubits[i]);
+            mask |= bit[i];
+        }
+        for (size_t sub = 0; sub < sub_dim; ++sub) {
+            size_t off = 0;
+            for (size_t i = 0; i < k; ++i)
+                if ((sub >> (k - 1 - i)) & 1u)
+                    off |= bit[i];
+            offsets[sub] = off;
+        }
+    }
+
+    std::vector<std::vector<Complex>> scratch(
+        sub_dim, std::vector<Complex>(dim));
+    for (size_t base = 0; base < dim; ++base) {
+        if (base & mask)
+            continue;
+        // Gather the sub_dim rows into scratch.
+        for (size_t s = 0; s < sub_dim; ++s) {
+            const Complex *row = &m.data()[(base | offsets[s]) * dim];
+            std::copy(row, row + dim, scratch[s].begin());
+        }
+        // Recombine: new row r = sum_c g(r, c) * old row c.
+        for (size_t r = 0; r < sub_dim; ++r) {
+            Complex *row = &m.data()[(base | offsets[r]) * dim];
+            for (size_t j = 0; j < dim; ++j)
+                row[j] = Complex(0.0, 0.0);
+            for (size_t c = 0; c < sub_dim; ++c) {
+                Complex grc = g(r, c);
+                if (grc == Complex(0.0, 0.0))
+                    continue;
+                const Complex *src = scratch[c].data();
+                for (size_t j = 0; j < dim; ++j)
+                    row[j] += grc * src[j];
+            }
+        }
+    }
+}
+
+} // namespace
+
+Matrix
+buildUnitary(const Circuit &circuit)
+{
+    const int n = circuit.numQubits();
+    QUEST_ASSERT(n <= 14, "buildUnitary limited to 14 qubits");
+    Matrix u = Matrix::identity(size_t{1} << n);
+    for (const Gate &g : circuit) {
+        if (g.type == GateType::Barrier || g.type == GateType::Measure)
+            continue;
+        applyGateToRows(u, gateMatrix(g), g.qubits, n);
+    }
+    return u;
+}
+
+} // namespace quest

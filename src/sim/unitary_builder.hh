@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fast full-circuit unitary construction.
+ *
+ * Applies gates in place to the rows of an identity matrix instead of
+ * forming embedded 2^n x 2^n gate matrices, giving O(2^k N^2) per
+ * k-qubit gate. Used for ground-truth unitaries and the Fig. 7 bound
+ * validation on mid-size circuits.
+ */
+
+#ifndef QUEST_SIM_UNITARY_BUILDER_HH
+#define QUEST_SIM_UNITARY_BUILDER_HH
+
+#include "ir/circuit.hh"
+#include "linalg/matrix.hh"
+
+namespace quest {
+
+/**
+ * Compute the unitary of a circuit (measurements ignored). Panics
+ * above 14 qubits — the dense matrix would not fit in memory.
+ */
+Matrix buildUnitary(const Circuit &circuit);
+
+} // namespace quest
+
+#endif // QUEST_SIM_UNITARY_BUILDER_HH

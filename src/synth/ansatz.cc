@@ -1,0 +1,177 @@
+#include "synth/ansatz.hh"
+
+#include <cmath>
+
+#include "linalg/decompose.hh"
+#include "linalg/embed.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+Matrix
+u3Derivative(double theta, double phi, double lambda, int which)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const Complex eip = std::polar(1.0, phi);
+    const Complex eil = std::polar(1.0, lambda);
+    const Complex i(0.0, 1.0);
+
+    Matrix d(2, 2);
+    switch (which) {
+      case 0:  // d/d theta
+        d(0, 0) = Complex(-s / 2.0, 0.0);
+        d(0, 1) = -eil * (c / 2.0);
+        d(1, 0) = eip * (c / 2.0);
+        d(1, 1) = eip * eil * (-s / 2.0);
+        break;
+      case 1:  // d/d phi
+        d(1, 0) = i * eip * s;
+        d(1, 1) = i * eip * eil * c;
+        break;
+      case 2:  // d/d lambda
+        d(0, 1) = -i * eil * s;
+        d(1, 1) = i * eip * eil * c;
+        break;
+      default:
+        QUEST_PANIC("bad U3 parameter index");
+    }
+    return d;
+}
+
+Ansatz::Ansatz(int n_qubits)
+    : nQubits(n_qubits)
+{
+    QUEST_ASSERT(n_qubits >= 1 && n_qubits <= 6,
+                 "ansatz width out of range: ", n_qubits);
+}
+
+Ansatz
+Ansatz::initialLayer(int n_qubits)
+{
+    Ansatz a(n_qubits);
+    for (int q = 0; q < n_qubits; ++q)
+        a.addU3(q);
+    return a;
+}
+
+void
+Ansatz::addU3(int q)
+{
+    QUEST_ASSERT(q >= 0 && q < nQubits, "U3 wire out of range");
+    ops.push_back({false, q, -1});
+    ++u3Count;
+}
+
+void
+Ansatz::addCx(int control, int target)
+{
+    QUEST_ASSERT(control >= 0 && control < nQubits && target >= 0 &&
+                 target < nQubits && control != target,
+                 "bad CX wires");
+    ops.push_back({true, control, target});
+    ++cxCount;
+}
+
+void
+Ansatz::addLayer(int a, int b)
+{
+    addCx(a, b);
+    addU3(a);
+    addU3(b);
+}
+
+Circuit
+Ansatz::instantiate(const std::vector<double> &params) const
+{
+    QUEST_ASSERT(static_cast<int>(params.size()) == paramCount(),
+                 "parameter count mismatch");
+    Circuit c(nQubits);
+    size_t p = 0;
+    for (const Op &op : ops) {
+        if (op.isCx) {
+            c.append(Gate::cx(op.a, op.b));
+        } else {
+            c.append(Gate::u3(op.a, params[p], params[p + 1],
+                              params[p + 2]));
+            p += 3;
+        }
+    }
+    return c;
+}
+
+Matrix
+Ansatz::opMatrix(const Op &op, const std::vector<double> &params,
+                 int param_base) const
+{
+    if (op.isCx) {
+        return embedUnitary(gateMatrix(Gate::cx(0, 1)), {op.a, op.b},
+                            nQubits);
+    }
+    return embedUnitary(makeU3(params[param_base], params[param_base + 1],
+                               params[param_base + 2]),
+                        {op.a}, nQubits);
+}
+
+Matrix
+Ansatz::unitary(const std::vector<double> &params) const
+{
+    QUEST_ASSERT(static_cast<int>(params.size()) == paramCount(),
+                 "parameter count mismatch");
+    Matrix u = Matrix::identity(size_t{1} << nQubits);
+    int p = 0;
+    for (const Op &op : ops) {
+        u = opMatrix(op, params, p) * u;
+        if (!op.isCx)
+            p += 3;
+    }
+    return u;
+}
+
+void
+Ansatz::unitaryAndGradient(const std::vector<double> &params, Matrix &u,
+                           std::vector<Matrix> &grads) const
+{
+    QUEST_ASSERT(static_cast<int>(params.size()) == paramCount(),
+                 "parameter count mismatch");
+    const size_t dim = size_t{1} << nQubits;
+    const size_t count = ops.size();
+
+    // Forward pass: embedded op matrices and prefix products.
+    std::vector<Matrix> embedded(count);
+    std::vector<Matrix> prefix(count + 1);
+    std::vector<int> param_base(count, -1);
+    prefix[0] = Matrix::identity(dim);
+    {
+        int p = 0;
+        for (size_t j = 0; j < count; ++j) {
+            param_base[j] = p;
+            embedded[j] = opMatrix(ops[j], params, p);
+            prefix[j + 1] = embedded[j] * prefix[j];
+            if (!ops[j].isCx)
+                p += 3;
+        }
+    }
+    u = prefix[count];
+
+    grads.assign(paramCount(), Matrix());
+
+    // Backward pass: maintain the suffix product while emitting the
+    // three U3 partials at each parameterized op.
+    Matrix suffix = Matrix::identity(dim);
+    for (size_t j = count; j-- > 0;) {
+        if (!ops[j].isCx) {
+            const int base = param_base[j];
+            for (int which = 0; which < 3; ++which) {
+                Matrix d = u3Derivative(params[base], params[base + 1],
+                                        params[base + 2], which);
+                grads[base + which] =
+                    suffix * (embedUnitary(d, {ops[j].a}, nQubits) *
+                              prefix[j]);
+            }
+        }
+        suffix = suffix * embedded[j];
+    }
+}
+
+} // namespace quest

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parameterized circuit templates for numerical synthesis.
+ *
+ * A synthesis layer is a CNOT followed by U3 gates on both wires
+ * (Fig. 5 of the paper); an ansatz is a fixed gate structure whose U3
+ * angles are free parameters optimized by the instantiater.
+ */
+
+#ifndef QUEST_SYNTH_ANSATZ_HH
+#define QUEST_SYNTH_ANSATZ_HH
+
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "linalg/matrix.hh"
+
+namespace quest {
+
+/**
+ * Partial derivative of the U3 matrix with respect to parameter
+ * @p which (0 theta, 1 phi, 2 lambda).
+ */
+Matrix u3Derivative(double theta, double phi, double lambda, int which);
+
+/** One ansatz operation: a parameterized U3 or a fixed CX. */
+struct AnsatzOp
+{
+    bool isCx;
+    int a;  //!< U3 wire, or CX control
+    int b;  //!< CX target (unused for U3)
+};
+
+/**
+ * A fixed structure of CX gates and parameterized U3 gates over a
+ * small number of qubits. Provides the unitary and its analytic
+ * parameter gradient for the optimizer.
+ */
+class Ansatz
+{
+  public:
+    /** An empty ansatz over @p n_qubits wires (at most 6). */
+    explicit Ansatz(int n_qubits);
+
+    /** The initial structure: one U3 on every wire. */
+    static Ansatz initialLayer(int n_qubits);
+
+    int numQubits() const { return nQubits; }
+
+    /** Free parameter count (three per U3). */
+    int paramCount() const { return 3 * u3Count; }
+
+    /** Number of CX gates in the structure. */
+    int cnotCount() const { return cxCount; }
+
+    /** Append a parameterized U3 on wire q. */
+    void addU3(int q);
+
+    /** Append a fixed CX. */
+    void addCx(int control, int target);
+
+    /**
+     * Append a synthesis layer: CX(a, b) followed by U3 on a and on
+     * b (the Leap compiler's expansion step).
+     */
+    void addLayer(int a, int b);
+
+    /** Materialize a concrete circuit from parameter values. */
+    Circuit instantiate(const std::vector<double> &params) const;
+
+    /** The ansatz unitary at the given parameters. */
+    Matrix unitary(const std::vector<double> &params) const;
+
+    /**
+     * The unitary together with the partial derivative with respect
+     * to every parameter (analytic; used by the HS cost gradient).
+     */
+    void unitaryAndGradient(const std::vector<double> &params, Matrix &u,
+                            std::vector<Matrix> &grads) const;
+
+    /** The op sequence (for the fast cost-function path). */
+    const std::vector<AnsatzOp> &operations() const { return ops; }
+
+  private:
+    using Op = AnsatzOp;
+
+    /** Dense op matrix embedded on all nQubits wires. */
+    Matrix opMatrix(const Op &op, const std::vector<double> &params,
+                    int param_base) const;
+
+    int nQubits;
+    int u3Count = 0;
+    int cxCount = 0;
+    std::vector<Op> ops;
+};
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_ANSATZ_HH

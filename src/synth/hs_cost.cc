@@ -1,0 +1,213 @@
+#include "synth/hs_cost.hh"
+
+#include <cmath>
+
+#include "linalg/decompose.hh"
+#include "linalg/distance.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+/** In-place left multiplication by a 2x2 gate on wire q: row mixing. */
+void
+leftApplyU3(Matrix &m, const Matrix &g, int q, int n)
+{
+    const size_t dim = m.rows();
+    const size_t bit = size_t{1} << (n - 1 - q);
+    const Complex g00 = g(0, 0), g01 = g(0, 1);
+    const Complex g10 = g(1, 0), g11 = g(1, 1);
+    for (size_t r = 0; r < dim; ++r) {
+        if (r & bit)
+            continue;
+        Complex *row0 = &m.data()[r * dim];
+        Complex *row1 = &m.data()[(r | bit) * dim];
+        for (size_t c = 0; c < dim; ++c) {
+            Complex a = row0[c], b = row1[c];
+            row0[c] = g00 * a + g01 * b;
+            row1[c] = g10 * a + g11 * b;
+        }
+    }
+}
+
+/** In-place left multiplication by CX(control, target): row swaps. */
+void
+leftApplyCx(Matrix &m, int control, int target, int n)
+{
+    const size_t dim = m.rows();
+    const size_t bc = size_t{1} << (n - 1 - control);
+    const size_t bt = size_t{1} << (n - 1 - target);
+    for (size_t r = 0; r < dim; ++r) {
+        if ((r & bc) && !(r & bt)) {
+            Complex *row0 = &m.data()[r * dim];
+            Complex *row1 = &m.data()[(r | bt) * dim];
+            for (size_t c = 0; c < dim; ++c)
+                std::swap(row0[c], row1[c]);
+        }
+    }
+}
+
+/** In-place right multiplication by a 2x2 gate: column mixing. */
+void
+rightApplyU3(Matrix &m, const Matrix &g, int q, int n)
+{
+    const size_t dim = m.rows();
+    const size_t bit = size_t{1} << (n - 1 - q);
+    const Complex g00 = g(0, 0), g01 = g(0, 1);
+    const Complex g10 = g(1, 0), g11 = g(1, 1);
+    for (size_t r = 0; r < dim; ++r) {
+        Complex *row = &m.data()[r * dim];
+        for (size_t c = 0; c < dim; ++c) {
+            if (c & bit)
+                continue;
+            Complex a = row[c], b = row[c | bit];
+            row[c] = a * g00 + b * g10;
+            row[c | bit] = a * g01 + b * g11;
+        }
+    }
+}
+
+/** In-place right multiplication by CX: column swaps. */
+void
+rightApplyCx(Matrix &m, int control, int target, int n)
+{
+    const size_t dim = m.rows();
+    const size_t bc = size_t{1} << (n - 1 - control);
+    const size_t bt = size_t{1} << (n - 1 - target);
+    for (size_t r = 0; r < dim; ++r) {
+        Complex *row = &m.data()[r * dim];
+        for (size_t c = 0; c < dim; ++c) {
+            if ((c & bc) && !(c & bt))
+                std::swap(row[c], row[c | bt]);
+        }
+    }
+}
+
+/**
+ * Reduce W = P * B to the 2x2 contraction on wire q:
+ * w2(a, b) = sum_rest W(idx(rest, a), idx(rest, b)), so that
+ * Tr(W * embed(d)) = sum_ab w2(a, b) d(b, a).
+ */
+void
+reduceTrace(const Matrix &p, const Matrix &b, int q, int n,
+            Complex w2[2][2])
+{
+    const size_t dim = p.rows();
+    const size_t bit = size_t{1} << (n - 1 - q);
+    for (int a = 0; a < 2; ++a)
+        for (int c = 0; c < 2; ++c)
+            w2[a][c] = Complex(0.0, 0.0);
+    for (size_t rest = 0; rest < dim; ++rest) {
+        if (rest & bit)
+            continue;
+        for (int a = 0; a < 2; ++a) {
+            const size_t r = a ? (rest | bit) : rest;
+            const Complex *prow = &p.data()[r * dim];
+            for (int c = 0; c < 2; ++c) {
+                const size_t col = c ? (rest | bit) : rest;
+                Complex sum(0.0, 0.0);
+                for (size_t m = 0; m < dim; ++m)
+                    sum += prow[m] * b(m, col);
+                w2[a][c] += sum;
+            }
+        }
+    }
+}
+
+} // namespace
+
+HsCost::HsCost(const Matrix &target, const Ansatz &ansatz)
+    : target(target), ansatz(ansatz)
+{
+    QUEST_ASSERT(target.isSquare(), "target must be square");
+    QUEST_ASSERT(target.rows() == (size_t{1} << ansatz.numQubits()),
+                 "target dimension does not match ansatz width");
+    const double n = static_cast<double>(target.rows());
+    dimSquared = n * n;
+}
+
+double
+HsCost::evaluate(const std::vector<double> &params,
+                 std::vector<double> *grad) const
+{
+    const auto &ops = ansatz.operations();
+    const int n = ansatz.numQubits();
+    const size_t dim = size_t{1} << n;
+    const size_t count = ops.size();
+
+    if (!grad) {
+        Matrix u = Matrix::identity(dim);
+        size_t p = 0;
+        for (const AnsatzOp &op : ops) {
+            if (op.isCx) {
+                leftApplyCx(u, op.a, op.b, n);
+            } else {
+                leftApplyU3(u, makeU3(params[p], params[p + 1],
+                                      params[p + 2]),
+                            op.a, n);
+                p += 3;
+            }
+        }
+        Complex tr = hsInnerProduct(target, u);
+        return 1.0 - std::norm(tr) / dimSquared;
+    }
+
+    // Forward pass: prefix[j] = op_{j-1} ... op_0 (prefix[0] = I).
+    std::vector<Matrix> prefix(count + 1);
+    std::vector<int> param_base(count, -1);
+    prefix[0] = Matrix::identity(dim);
+    {
+        size_t p = 0;
+        for (size_t j = 0; j < count; ++j) {
+            param_base[j] = static_cast<int>(p);
+            prefix[j + 1] = prefix[j];
+            if (ops[j].isCx) {
+                leftApplyCx(prefix[j + 1], ops[j].a, ops[j].b, n);
+            } else {
+                leftApplyU3(prefix[j + 1],
+                            makeU3(params[p], params[p + 1],
+                                   params[p + 2]),
+                            ops[j].a, n);
+                p += 3;
+            }
+        }
+    }
+    Complex tr = hsInnerProduct(target, prefix[count]);
+
+    // Backward pass: b = target^dagger * op_{L-1} ... op_{j+1}. At a
+    // parameterized op, contract prefix[j] * b down to a 2x2 and dot
+    // it with the three analytic U3 derivatives.
+    grad->assign(params.size(), 0.0);
+    Matrix b = target.adjoint();
+    Complex w2[2][2];
+    for (size_t j = count; j-- > 0;) {
+        if (!ops[j].isCx) {
+            const int base = param_base[j];
+            reduceTrace(prefix[j], b, ops[j].a, n, w2);
+            for (int which = 0; which < 3; ++which) {
+                Matrix d = u3Derivative(params[base], params[base + 1],
+                                        params[base + 2], which);
+                Complex dtr = w2[0][0] * d(0, 0) + w2[0][1] * d(1, 0) +
+                              w2[1][0] * d(0, 1) + w2[1][1] * d(1, 1);
+                (*grad)[base + which] =
+                    -2.0 * (std::conj(tr) * dtr).real() / dimSquared;
+            }
+            rightApplyU3(b, makeU3(params[base], params[base + 1],
+                                   params[base + 2]),
+                         ops[j].a, n);
+        } else {
+            rightApplyCx(b, ops[j].a, ops[j].b, n);
+        }
+    }
+
+    return 1.0 - std::norm(tr) / dimSquared;
+}
+
+double
+HsCost::distance(const std::vector<double> &params) const
+{
+    return std::sqrt(std::max(0.0, evaluate(params, nullptr)));
+}
+
+} // namespace quest

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hilbert-Schmidt synthesis cost function with analytic gradient.
+ */
+
+#ifndef QUEST_SYNTH_HS_COST_HH
+#define QUEST_SYNTH_HS_COST_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "synth/ansatz.hh"
+
+namespace quest {
+
+/**
+ * Smooth objective f(theta) = 1 - |Tr(U^dagger A(theta))|^2 / N^2,
+ * whose square root is the paper's HS process distance. Minimizing f
+ * minimizes the distance; the gradient is computed analytically from
+ * the ansatz parameter derivatives.
+ */
+class HsCost
+{
+  public:
+    HsCost(const Matrix &target, const Ansatz &ansatz);
+
+    /** Objective value; fills @p grad (same size as params) if
+     *  non-null. */
+    double evaluate(const std::vector<double> &params,
+                    std::vector<double> *grad) const;
+
+    /** HS distance sqrt(max(0, f)) at the given parameters. */
+    double distance(const std::vector<double> &params) const;
+
+  private:
+    const Matrix &target;
+    const Ansatz &ansatz;
+    double dimSquared;
+};
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_HS_COST_HH

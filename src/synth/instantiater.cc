@@ -1,0 +1,55 @@
+#include "synth/instantiater.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "synth/hs_cost.hh"
+#include "util/logging.hh"
+
+namespace quest {
+
+InstantiationResult
+instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
+            const InstantiaterOptions &options,
+            const std::optional<std::vector<double>> &warm_start)
+{
+    constexpr double pi = std::numbers::pi;
+    HsCost cost(target, ansatz);
+    const int n_params = ansatz.paramCount();
+
+    GradObjective objective = [&](const std::vector<double> &x,
+                                  std::vector<double> *grad) {
+        return cost.evaluate(x, grad);
+    };
+
+    InstantiationResult best;
+    best.distance = 1.0;
+    double best_value = 2.0;
+
+    for (int start = 0; start < std::max(1, options.multistarts);
+         ++start) {
+        std::vector<double> x0(n_params);
+        if (start == 0 && warm_start) {
+            QUEST_ASSERT(warm_start->size() <= x0.size(),
+                         "warm start larger than parameter vector");
+            std::copy(warm_start->begin(), warm_start->end(), x0.begin());
+            // Trailing new parameters remain zero (identity-ish U3s).
+        } else {
+            for (double &v : x0)
+                v = rng.uniform(-pi, pi);
+        }
+
+        LbfgsResult r = lbfgsMinimize(objective, std::move(x0),
+                                      options.lbfgs);
+        if (r.value < best_value) {
+            best_value = r.value;
+            best.params = r.x;
+            best.distance = std::sqrt(std::max(0.0, r.value));
+        }
+        if (best_value <= options.goal)
+            break;
+    }
+    return best;
+}
+
+} // namespace quest

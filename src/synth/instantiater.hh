@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Multi-start instantiation: optimize an ansatz's angles against a
+ * target unitary from several starting points and keep the best.
+ */
+
+#ifndef QUEST_SYNTH_INSTANTIATER_HH
+#define QUEST_SYNTH_INSTANTIATER_HH
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "synth/ansatz.hh"
+#include "synth/lbfgs.hh"
+#include "util/rng.hh"
+
+namespace quest {
+
+/** Instantiation settings. */
+struct InstantiaterOptions
+{
+    int multistarts = 4;        //!< random restarts per call
+    LbfgsOptions lbfgs;
+    double goal = 0.0;          //!< stop restarts early below this cost
+};
+
+/** Best parameters found for an ansatz against a target. */
+struct InstantiationResult
+{
+    std::vector<double> params;
+    double distance = 1.0;      //!< HS distance at the optimum
+};
+
+/**
+ * Optimize @p ansatz against @p target. If @p warm_start is provided
+ * it seeds the first restart (new trailing parameters, if any, start
+ * at zero); remaining restarts are uniform in [-pi, pi].
+ */
+InstantiationResult
+instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
+            const InstantiaterOptions &options = {},
+            const std::optional<std::vector<double>> &warm_start =
+                std::nullopt);
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_INSTANTIATER_HH

@@ -1,0 +1,160 @@
+#include "synth/lbfgs.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+namespace {
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+double
+infNorm(const std::vector<double> &v)
+{
+    double worst = 0.0;
+    for (double x : v)
+        worst = std::max(worst, std::abs(x));
+    return worst;
+}
+
+} // namespace
+
+LbfgsResult
+lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
+              const LbfgsOptions &options)
+{
+    const size_t n = x0.size();
+    LbfgsResult result;
+    result.x = std::move(x0);
+
+    std::vector<double> grad(n);
+    double f = objective(result.x, &grad);
+
+    if (n == 0) {
+        result.value = f;
+        result.converged = true;
+        return result;
+    }
+
+    // History of (s, y, rho) pairs for the two-loop recursion.
+    struct Pair
+    {
+        std::vector<double> s;
+        std::vector<double> y;
+        double rho;
+    };
+    std::deque<Pair> history;
+
+    std::vector<double> direction(n), x_new(n), grad_new(n), alpha_buf;
+
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+        if (infNorm(grad) < options.gradTolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Two-loop recursion: direction = -H g.
+        direction = grad;
+        alpha_buf.assign(history.size(), 0.0);
+        for (size_t h = history.size(); h-- > 0;) {
+            const Pair &p = history[h];
+            double a = p.rho * dot(p.s, direction);
+            alpha_buf[h] = a;
+            for (size_t i = 0; i < n; ++i)
+                direction[i] -= a * p.y[i];
+        }
+        if (!history.empty()) {
+            const Pair &last = history.back();
+            double gamma = dot(last.s, last.y) / dot(last.y, last.y);
+            for (double &d : direction)
+                d *= gamma;
+        }
+        for (size_t h = 0; h < history.size(); ++h) {
+            const Pair &p = history[h];
+            double beta = p.rho * dot(p.y, direction);
+            for (size_t i = 0; i < n; ++i)
+                direction[i] += p.s[i] * (alpha_buf[h] - beta);
+        }
+        for (double &d : direction)
+            d = -d;
+
+        double dir_deriv = dot(grad, direction);
+        if (dir_deriv >= 0.0) {
+            // Not a descent direction: reset to steepest descent.
+            history.clear();
+            for (size_t i = 0; i < n; ++i)
+                direction[i] = -grad[i];
+            dir_deriv = -dot(grad, grad);
+        }
+
+        // Backtracking Armijo line search with quadratic
+        // interpolation: fit f(step) ~ quadratic through f(0), f'(0)
+        // and the rejected trial to pick the next step.
+        constexpr double c1 = 1e-4;
+        double step = 1.0;
+        double f_new = f;
+        bool improved = false;
+        for (int ls = 0; ls < 40; ++ls) {
+            for (size_t i = 0; i < n; ++i)
+                x_new[i] = result.x[i] + step * direction[i];
+            f_new = objective(x_new, &grad_new);
+            if (f_new <= f + c1 * step * dir_deriv) {
+                improved = true;
+                break;
+            }
+            double denom = 2.0 * (f_new - f - dir_deriv * step);
+            double interpolated =
+                denom > 0.0 ? -dir_deriv * step * step / denom
+                            : 0.5 * step;
+            step = std::clamp(interpolated, 0.1 * step, 0.5 * step);
+        }
+        if (!improved) {
+            result.converged = infNorm(grad) < 1e-6;
+            break;
+        }
+
+        // Curvature update.
+        Pair p;
+        p.s.resize(n);
+        p.y.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            p.s[i] = x_new[i] - result.x[i];
+            p.y[i] = grad_new[i] - grad[i];
+        }
+        double sy = dot(p.s, p.y);
+        if (sy > 1e-12) {
+            p.rho = 1.0 / sy;
+            history.push_back(std::move(p));
+            if (static_cast<int>(history.size()) > options.historySize)
+                history.pop_front();
+        }
+
+        double f_old = f;
+        result.x = x_new;
+        grad = grad_new;
+        f = f_new;
+
+        if (std::abs(f_old - f) <=
+            options.valueTolerance * std::max(1.0, std::abs(f_old))) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.value = f;
+    return result;
+}
+
+} // namespace quest

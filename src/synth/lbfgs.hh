@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Limited-memory BFGS minimizer with backtracking line search: the
+ * numerical-optimization engine behind circuit instantiation.
+ */
+
+#ifndef QUEST_SYNTH_LBFGS_HH
+#define QUEST_SYNTH_LBFGS_HH
+
+#include <functional>
+#include <vector>
+
+namespace quest {
+
+/**
+ * Objective callback: returns f(x); writes the gradient into @p grad
+ * when it is non-null.
+ */
+using GradObjective =
+    std::function<double(const std::vector<double> &x,
+                         std::vector<double> *grad)>;
+
+/** L-BFGS options. */
+struct LbfgsOptions
+{
+    int maxIterations = 400;
+    int historySize = 8;
+    double gradTolerance = 1e-10;   //!< stop when ||g||_inf below this
+    double valueTolerance = 1e-14;  //!< stop on relative f stagnation
+};
+
+/** Minimization outcome. */
+struct LbfgsResult
+{
+    std::vector<double> x;
+    double value = 0.0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** Minimize an unconstrained smooth objective from @p x0. */
+LbfgsResult lbfgsMinimize(const GradObjective &objective,
+                          std::vector<double> x0,
+                          const LbfgsOptions &options = {});
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_LBFGS_HH

@@ -1,0 +1,285 @@
+#include "synth/leap_synthesizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompose.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace quest {
+
+namespace {
+
+int
+log2Dim(size_t dim)
+{
+    int n = 0;
+    while ((size_t{1} << n) < dim)
+        ++n;
+    QUEST_ASSERT((size_t{1} << n) == dim, "dimension not a power of two");
+    return n;
+}
+
+/** A live tree node: structure plus its best instantiation. */
+struct Node
+{
+    Ansatz ansatz;
+    std::vector<double> params;
+    double distance;
+};
+
+/**
+ * Fixed pair schedules for the auxiliary lineages. Greedy tree search
+ * over a distance heuristic dead-ends when the landscape is
+ * non-monotonic in depth (adding a layer can make the best achievable
+ * distance temporarily worse before it collapses), so the compiler
+ * also grows fixed-structure lineages that are known to converge:
+ * a nearest-neighbor brickwork ladder (even bonds then odd bonds) and
+ * an all-pairs round-robin ladder.
+ */
+std::vector<std::pair<int, int>>
+brickworkSchedule(int n)
+{
+    std::vector<std::pair<int, int>> schedule;
+    for (int i = 0; i + 1 < n; i += 2)
+        schedule.emplace_back(i, i + 1);
+    for (int i = 1; i + 1 < n; i += 2)
+        schedule.emplace_back(i, i + 1);
+    return schedule;
+}
+
+std::vector<std::pair<int, int>>
+allPairsSchedule(int n)
+{
+    // Ordered by wire distance so the cycle starts like brickwork
+    // but also reaches the long-range pairs.
+    std::vector<std::pair<int, int>> schedule;
+    for (int d = 1; d < n; ++d)
+        for (int a = 0; a + d < n; ++a)
+            schedule.emplace_back(a, a + d);
+    return schedule;
+}
+
+} // namespace
+
+LeapSynthesizer::LeapSynthesizer(SynthConfig config)
+    : cfg(std::move(config))
+{
+    QUEST_ASSERT(cfg.beamWidth >= 1, "beam width must be positive");
+    QUEST_ASSERT(cfg.reseedInterval >= 1, "reseed interval must be >= 1");
+}
+
+SynthOutput
+LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
+                            const std::vector<std::pair<int, int>>
+                                *skeleton) const
+{
+    const int n = log2Dim(target.rows());
+    QUEST_ASSERT(target.isUnitary(1e-8), "synthesis target not unitary");
+    SynthOutput out;
+
+    if (n == 1) {
+        // One-qubit targets decompose analytically.
+        ZyzAngles a = zyzDecompose(target);
+        Circuit c(1);
+        c.append(Gate::u3(0, a.theta, a.phi, a.lambda));
+        out.candidates.push_back({std::move(c), 0.0, 0});
+        out.bestIndex = 0;
+        return out;
+    }
+
+    Rng rng(cfg.seed);
+    InstantiaterOptions inst = cfg.inst;
+    inst.goal = cfg.exactEpsilon * cfg.exactEpsilon;
+
+    // The brickwork lineage is one task out of ~pairs-per-level, so
+    // giving it a stronger optimization budget is cheap and makes the
+    // guaranteed-convergence path actually converge.
+    InstantiaterOptions brick_inst = inst;
+    brick_inst.multistarts = 2 * inst.multistarts;
+    brick_inst.lbfgs.maxIterations = 2 * inst.lbfgs.maxIterations;
+
+    // Level 0: U3 on every wire.
+    std::vector<Node> frontier;
+    {
+        Ansatz a = Ansatz::initialLayer(n);
+        InstantiationResult r = instantiate(target, a, rng, inst);
+        out.candidates.push_back(
+            {a.instantiate(r.params), r.distance, 0});
+        frontier.push_back({std::move(a), std::move(r.params),
+                            r.distance});
+    }
+
+    // Allowed CNOT placements: all unordered wire pairs, or the
+    // configured coupling graph (the CX direction is absorbed by the
+    // surrounding U3s either way).
+    std::vector<std::pair<int, int>> pairs;
+    if (cfg.couplings.empty()) {
+        for (int a = 0; a < n; ++a)
+            for (int b = a + 1; b < n; ++b)
+                pairs.emplace_back(a, b);
+    } else {
+        for (auto [a, b] : cfg.couplings) {
+            QUEST_ASSERT(a >= 0 && a < n && b >= 0 && b < n && a != b,
+                         "bad coupling (", a, ",", b, ")");
+            pairs.emplace_back(std::min(a, b), std::max(a, b));
+        }
+        std::sort(pairs.begin(), pairs.end());
+        pairs.erase(std::unique(pairs.begin(), pairs.end()),
+                    pairs.end());
+    }
+
+    // The dedicated fixed-schedule lineages grow one layer per level.
+    struct Lineage
+    {
+        Node node;
+        std::vector<std::pair<int, int>> schedule;
+    };
+    std::vector<Lineage> lineages;
+    if (cfg.couplings.empty()) {
+        lineages.push_back({frontier.front(), brickworkSchedule(n)});
+        if (n > 2) {
+            auto all = allPairsSchedule(n);
+            if (all != lineages.front().schedule)
+                lineages.push_back({frontier.front(), std::move(all)});
+        }
+    } else {
+        // Topology-restricted: cycle the coupling edges round-robin.
+        lineages.push_back({frontier.front(), pairs});
+    }
+    if (skeleton && !skeleton->empty()) {
+        // Following the original circuit's own CX ordering keeps the
+        // exact solution (and its shorter prefixes) in the tree.
+        std::vector<std::pair<int, int>> sched = *skeleton;
+        bool duplicate = false;
+        for (const Lineage &l : lineages)
+            duplicate |= l.schedule == sched;
+        if (!duplicate)
+            lineages.push_back({frontier.front(), std::move(sched)});
+    }
+
+    const int budget = std::min(max_cnots, cfg.maxLayers);
+    double best_overall = frontier.front().distance;
+    int levels_past_exact = 0;
+    int stall = 0;
+
+    for (int level = 1; level <= budget; ++level) {
+        // Build the level's task list: every (frontier node, pair)
+        // expansion plus the brickwork lineage.
+        struct Task
+        {
+            Ansatz ansatz;
+            const std::vector<double> *warm;
+            Rng rng;
+            bool isBrick;
+        };
+        std::vector<Task> tasks;
+        for (const Node &parent : frontier) {
+            for (auto [a, b] : pairs) {
+                Ansatz child = parent.ansatz;
+                child.addLayer(a, b);
+                tasks.push_back({std::move(child), &parent.params,
+                                 rng.split(), false});
+            }
+        }
+        for (Lineage &lineage : lineages) {
+            auto [a, b] = lineage.schedule[static_cast<size_t>(level - 1) %
+                                           lineage.schedule.size()];
+            lineage.node.ansatz.addLayer(a, b);
+            tasks.push_back({lineage.node.ansatz, &lineage.node.params,
+                             rng.split(), true});
+        }
+
+        std::vector<Node> children(tasks.size(),
+                                   Node{Ansatz(n), {}, 1.0});
+        auto run_task = [&](size_t i) {
+            Task &t = tasks[i];
+            std::optional<std::vector<double>> warm;
+            if (t.warm)
+                warm = *t.warm;
+            InstantiationResult r =
+                instantiate(target, t.ansatz, t.rng,
+                            t.isBrick ? brick_inst : inst, warm);
+            children[i] = {std::move(t.ansatz), std::move(r.params),
+                           r.distance};
+        };
+        if (cfg.threads > 1) {
+            ThreadPool pool(cfg.threads);
+            pool.parallelFor(tasks.size(), run_task);
+        } else {
+            for (size_t i = 0; i < tasks.size(); ++i)
+                run_task(i);
+        }
+        for (size_t l = 0; l < lineages.size(); ++l)
+            lineages[l].node =
+                children[children.size() - lineages.size() + l];
+
+        std::sort(children.begin(), children.end(),
+                  [](const Node &x, const Node &y) {
+                      return x.distance < y.distance;
+                  });
+
+        // Record the best candidates at this CNOT level.
+        const int keep = std::min<int>(cfg.candidatesPerLevel,
+                                       static_cast<int>(children.size()));
+        for (int i = 0; i < keep; ++i) {
+            out.candidates.push_back(
+                {children[i].ansatz.instantiate(children[i].params),
+                 children[i].distance, level});
+        }
+
+        // New frontier: beam, with LEAP prefix reseeding collapsing
+        // to the single best node every reseedInterval levels.
+        int width = (level % cfg.reseedInterval == 0)
+                        ? 1
+                        : cfg.beamWidth;
+        width = std::min<int>(width, static_cast<int>(children.size()));
+        frontier.assign(std::make_move_iterator(children.begin()),
+                        std::make_move_iterator(children.begin() + width));
+
+        // Termination: exact solution reached (explore a few extra
+        // levels so above-minimum CNOT counts are represented), or
+        // the distance has stopped improving.
+        if (frontier.front().distance < cfg.exactEpsilon) {
+            if (++levels_past_exact > cfg.extraLevels)
+                break;
+            continue;
+        }
+        if (frontier.front().distance < best_overall * 0.99) {
+            best_overall = frontier.front().distance;
+            stall = 0;
+        } else if (++stall >= std::max(cfg.stallLevels, 2 * (n - 1))) {
+            break;
+        }
+    }
+
+    std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                     [](const SynthCandidate &x, const SynthCandidate &y) {
+                         if (x.cnotCount != y.cnotCount)
+                             return x.cnotCount < y.cnotCount;
+                         return x.distance < y.distance;
+                     });
+    out.bestIndex = 0;
+    for (size_t i = 1; i < out.candidates.size(); ++i) {
+        if (out.candidates[i].distance <
+            out.candidates[out.bestIndex].distance) {
+            out.bestIndex = i;
+        }
+    }
+    return out;
+}
+
+SynthCandidate
+LeapSynthesizer::synthesizeExact(const Matrix &target, double epsilon,
+                                 int max_cnots) const
+{
+    SynthOutput out = synthesize(target, max_cnots);
+    for (const SynthCandidate &c : out.candidates) {
+        if (c.distance < epsilon)
+            return c;  // candidates are sorted by CNOT count
+    }
+    return out.best();
+}
+
+} // namespace quest

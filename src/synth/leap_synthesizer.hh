@@ -1,0 +1,126 @@
+/**
+ * @file
+ * QSearch/LEAP layer-by-layer synthesis compiler (STEP 2, Sec. 3.5).
+ *
+ * The compiler grows a circuit tree one layer (CNOT + two U3s) at a
+ * time, numerically instantiating every placement, and — as modified
+ * by QUEST — records the best M candidate circuits at every CNOT
+ * count level instead of only the single best leaf. LEAP's prefix
+ * reseeding periodically collapses the frontier to its best node to
+ * bound tree growth.
+ */
+
+#ifndef QUEST_SYNTH_LEAP_SYNTHESIZER_HH
+#define QUEST_SYNTH_LEAP_SYNTHESIZER_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "linalg/matrix.hh"
+#include "synth/instantiater.hh"
+
+namespace quest {
+
+/** Synthesis settings. */
+struct SynthConfig
+{
+    /** HS distance below which a solution counts as exact. */
+    double exactEpsilon = 1e-5;
+
+    /** Frontier nodes kept per depth. */
+    int beamWidth = 2;
+
+    /** LEAP prefix-reseed interval (layers). */
+    int reseedInterval = 4;
+
+    /** Candidates recorded per CNOT-count level. */
+    int candidatesPerLevel = 8;
+
+    /** Extra levels explored after reaching exactEpsilon, so that
+     *  above-minimum CNOT counts are also represented (Sec. 3.5). */
+    int extraLevels = 2;
+
+    /** Hard cap on layer levels regardless of the CNOT budget. */
+    int maxLayers = 16;
+
+    /** Stop after this many levels without relative improvement
+     *  (floored at one brickwork round, 2 * (n - 1) levels). */
+    int stallLevels = 6;
+
+    /** Instantiation (multi-start L-BFGS) settings. */
+    InstantiaterOptions inst;
+
+    /**
+     * Allowed CNOT placements (undirected pairs over the block's
+     * local wires). Empty means all-to-all; a non-empty list makes
+     * synthesis topology-aware, as the Leap compiler is on real
+     * devices.
+     */
+    std::vector<std::pair<int, int>> couplings;
+
+    /** RNG seed for instantiation restarts. */
+    uint64_t seed = 1;
+
+    /** Worker threads for per-level instantiations (1 = serial).
+     *  Results are deterministic regardless of the thread count. */
+    unsigned threads = 1;
+};
+
+/** One synthesized circuit for a block. */
+struct SynthCandidate
+{
+    Circuit circuit;       //!< native {U3, CX} circuit on block wires
+    double distance = 1.0; //!< HS distance to the target unitary
+    int cnotCount = 0;
+};
+
+/** Everything the compiler produced for one target. */
+struct SynthOutput
+{
+    /** All recorded candidates, ordered by (cnotCount, distance). */
+    std::vector<SynthCandidate> candidates;
+
+    /** Index of the lowest-distance candidate. */
+    size_t bestIndex = 0;
+
+    const SynthCandidate &best() const { return candidates[bestIndex]; }
+};
+
+/** The synthesis compiler. */
+class LeapSynthesizer
+{
+  public:
+    explicit LeapSynthesizer(SynthConfig config = {});
+
+    /**
+     * Approximate synthesis: explore layer levels up to @p max_cnots
+     * CNOTs (the original block's CNOT count in the QUEST pipeline)
+     * and record candidates at every level.
+     *
+     * @param skeleton optional CX pair sequence of the original
+     *        circuit; when given, an extra lineage follows it so the
+     *        search always contains the original structure's
+     *        prefixes (and can recover the original exactly).
+     */
+    SynthOutput synthesize(const Matrix &target, int max_cnots,
+                           const std::vector<std::pair<int, int>>
+                               *skeleton = nullptr) const;
+
+    /**
+     * Exact synthesis: the shortest recorded candidate whose distance
+     * is below @p epsilon, or the overall best if none reaches it.
+     */
+    SynthCandidate synthesizeExact(const Matrix &target, double epsilon,
+                                   int max_cnots) const;
+
+    const SynthConfig &config() const { return cfg; }
+
+  private:
+    SynthConfig cfg;
+};
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_LEAP_SYNTHESIZER_HH

@@ -1,0 +1,62 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace quest {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+std::mutex logMutex;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::cerr << "[" << tag << "] " << msg << "\n";
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(logMutex);
+        std::cerr << "[panic] " << file << ":" << line << ": " << msg
+                  << std::endl;
+    }
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(logMutex);
+        std::cerr << "[fatal] " << msg << std::endl;
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace quest

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (aborts), fatal() for user-caused unrecoverable errors
+ * (clean exit), warn()/inform() for non-fatal diagnostics.
+ */
+
+#ifndef QUEST_UTIL_LOGGING_HH
+#define QUEST_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace quest {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log level; messages below it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit a formatted log line to stderr if @p level is enabled. */
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+
+/** Abort with a panic message; never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a fatal user-error message; never returns. */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Concatenate stream-formattable arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informational message for normal operation. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Info, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** User-caused unrecoverable error; exits the process. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Internal invariant violation; aborts.
+ *
+ * Use for conditions that indicate a bug in this library rather than
+ * bad user input.
+ */
+#define QUEST_PANIC(...) \
+    ::quest::detail::panicImpl(__FILE__, __LINE__, \
+                               ::quest::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant with a formatted message. */
+#define QUEST_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            QUEST_PANIC("assertion failed: " #cond " — ", __VA_ARGS__); \
+        } \
+    } while (false)
+
+} // namespace quest
+
+#endif // QUEST_UTIL_LOGGING_HH

@@ -1,0 +1,116 @@
+#include "util/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+Rng::Rng(uint64_t seed, uint64_t stream)
+    : state(0), inc((stream << 1u) | 1u)
+{
+    // Standard PCG32 seeding sequence.
+    (*this)();
+    state += seed;
+    (*this)();
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from two draws for full double resolution.
+    uint64_t hi = (*this)() >> 5;   // 27 bits
+    uint64_t lo = (*this)() >> 6;   // 26 bits
+    return ((hi << 26) | lo) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint32_t
+Rng::uniformInt(uint32_t n)
+{
+    QUEST_ASSERT(n > 0, "uniformInt needs n > 0");
+    // Lemire-style rejection to remove modulo bias.
+    uint32_t threshold = (-n) % n;
+    for (;;) {
+        uint32_t r = (*this)();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return spare;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    double ang = 2.0 * std::numbers::pi * u2;
+    spare = mag * std::sin(ang);
+    haveSpare = true;
+    return mag * std::cos(ang);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    QUEST_ASSERT(!weights.empty(), "discrete needs weights");
+    double total = 0.0;
+    for (double w : weights) {
+        QUEST_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    QUEST_ASSERT(total > 0.0, "all-zero weights");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    uint64_t seed = (static_cast<uint64_t>((*this)()) << 32) | (*this)();
+    uint64_t stream = (static_cast<uint64_t>((*this)()) << 32) | (*this)();
+    return Rng(seed, stream);
+}
+
+} // namespace quest

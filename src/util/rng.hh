@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small PCG32 generator wrapped with the sampling helpers the rest
+ * of the library needs. Every stochastic component (noisy simulation,
+ * synthesis multistarts, dual annealing) takes an explicit Rng so runs
+ * are reproducible from a single seed.
+ */
+
+#ifndef QUEST_UTIL_RNG_HH
+#define QUEST_UTIL_RNG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quest {
+
+/**
+ * PCG32 pseudo-random generator with distribution helpers.
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be used with
+ * standard-library distributions if needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint32_t;
+
+    /** Construct from a seed and an optional stream selector. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return UINT32_MAX; }
+
+    /** Next raw 32-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n), n > 0. */
+    uint32_t uniformInt(uint32_t n);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from an unnormalized non-negative weight
+     * vector. Returns weights.size() - 1 if rounding exhausts the
+     * total.
+     */
+    size_t discrete(const std::vector<double> &weights);
+
+    /** Split off an independent generator (for worker threads). */
+    Rng split();
+
+  private:
+    uint64_t state;
+    uint64_t inc;
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace quest
+
+#endif // QUEST_UTIL_RNG_HH

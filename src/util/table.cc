@@ -1,0 +1,87 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace quest {
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    QUEST_ASSERT(!this->headers.empty(), "table needs headers");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    QUEST_ASSERT(cells.size() == headers.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 headers.size());
+    data.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : data)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << "\n";
+    };
+
+    line(headers);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : data)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    line(headers);
+    for (const auto &row : data)
+        line(row);
+}
+
+} // namespace quest

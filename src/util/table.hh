@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aligned-column table and CSV writers for benchmark output.
+ *
+ * Every bench binary prints the rows/series of the paper figure it
+ * regenerates through this writer so output formats stay uniform.
+ */
+
+#ifndef QUEST_UTIL_TABLE_HH
+#define QUEST_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quest {
+
+/**
+ * Accumulates rows of string cells and renders them either as an
+ * aligned text table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double value, int precision = 4);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render as an aligned monospace table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return data.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> data;
+};
+
+} // namespace quest
+
+#endif // QUEST_UTIL_TABLE_HH

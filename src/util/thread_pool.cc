@@ -1,0 +1,57 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace quest {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = threads;
+    if (n == 0) {
+        n = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wakeup.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeup.wait(lock, [this]() { return stopping || !jobs.empty(); });
+            if (stopping && jobs.empty())
+                return;
+            job = std::move(jobs.front());
+            jobs.pop();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        futures.push_back(submit([&fn, i]() { fn(i); }));
+    for (auto &f : futures)
+        f.get();
+}
+
+} // namespace quest

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-size thread pool used to synthesize circuit blocks in
+ * parallel (the paper runs block synthesis on up to ten nodes; we use
+ * threads on one node).
+ */
+
+#ifndef QUEST_UTIL_THREAD_POOL_HH
+#define QUEST_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace quest {
+
+/** Simple work-queue thread pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (0 means hardware concurrency). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task and get a future for its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            jobs.push([task]() { (*task)(); });
+        }
+        wakeup.notify_one();
+        return result;
+    }
+
+    /**
+     * Run @p fn(i) for i in [0, count) across the pool and wait for
+     * all of them. Exceptions propagate from the first failing index.
+     */
+    void parallelFor(size_t count, const std::function<void(size_t)> &fn);
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> jobs;
+    std::mutex mutex;
+    std::condition_variable wakeup;
+    bool stopping = false;
+};
+
+} // namespace quest
+
+#endif // QUEST_UTIL_THREAD_POOL_HH

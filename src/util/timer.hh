@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Wall-clock stopwatch used for the Fig. 12 stage-timing breakdown.
+ */
+
+#ifndef QUEST_UTIL_TIMER_HH
+#define QUEST_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace quest {
+
+/** Simple monotonic stopwatch accumulating elapsed seconds. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : running(false), accumulated(0.0) {}
+
+    /** Start (or restart) timing; keeps any accumulated time. */
+    void
+    start()
+    {
+        if (!running) {
+            begin = Clock::now();
+            running = true;
+        }
+    }
+
+    /** Stop timing and fold the elapsed interval into the total. */
+    void
+    stop()
+    {
+        if (running) {
+            accumulated += Seconds(Clock::now() - begin).count();
+            running = false;
+        }
+    }
+
+    /** Discard all accumulated time. */
+    void
+    reset()
+    {
+        running = false;
+        accumulated = 0.0;
+    }
+
+    /** Total elapsed seconds, including a running interval. */
+    double
+    seconds() const
+    {
+        double total = accumulated;
+        if (running)
+            total += Seconds(Clock::now() - begin).count();
+        return total;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Seconds = std::chrono::duration<double>;
+
+    bool running;
+    double accumulated;
+    Clock::time_point begin;
+};
+
+/** RAII guard that accumulates its lifetime into a Stopwatch. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Stopwatch &watch) : watch(watch) { watch.start(); }
+    ~ScopedTimer() { watch.stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Stopwatch &watch;
+};
+
+} // namespace quest
+
+#endif // QUEST_UTIL_TIMER_HH

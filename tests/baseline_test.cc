@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Qiskit-like optimizer pass tests: unitaries preserved (up to
+ * phase), counts reduced on known patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "algos/algorithms.hh"
+#include "baseline/pass_manager.hh"
+#include "baseline/passes.hh"
+#include "ir/lower.hh"
+#include "linalg/distance.hh"
+#include "sim/unitary_builder.hh"
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+TEST(SingleQubitFusion, FusesRunsIntoOneU3)
+{
+    Circuit c(1);
+    c.append(Gate::u3(0, 0.1, 0.2, 0.3));
+    c.append(Gate::u3(0, 0.4, 0.5, 0.6));
+    c.append(Gate::u3(0, 0.7, 0.8, 0.9));
+    Matrix before = circuitUnitary(c);
+
+    SingleQubitFusionPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_NEAR(hsDistance(before, circuitUnitary(c)), 0.0, 1e-7);
+}
+
+TEST(SingleQubitFusion, StopsAtTwoQubitGates)
+{
+    Circuit c(2);
+    c.append(Gate::u3(0, 0.1, 0.2, 0.3));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::u3(0, 0.4, 0.5, 0.6));
+    SingleQubitFusionPass pass;
+    EXPECT_FALSE(pass.run(c));
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(SingleQubitFusion, DropsIdentityResult)
+{
+    Circuit c(1);
+    c.append(Gate::u3(0, 0.4, 0.1, -0.2));
+    c.append(Gate::u3(0, 0.4, 0.1, -0.2).inverse());
+    SingleQubitFusionPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(SingleQubitFusion, FusesAcrossOtherWiresGates)
+{
+    // A CX on other wires must not break the run on wire 2.
+    Circuit c(3);
+    c.append(Gate::u3(2, 0.1, 0.0, 0.0));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::u3(2, 0.2, 0.0, 0.0));
+    SingleQubitFusionPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CnotCancellation, AdjacentPairCancels)
+{
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::cx(0, 1));
+    CnotCancellationPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(CnotCancellation, OppositeDirectionDoesNotCancel)
+{
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::cx(1, 0));
+    CnotCancellationPass pass;
+    EXPECT_FALSE(pass.run(c));
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(CnotCancellation, CancelsThroughDiagonalOnControl)
+{
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::rz(0, 0.7));  // diagonal on control commutes
+    c.append(Gate::cx(0, 1));
+    Matrix before = circuitUnitary(c);
+    CnotCancellationPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.cnotCount(), 0u);
+    EXPECT_NEAR(hsDistance(before, circuitUnitary(c)), 0.0, 1e-7);
+}
+
+TEST(CnotCancellation, CancelsThroughXAxisOnTarget)
+{
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::rx(1, 0.4));  // X rotation on target commutes
+    c.append(Gate::cx(0, 1));
+    Matrix before = circuitUnitary(c);
+    CnotCancellationPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.cnotCount(), 0u);
+    EXPECT_NEAR(hsDistance(before, circuitUnitary(c)), 0.0, 1e-7);
+}
+
+TEST(CnotCancellation, BlockedByHadamardOnControl)
+{
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::h(0));
+    c.append(Gate::cx(0, 1));
+    CnotCancellationPass pass;
+    EXPECT_FALSE(pass.run(c));
+    EXPECT_EQ(c.cnotCount(), 2u);
+}
+
+TEST(CnotCancellation, CancelsThroughSharedControlCx)
+{
+    Circuit c(3);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::cx(0, 2));  // shares the control: commutes
+    c.append(Gate::cx(0, 1));
+    Matrix before = circuitUnitary(c);
+    CnotCancellationPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.cnotCount(), 1u);
+    EXPECT_NEAR(hsDistance(before, circuitUnitary(c)), 0.0, 1e-7);
+}
+
+TEST(IdentityRemoval, DropsZeroRotations)
+{
+    Circuit c(2);
+    c.append(Gate::u3(0, 0.0, 0.0, 0.0));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::u3(1, 0.0, 2 * pi, -2 * pi));
+    IdentityRemovalPass pass;
+    EXPECT_TRUE(pass.run(c));
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(PassManager, ReachesFixpoint)
+{
+    // A circuit that needs multiple sweeps: fusion exposes a CX pair.
+    Circuit c(2);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::u3(1, 0.3, -0.4, 0.2));
+    c.append(Gate::u3(1, -0.3, -0.2, 0.4));  // fuses to identity
+    c.append(Gate::cx(0, 1));
+    Matrix before = circuitUnitary(c);
+
+    Circuit out = PassManager::standard().optimize(c);
+    EXPECT_EQ(out.cnotCount(), 0u);
+    EXPECT_NEAR(hsDistance(before, circuitUnitary(out)), 0.0, 1e-7);
+}
+
+class SuitePreservation : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuitePreservation, OptimizerPreservesUnitary)
+{
+    auto suite = algos::standardSuite();
+    const auto &spec = algos::findSpec(suite, GetParam());
+    Circuit baseline = lowerToNative(spec.build());
+    Circuit optimized = qiskitLikeOptimize(baseline);
+    EXPECT_LE(optimized.cnotCount(), baseline.cnotCount());
+    EXPECT_NEAR(hsDistance(buildUnitary(baseline),
+                           buildUnitary(optimized)),
+                0.0, 1e-7)
+        << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SuitePreservation,
+                         ::testing::Values("adder_4", "hlf_4", "qft_4",
+                                           "tfim_4", "vqe_4", "xy_4",
+                                           "qaoa_5", "heisenberg_4"));
+
+TEST(QiskitLikeOptimize, NeverIncreasesCnots)
+{
+    for (const auto &spec : algos::standardSuite()) {
+        if (spec.nQubits > 8)
+            continue;
+        Circuit baseline = lowerToNative(spec.build());
+        Circuit optimized = qiskitLikeOptimize(spec.build());
+        EXPECT_LE(optimized.cnotCount(), baseline.cnotCount())
+            << spec.name;
+    }
+}
+
+} // namespace
+} // namespace quest

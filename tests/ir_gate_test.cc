@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for gate metadata, matrices and inverses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "ir/gate.hh"
+#include "linalg/distance.hh"
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+const std::vector<GateType> allUnitaryGates = {
+    GateType::U1, GateType::U2, GateType::U3, GateType::RX,
+    GateType::RY, GateType::RZ, GateType::X, GateType::Y,
+    GateType::Z, GateType::H, GateType::S, GateType::Sdg,
+    GateType::T, GateType::Tdg, GateType::SX, GateType::CX,
+    GateType::CZ, GateType::SWAP, GateType::RZZ, GateType::RXX,
+    GateType::RYY, GateType::CRZ, GateType::CP, GateType::CCX,
+};
+
+Gate
+makeGate(GateType type)
+{
+    std::vector<int> wires;
+    for (int q = 0; q < gateArity(type); ++q)
+        wires.push_back(q);
+    std::vector<double> params;
+    for (int p = 0; p < gateParamCount(type); ++p)
+        params.push_back(0.3 + 0.4 * p);
+    return {type, wires, params};
+}
+
+class EveryGate : public ::testing::TestWithParam<GateType>
+{
+};
+
+TEST_P(EveryGate, MatrixIsUnitary)
+{
+    Gate g = makeGate(GetParam());
+    Matrix m = gateMatrix(g);
+    EXPECT_EQ(m.rows(), size_t{1} << g.arity());
+    EXPECT_TRUE(m.isUnitary(1e-10)) << gateName(GetParam());
+}
+
+TEST_P(EveryGate, InverseCancelsUpToPhase)
+{
+    Gate g = makeGate(GetParam());
+    Matrix m = gateMatrix(g);
+    Matrix mi = gateMatrix(g.inverse());
+    // Compare as unitaries (global-phase invariant; exact for all
+    // but SX).
+    EXPECT_NEAR(hsDistance(m * mi, Matrix::identity(m.rows())), 0.0,
+                1e-7)
+        << gateName(GetParam());
+}
+
+TEST_P(EveryGate, NameRoundTripIsLowerCase)
+{
+    std::string name = gateName(GetParam());
+    EXPECT_FALSE(name.empty());
+    for (char c : name)
+        EXPECT_TRUE(std::islower(c) || std::isdigit(c));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, EveryGate,
+                         ::testing::ValuesIn(allUnitaryGates),
+                         [](const auto &info) {
+                             return std::string(gateName(info.param));
+                         });
+
+TEST(Gate, CxMatrixMapsBasis)
+{
+    Matrix cx = gateMatrix(Gate::cx(0, 1));
+    // |10> -> |11>: column 2 has a one in row 3.
+    EXPECT_EQ(cx(3, 2), Complex(1.0, 0.0));
+    EXPECT_EQ(cx(2, 3), Complex(1.0, 0.0));
+    EXPECT_EQ(cx(0, 0), Complex(1.0, 0.0));
+    EXPECT_EQ(cx(1, 1), Complex(1.0, 0.0));
+}
+
+TEST(Gate, CcxMatrixMapsBasis)
+{
+    Matrix ccx = gateMatrix(Gate::ccx(0, 1, 2));
+    // |110> -> |111>.
+    EXPECT_EQ(ccx(7, 6), Complex(1.0, 0.0));
+    EXPECT_EQ(ccx(6, 7), Complex(1.0, 0.0));
+    for (int k = 0; k < 6; ++k)
+        EXPECT_EQ(ccx(k, k), Complex(1.0, 0.0));
+}
+
+TEST(Gate, SwapMatrix)
+{
+    Matrix sw = gateMatrix(Gate::swap(0, 1));
+    EXPECT_EQ(sw(1, 2), Complex(1.0, 0.0));
+    EXPECT_EQ(sw(2, 1), Complex(1.0, 0.0));
+}
+
+TEST(Gate, RzzIsDiagonal)
+{
+    Matrix m = gateMatrix(Gate::rzz(0, 1, 0.7));
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            if (r != c)
+                EXPECT_EQ(m(r, c), Complex(0.0, 0.0));
+    EXPECT_NEAR(std::arg(m(0, 0)), -0.35, 1e-12);
+    EXPECT_NEAR(std::arg(m(1, 1)), 0.35, 1e-12);
+}
+
+TEST(Gate, RxxEqualsHadamardConjugatedRzz)
+{
+    double theta = 0.9;
+    Matrix h = gateMatrix(Gate::h(0));
+    Matrix hh = kron(h, h);
+    Matrix rzz = gateMatrix(Gate::rzz(0, 1, theta));
+    Matrix rxx = gateMatrix(Gate::rxx(0, 1, theta));
+    EXPECT_TRUE(rxx.approxEqual(hh * rzz * hh, 1e-10));
+}
+
+TEST(Gate, U3SpecialCases)
+{
+    // U3(pi, 0, pi) = X.
+    EXPECT_NEAR(hsDistance(gateMatrix(Gate::u3(0, pi, 0, pi)),
+                           gateMatrix(Gate::x(0))),
+                0.0, 1e-7);
+    // U3(0, 0, pi) = Z.
+    EXPECT_NEAR(hsDistance(gateMatrix(Gate::u3(0, 0, 0, pi)),
+                           gateMatrix(Gate::z(0))),
+                0.0, 1e-7);
+}
+
+TEST(Gate, SAndSdgCompose)
+{
+    Matrix s = gateMatrix(Gate::s(0));
+    Matrix sdg = gateMatrix(Gate::sdg(0));
+    EXPECT_TRUE((s * sdg).approxEqual(Matrix::identity(2), 1e-12));
+    // S^2 = Z.
+    EXPECT_TRUE((s * s).approxEqual(gateMatrix(Gate::z(0)), 1e-12));
+}
+
+TEST(Gate, TSquaredIsS)
+{
+    Matrix t = gateMatrix(Gate::t(0));
+    EXPECT_TRUE((t * t).approxEqual(gateMatrix(Gate::s(0)), 1e-12));
+}
+
+TEST(Gate, SxSquaredIsX)
+{
+    Matrix sx = gateMatrix(Gate::sx(0));
+    EXPECT_TRUE((sx * sx).approxEqual(gateMatrix(Gate::x(0)), 1e-12));
+}
+
+TEST(Gate, ActsOn)
+{
+    Gate g = Gate::cx(2, 5);
+    EXPECT_TRUE(g.actsOn(2));
+    EXPECT_TRUE(g.actsOn(5));
+    EXPECT_FALSE(g.actsOn(3));
+}
+
+TEST(Gate, ArityAndParamCounts)
+{
+    EXPECT_EQ(gateArity(GateType::U3), 1);
+    EXPECT_EQ(gateArity(GateType::CX), 2);
+    EXPECT_EQ(gateArity(GateType::CCX), 3);
+    EXPECT_EQ(gateParamCount(GateType::U3), 3);
+    EXPECT_EQ(gateParamCount(GateType::U2), 2);
+    EXPECT_EQ(gateParamCount(GateType::RZ), 1);
+    EXPECT_EQ(gateParamCount(GateType::H), 0);
+}
+
+TEST(Gate, CnotEquivalents)
+{
+    EXPECT_EQ(cnotEquivalents(GateType::CX), 1);
+    EXPECT_EQ(cnotEquivalents(GateType::SWAP), 3);
+    EXPECT_EQ(cnotEquivalents(GateType::CCX), 6);
+    EXPECT_EQ(cnotEquivalents(GateType::RZZ), 2);
+    EXPECT_EQ(cnotEquivalents(GateType::H), 0);
+}
+
+TEST(Gate, DuplicateWirePanics)
+{
+    EXPECT_DEATH(Gate::cx(1, 1), "duplicate");
+}
+
+TEST(Gate, MeasureHasNoInverse)
+{
+    EXPECT_DEATH(Gate::measure(0).inverse(), "inverse");
+}
+
+TEST(Gate, MeasureHasNoMatrix)
+{
+    EXPECT_DEATH(gateMatrix(Gate::measure(0)), "unitary");
+}
+
+TEST(Gate, ToStringFormat)
+{
+    EXPECT_EQ(Gate::cx(0, 1).toString(), "cx q[0],q[1];");
+    std::string rz = Gate::rz(2, 0.5).toString();
+    EXPECT_NE(rz.find("rz(0.5)"), std::string::npos);
+}
+
+TEST(Gate, IsEntangling)
+{
+    EXPECT_TRUE(isEntangling(GateType::CX));
+    EXPECT_TRUE(isEntangling(GateType::RZZ));
+    EXPECT_FALSE(isEntangling(GateType::U3));
+    EXPECT_FALSE(isEntangling(GateType::Barrier));
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * OpenQASM 2.0 writer/parser tests: round trips, expressions, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "ir/qasm.hh"
+#include "linalg/distance.hh"
+#include "sim/unitary_builder.hh"
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+TEST(QasmWriter, HeaderAndRegisters)
+{
+    Circuit c(3);
+    c.append(Gate::h(0));
+    std::string q = toQasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+    EXPECT_EQ(q.find("creg"), std::string::npos);
+}
+
+TEST(QasmWriter, CregOnlyWithMeasure)
+{
+    Circuit c(2);
+    c.append(Gate::measure(0));
+    std::string q = toQasm(c);
+    EXPECT_NE(q.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(q.find("measure q[0] -> c[0];"), std::string::npos);
+}
+
+TEST(QasmParser, MinimalProgram)
+{
+    Circuit c = parseQasm("OPENQASM 2.0;\n"
+                          "include \"qelib1.inc\";\n"
+                          "qreg q[2];\n"
+                          "h q[0];\n"
+                          "cx q[0],q[1];\n");
+    EXPECT_EQ(c.numQubits(), 2);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0].type, GateType::H);
+    EXPECT_EQ(c[1].type, GateType::CX);
+}
+
+TEST(QasmParser, ParameterExpressions)
+{
+    Circuit c = parseQasm("qreg q[1];\n"
+                          "rz(pi/2) q[0];\n"
+                          "rx(-pi/4) q[0];\n"
+                          "ry(2*pi/3) q[0];\n"
+                          "u3(0.5, 1e-3, -(pi - 1)) q[0];\n");
+    EXPECT_NEAR(c[0].params[0], pi / 2, 1e-12);
+    EXPECT_NEAR(c[1].params[0], -pi / 4, 1e-12);
+    EXPECT_NEAR(c[2].params[0], 2 * pi / 3, 1e-12);
+    EXPECT_NEAR(c[3].params[0], 0.5, 1e-12);
+    EXPECT_NEAR(c[3].params[1], 1e-3, 1e-15);
+    EXPECT_NEAR(c[3].params[2], -(pi - 1), 1e-12);
+}
+
+TEST(QasmParser, CommentsIgnored)
+{
+    Circuit c = parseQasm("// leading comment\n"
+                          "qreg q[1]; // inline comment\n"
+                          "x q[0];\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmParser, MeasureAndBarrier)
+{
+    Circuit c = parseQasm("qreg q[2];\ncreg c[2];\n"
+                          "barrier q[0],q[1];\n"
+                          "measure q[1] -> c[1];\n");
+    EXPECT_EQ(c[0].type, GateType::Barrier);
+    EXPECT_EQ(c[1].type, GateType::Measure);
+    EXPECT_EQ(c[1].qubits[0], 1);
+}
+
+TEST(QasmParser, UAliasForU3)
+{
+    Circuit c = parseQasm("qreg q[1];\nu(0.1,0.2,0.3) q[0];\n");
+    EXPECT_EQ(c[0].type, GateType::U3);
+}
+
+TEST(QasmParser, Cu1AliasForCp)
+{
+    Circuit c = parseQasm("qreg q[2];\ncu1(0.5) q[0],q[1];\n");
+    EXPECT_EQ(c[0].type, GateType::CP);
+}
+
+TEST(QasmParser, Errors)
+{
+    EXPECT_THROW(parseQasm("x q[0];"), QasmError);           // no qreg
+    EXPECT_THROW(parseQasm("qreg q[2];\nfoo q[0];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nx q[5];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[2];\ncx q[0];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nrz q[0];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nrz(1/0) q[0];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nx q[0]"), QasmError);  // no ';'
+    EXPECT_THROW(parseQasm("qreg q[2];\nqreg r[2];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[0];"), QasmError);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QasmRoundTrip, PreservesUnitary)
+{
+    // Generate, serialize, reparse, compare unitaries.
+    Circuit original = [&]() {
+        const std::string &name = GetParam();
+        if (name == "adder")
+            return algos::adder(4);
+        if (name == "qft")
+            return algos::qft(4);
+        if (name == "tfim")
+            return algos::tfim(4, 2);
+        if (name == "heisenberg")
+            return algos::heisenberg(3, 2);
+        if (name == "qaoa")
+            return algos::qaoa(4);
+        if (name == "hlf")
+            return algos::hlf(4);
+        return algos::vqe(4);
+    }();
+
+    std::string text = toQasm(original);
+    Circuit parsed = parseQasm(text);
+    EXPECT_EQ(parsed.numQubits(), original.numQubits());
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_NEAR(hsDistance(buildUnitary(original), buildUnitary(parsed)),
+                0.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, QasmRoundTrip,
+                         ::testing::Values("adder", "qft", "tfim",
+                                           "heisenberg", "qaoa", "hlf",
+                                           "vqe"));
+
+TEST(QasmRoundTripNative, LoweredCircuit)
+{
+    Circuit c = lowerToNative(algos::heisenberg(3, 1));
+    Circuit parsed = parseQasm(toQasm(c));
+    EXPECT_NEAR(hsDistance(buildUnitary(c), buildUnitary(parsed)), 0.0,
+                1e-7);
+}
+
+} // namespace
+} // namespace quest

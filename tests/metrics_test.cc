@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Output-distance and magnetization metric tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "metrics/magnetization.hh"
+#include "metrics/output_distance.hh"
+#include "util/rng.hh"
+
+namespace quest {
+namespace {
+
+Distribution
+randomDistribution(int n, Rng &rng)
+{
+    std::vector<double> p(size_t{1} << n);
+    for (double &v : p)
+        v = rng.uniform();
+    Distribution d(std::move(p));
+    d.normalize();
+    return d;
+}
+
+TEST(Tvd, ZeroForIdentical)
+{
+    Rng rng(1);
+    Distribution d = randomDistribution(3, rng);
+    EXPECT_EQ(tvd(d, d), 0.0);
+}
+
+TEST(Tvd, OneForDisjoint)
+{
+    Distribution a(std::vector<double>{1.0, 0.0});
+    Distribution b(std::vector<double>{0.0, 1.0});
+    EXPECT_NEAR(tvd(a, b), 1.0, 1e-12);
+}
+
+TEST(Tvd, SymmetricAndBounded)
+{
+    Rng rng(3);
+    for (int t = 0; t < 20; ++t) {
+        Distribution a = randomDistribution(3, rng);
+        Distribution b = randomDistribution(3, rng);
+        double dab = tvd(a, b);
+        EXPECT_NEAR(dab, tvd(b, a), 1e-15);
+        EXPECT_GE(dab, 0.0);
+        EXPECT_LE(dab, 1.0);
+    }
+}
+
+TEST(Tvd, TriangleInequality)
+{
+    Rng rng(5);
+    for (int t = 0; t < 20; ++t) {
+        Distribution a = randomDistribution(2, rng);
+        Distribution b = randomDistribution(2, rng);
+        Distribution c = randomDistribution(2, rng);
+        EXPECT_LE(tvd(a, c), tvd(a, b) + tvd(b, c) + 1e-12);
+    }
+}
+
+TEST(Kl, ZeroForIdentical)
+{
+    Rng rng(7);
+    Distribution d = randomDistribution(3, rng);
+    EXPECT_NEAR(klDivergence(d, d), 0.0, 1e-12);
+}
+
+TEST(Kl, InfiniteWhenSupportMismatch)
+{
+    Distribution p(std::vector<double>{0.5, 0.5});
+    Distribution q(std::vector<double>{1.0, 0.0});
+    EXPECT_EQ(klDivergence(p, q),
+              std::numeric_limits<double>::infinity());
+}
+
+TEST(Kl, KnownValue)
+{
+    // D([1,0] || [0.5,0.5]) = log2(2) = 1.
+    Distribution p(std::vector<double>{1.0, 0.0});
+    Distribution q(std::vector<double>{0.5, 0.5});
+    EXPECT_NEAR(klDivergence(p, q), 1.0, 1e-12);
+}
+
+TEST(Jsd, ZeroForIdentical)
+{
+    Rng rng(9);
+    Distribution d = randomDistribution(3, rng);
+    EXPECT_NEAR(jsd(d, d), 0.0, 1e-9);
+}
+
+TEST(Jsd, OneForDisjoint)
+{
+    Distribution a(std::vector<double>{1.0, 0.0});
+    Distribution b(std::vector<double>{0.0, 1.0});
+    EXPECT_NEAR(jsd(a, b), 1.0, 1e-12);
+}
+
+TEST(Jsd, SymmetricAndBounded)
+{
+    Rng rng(11);
+    for (int t = 0; t < 20; ++t) {
+        Distribution a = randomDistribution(3, rng);
+        Distribution b = randomDistribution(3, rng);
+        double j = jsd(a, b);
+        EXPECT_NEAR(j, jsd(b, a), 1e-12);
+        EXPECT_GE(j, 0.0);
+        EXPECT_LE(j, 1.0);
+    }
+}
+
+TEST(Jsd, FiniteEvenWithZeroEntries)
+{
+    Distribution a(std::vector<double>{0.5, 0.5, 0.0, 0.0});
+    Distribution b(std::vector<double>{0.0, 0.0, 0.5, 0.5});
+    EXPECT_NEAR(jsd(a, b), 1.0, 1e-12);
+}
+
+TEST(Magnetization, AllZerosState)
+{
+    // |000> has every spin up: <Z> = +1.
+    Distribution d(std::vector<double>{1, 0, 0, 0, 0, 0, 0, 0});
+    EXPECT_NEAR(averageMagnetization(d), 1.0, 1e-12);
+    EXPECT_NEAR(zExpectation(d, 0), 1.0, 1e-12);
+}
+
+TEST(Magnetization, AllOnesState)
+{
+    Distribution d(std::vector<double>{0, 0, 0, 0, 0, 0, 0, 1});
+    EXPECT_NEAR(averageMagnetization(d), -1.0, 1e-12);
+}
+
+TEST(Magnetization, SingleFlippedSpin)
+{
+    // |100>: qubit 0 down, others up -> average = 1/3.
+    Distribution d(std::vector<double>{0, 0, 0, 0, 1, 0, 0, 0});
+    EXPECT_NEAR(zExpectation(d, 0), -1.0, 1e-12);
+    EXPECT_NEAR(zExpectation(d, 1), 1.0, 1e-12);
+    EXPECT_NEAR(averageMagnetization(d), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Magnetization, StaggeredNeelState)
+{
+    // |0101>: alternating spins. Staggered magnetization = +1.
+    std::vector<double> p(16, 0.0);
+    p[0b0101] = 1.0;
+    Distribution d(std::move(p));
+    EXPECT_NEAR(staggeredMagnetization(d), 1.0, 1e-12);
+    EXPECT_NEAR(averageMagnetization(d), 0.0, 1e-12);
+}
+
+TEST(Magnetization, UniformDistributionIsZero)
+{
+    std::vector<double> p(8, 1.0 / 8.0);
+    Distribution d(std::move(p));
+    EXPECT_NEAR(averageMagnetization(d), 0.0, 1e-12);
+    EXPECT_NEAR(staggeredMagnetization(d), 0.0, 1e-12);
+}
+
+TEST(Metrics, SizeMismatchPanics)
+{
+    Distribution a(2), b(3);
+    EXPECT_DEATH(tvd(a, b), "mismatch");
+    EXPECT_DEATH(jsd(a, b), "mismatch");
+}
+
+} // namespace
+} // namespace quest

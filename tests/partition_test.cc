@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Scan partitioner tests: the reassembled blocks must reproduce the
+ * original circuit exactly, blocks must respect the width limit, and
+ * every gate must land in exactly one block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "linalg/distance.hh"
+#include "partition/scan_partitioner.hh"
+#include "sim/unitary_builder.hh"
+
+namespace quest {
+namespace {
+
+TEST(ScanPartitioner, SingleBlockForSmallCircuit)
+{
+    Circuit c = lowerToNative(algos::tfim(3, 2));
+    ScanPartitioner partitioner(4);
+    auto blocks = partitioner.partition(c);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].width(), 3);
+    EXPECT_EQ(blocks[0].circuit.size(), c.size());
+}
+
+TEST(ScanPartitioner, RespectsWidthLimit)
+{
+    for (const auto &spec : algos::standardSuite()) {
+        Circuit c = lowerToNative(spec.build()).withoutPseudoOps();
+        ScanPartitioner partitioner(4);
+        for (const Block &b : partitioner.partition(c)) {
+            EXPECT_LE(b.width(), 4) << spec.name;
+            EXPECT_GE(b.width(), 1) << spec.name;
+        }
+    }
+}
+
+TEST(ScanPartitioner, AllGatesAssignedExactlyOnce)
+{
+    Circuit c = lowerToNative(algos::heisenberg(6, 2));
+    ScanPartitioner partitioner(3);
+    auto blocks = partitioner.partition(c);
+    size_t total = 0;
+    for (const Block &b : blocks)
+        total += b.circuit.size();
+    EXPECT_EQ(total, c.size());
+}
+
+TEST(ScanPartitioner, BlockWiresAreSortedAndValid)
+{
+    Circuit c = lowerToNative(algos::qft(6));
+    ScanPartitioner partitioner(3);
+    for (const Block &b : partitioner.partition(c)) {
+        for (size_t i = 1; i < b.qubits.size(); ++i)
+            EXPECT_LT(b.qubits[i - 1], b.qubits[i]);
+        for (int q : b.qubits) {
+            EXPECT_GE(q, 0);
+            EXPECT_LT(q, 6);
+        }
+        // Block circuits use local wire indexing.
+        for (const Gate &g : b.circuit)
+            for (int q : g.qubits)
+                EXPECT_LT(q, b.width());
+    }
+}
+
+class PartitionRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(PartitionRoundTrip, ReassemblyPreservesUnitary)
+{
+    auto [name, max_width] = GetParam();
+    auto suite = algos::standardSuite();
+    const auto &spec = algos::findSpec(suite, name);
+    if (spec.nQubits > 8)
+        GTEST_SKIP() << "too wide for dense unitary validation";
+
+    Circuit c = lowerToNative(spec.build()).withoutPseudoOps();
+    ScanPartitioner partitioner(max_width);
+    auto blocks = partitioner.partition(c);
+    Circuit reassembled = assembleBlocks(blocks, c.numQubits());
+
+    EXPECT_EQ(reassembled.size(), c.size());
+    EXPECT_NEAR(hsDistance(buildUnitary(c), buildUnitary(reassembled)),
+                0.0, 1e-7)
+        << name << " width " << max_width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, PartitionRoundTrip,
+    ::testing::Combine(::testing::Values("adder_4", "qft_5", "tfim_8",
+                                         "heisenberg_8", "qaoa_5",
+                                         "mult_8", "vqe_5"),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(ScanPartitioner, LargerBlocksGiveFewerBlocks)
+{
+    Circuit c = lowerToNative(algos::tfim(8, 4));
+    ScanPartitioner small(2), large(4);
+    EXPECT_GE(small.partition(c).size(), large.partition(c).size());
+}
+
+TEST(ScanPartitioner, RejectsMeasurements)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    c.append(Gate::measure(0));
+    ScanPartitioner partitioner(2);
+    EXPECT_DEATH(partitioner.partition(c), "measurement");
+}
+
+TEST(ScanPartitioner, BarriersAreDropped)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    c.append(Gate::barrier({0, 1}));
+    c.append(Gate::cx(0, 1));
+    ScanPartitioner partitioner(2);
+    auto blocks = partitioner.partition(c);
+    size_t total = 0;
+    for (const Block &b : blocks)
+        total += b.circuit.size();
+    EXPECT_EQ(total, 2u);
+}
+
+TEST(AssembleBlocks, EmptyBlockListGivesEmptyCircuit)
+{
+    Circuit c = assembleBlocks({}, 3);
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.numQubits(), 3);
+}
+
+TEST(ScanPartitioner, InterleavedGatesKeepDependencies)
+{
+    // Regression pattern: a deferred gate must block later gates on
+    // its wires from joining the current block.
+    Circuit c(4);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::cx(1, 2));  // depends on the first
+    c.append(Gate::cx(2, 3));  // depends on the second
+    c.append(Gate::cx(0, 1));
+    ScanPartitioner partitioner(2);
+    auto blocks = partitioner.partition(c);
+    Circuit reassembled = assembleBlocks(blocks, 4);
+    EXPECT_NEAR(hsDistance(buildUnitary(c), buildUnitary(reassembled)),
+                0.0, 1e-7);
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sec. 3.8 bound tests: the theorem says the full-circuit HS distance
+ * is at most the sum of per-block distances. We verify the inequality
+ * empirically on randomly perturbed partitioned circuits — the core
+ * theoretical claim of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "linalg/distance.hh"
+#include "partition/scan_partitioner.hh"
+#include "quest/bound.hh"
+#include "sim/unitary_builder.hh"
+#include "util/rng.hh"
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+/** Randomly perturb a block's rotation angles to fake approximation. */
+Circuit
+perturb(const Circuit &c, double scale, Rng &rng)
+{
+    Circuit out(c.numQubits());
+    for (const Gate &g : c) {
+        Gate copy = g;
+        for (double &p : copy.params)
+            p += rng.normal(0.0, scale);
+        out.append(std::move(copy));
+    }
+    return out;
+}
+
+TEST(Bound, SumOfDistances)
+{
+    EXPECT_EQ(processDistanceBound({}), 0.0);
+    EXPECT_NEAR(processDistanceBound({0.1, 0.2, 0.05}), 0.35, 1e-12);
+    EXPECT_DEATH(processDistanceBound({-0.1}), "negative");
+}
+
+TEST(Bound, ActualProcessDistanceZeroForSameCircuit)
+{
+    Circuit c = lowerToNative(algos::tfim(3, 2));
+    EXPECT_NEAR(actualProcessDistance(c, c), 0.0, 1e-7);
+}
+
+class BoundHolds
+    : public ::testing::TestWithParam<std::tuple<std::string, double>>
+{
+};
+
+TEST_P(BoundHolds, UpperBoundsActualDistance)
+{
+    auto [name, scale] = GetParam();
+    auto suite = algos::standardSuite();
+    const auto &spec = algos::findSpec(suite, name);
+    if (spec.nQubits > 8)
+        GTEST_SKIP();
+
+    Rng rng(7 + static_cast<uint64_t>(scale * 1000));
+    Circuit original = lowerToNative(spec.build()).withoutPseudoOps();
+    ScanPartitioner partitioner(3);
+    auto blocks = partitioner.partition(original);
+
+    // Perturb every block and measure per-block distances.
+    std::vector<double> block_distances;
+    auto approx_blocks = blocks;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        approx_blocks[b].circuit = perturb(blocks[b].circuit, scale, rng);
+        block_distances.push_back(
+            hsDistance(circuitUnitary(blocks[b].circuit),
+                       circuitUnitary(approx_blocks[b].circuit)));
+    }
+
+    Circuit approx = assembleBlocks(approx_blocks, original.numQubits());
+    double actual = actualProcessDistance(original, approx);
+    double bound = processDistanceBound(block_distances);
+
+    EXPECT_LE(actual, bound + 1e-9)
+        << name << " scale " << scale << " actual " << actual
+        << " bound " << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundHolds,
+    ::testing::Combine(::testing::Values("adder_4", "qft_4", "tfim_8",
+                                         "heisenberg_4", "qaoa_5",
+                                         "vqe_5", "xy_4"),
+                       ::testing::Values(0.01, 0.05, 0.2, 0.5)));
+
+TEST(Bound, TightForSingleBlock)
+{
+    // With one block the bound equals the actual distance.
+    Rng rng(11);
+    Circuit c = lowerToNative(algos::tfim(3, 2));
+    Circuit p = perturb(c, 0.1, rng);
+    double actual = actualProcessDistance(c, p);
+    double bound =
+        processDistanceBound({hsDistance(circuitUnitary(c),
+                                         circuitUnitary(p))});
+    EXPECT_NEAR(actual, bound, 1e-9);
+}
+
+TEST(Bound, KroneckerExtensionPreservesDistance)
+{
+    // The lemma inside the proof: hs(U, V) = hs(U (x) I, V (x) I).
+    Rng rng(13);
+    Circuit a = lowerToNative(algos::vqe(2, 1, 21));
+    Circuit b = perturb(a, 0.2, rng);
+    Matrix u = circuitUnitary(a);
+    Matrix v = circuitUnitary(b);
+    Matrix ui = kron(u, Matrix::identity(4));
+    Matrix vi = kron(v, Matrix::identity(4));
+    EXPECT_NEAR(hsDistance(u, v), hsDistance(ui, vi), 1e-10);
+}
+
+} // namespace
+} // namespace quest

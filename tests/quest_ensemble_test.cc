@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ensemble-evaluation tests on a shared small pipeline run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "quest/ensemble.hh"
+#include "quest/pipeline.hh"
+#include "sim/simulator.hh"
+
+namespace quest {
+namespace {
+
+const QuestResult &
+sharedResult()
+{
+    static QuestResult r = []() {
+        QuestConfig cfg;
+        cfg.thresholdPerBlock = 0.1;
+        cfg.synth.beamWidth = 1;
+        cfg.synth.inst.multistarts = 2;
+        cfg.synth.inst.lbfgs.maxIterations = 250;
+        cfg.synth.maxLayers = 8;
+        cfg.anneal.maxIterations = 300;
+        cfg.maxSamples = 4;
+        return QuestPipeline(cfg).run(algos::tfim(4, 3));
+    }();
+    return r;
+}
+
+TEST(Ensemble, SampleCircuitsMatchSamples)
+{
+    const QuestResult &r = sharedResult();
+    auto circuits = sampleCircuits(r, false);
+    ASSERT_EQ(circuits.size(), r.samples.size());
+    for (size_t i = 0; i < circuits.size(); ++i)
+        EXPECT_EQ(circuits[i].cnotCount(), r.samples[i].cnotCount);
+}
+
+TEST(Ensemble, QiskitPassNeverIncreasesCnots)
+{
+    const QuestResult &r = sharedResult();
+    auto raw = sampleCircuits(r, false);
+    auto optimized = sampleCircuits(r, true);
+    ASSERT_EQ(raw.size(), optimized.size());
+    for (size_t i = 0; i < raw.size(); ++i)
+        EXPECT_LE(optimized[i].cnotCount(), raw[i].cnotCount());
+}
+
+TEST(Ensemble, IdealDistributionIsNormalized)
+{
+    Distribution d = ensembleDistribution(sharedResult());
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(Ensemble, IdealMatchesManualAverage)
+{
+    const QuestResult &r = sharedResult();
+    std::vector<Distribution> outputs;
+    for (const ApproxSample &s : r.samples)
+        outputs.push_back(idealDistribution(s.circuit));
+    Distribution manual = Distribution::average(outputs);
+    Distribution viaApi = ensembleDistribution(r);
+    EXPECT_LT(tvd(manual, viaApi), 1e-12);
+}
+
+TEST(Ensemble, NoisyRunIsDeterministicPerSeed)
+{
+    const QuestResult &r = sharedResult();
+    EnsembleOptions opts;
+    opts.noise = NoiseModel::pauli(0.01);
+    opts.shots = 500;
+    opts.seed = 5;
+    Distribution a = ensembleDistribution(r, opts);
+    Distribution b = ensembleDistribution(r, opts);
+    for (size_t k = 0; k < a.size(); ++k)
+        EXPECT_EQ(a[k], b[k]);
+}
+
+TEST(Ensemble, NoiseDegradesOutput)
+{
+    const QuestResult &r = sharedResult();
+    Distribution truth = idealDistribution(r.original);
+    Distribution ideal = ensembleDistribution(r);
+
+    EnsembleOptions noisy;
+    noisy.noise = NoiseModel::pauli(0.05);
+    noisy.shots = 4096;
+    Distribution degraded = ensembleDistribution(r, noisy);
+
+    EXPECT_GT(tvd(truth, degraded), tvd(truth, ideal));
+}
+
+TEST(Ensemble, ZeroLambdaEqualsPlainAverage)
+{
+    const QuestResult &r = sharedResult();
+    EnsembleOptions plain;
+    EnsembleOptions weighted;
+    weighted.cnotWeightLambda = 0.0;
+    Distribution a = ensembleDistribution(r, plain);
+    Distribution b = ensembleDistribution(r, weighted);
+    for (size_t k = 0; k < a.size(); ++k)
+        EXPECT_EQ(a[k], b[k]);
+}
+
+TEST(Ensemble, LargeLambdaApproachesShortestSample)
+{
+    const QuestResult &r = sharedResult();
+    size_t shortest = 0;
+    for (size_t i = 1; i < r.samples.size(); ++i)
+        if (r.samples[i].cnotCount < r.samples[shortest].cnotCount)
+            shortest = i;
+    Distribution lone = idealDistribution(r.samples[shortest].circuit);
+
+    EnsembleOptions opts;
+    opts.cnotWeightLambda = 50.0;  // effectively winner-take-all
+    Distribution weighted = ensembleDistribution(r, opts);
+    EXPECT_LT(tvd(weighted, lone), 1e-6);
+}
+
+TEST(Ensemble, WeightedStillNormalized)
+{
+    const QuestResult &r = sharedResult();
+    EnsembleOptions opts;
+    opts.cnotWeightLambda = 0.1;
+    Distribution d = ensembleDistribution(r, opts);
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(Ensemble, CnotCountAveragesSamples)
+{
+    const QuestResult &r = sharedResult();
+    double mean = ensembleCnotCount(r, false);
+    EXPECT_NEAR(mean, r.meanSampleCnots(), 1e-12);
+    EXPECT_LE(ensembleCnotCount(r, true), mean + 1e-12);
+}
+
+} // namespace
+} // namespace quest

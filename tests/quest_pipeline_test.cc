@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end QUEST pipeline tests (lean synthesis settings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "quest/bound.hh"
+#include "quest/ensemble.hh"
+#include "quest/pipeline.hh"
+#include "sim/simulator.hh"
+
+namespace quest {
+namespace {
+
+QuestConfig
+leanConfig()
+{
+    QuestConfig cfg;
+    cfg.thresholdPerBlock = 0.1;  // keep ensemble TVD assertions tight
+    cfg.synth.beamWidth = 1;
+    cfg.synth.inst.multistarts = 2;
+    cfg.synth.inst.lbfgs.maxIterations = 250;
+    cfg.synth.maxLayers = 10;
+    cfg.synth.candidatesPerLevel = 4;
+    cfg.synth.stallLevels = 4;
+    cfg.anneal.maxIterations = 300;
+    cfg.maxSamples = 6;
+    return cfg;
+}
+
+class PipelineFixture : public ::testing::Test
+{
+  protected:
+    static const QuestResult &
+    result()
+    {
+        // Shared across tests: the pipeline run is the expensive part.
+        static QuestResult r =
+            QuestPipeline(leanConfig()).run(algos::tfim(4, 5));
+        return r;
+    }
+};
+
+TEST_F(PipelineFixture, ReducesCnotCount)
+{
+    const QuestResult &r = result();
+    EXPECT_EQ(r.originalCnots, 30u);
+    EXPECT_LT(r.minSampleCnots(), r.originalCnots / 2);
+}
+
+TEST_F(PipelineFixture, SelectsMultipleDissimilarSamples)
+{
+    const QuestResult &r = result();
+    EXPECT_GE(r.samples.size(), 2u);
+    EXPECT_LE(r.samples.size(),
+              static_cast<size_t>(leanConfig().maxSamples));
+    // All selected choices distinct.
+    for (size_t i = 0; i < r.samples.size(); ++i)
+        for (size_t j = i + 1; j < r.samples.size(); ++j)
+            EXPECT_NE(r.samples[i].choice, r.samples[j].choice);
+}
+
+TEST_F(PipelineFixture, SamplesRespectThreshold)
+{
+    const QuestResult &r = result();
+    for (const ApproxSample &s : r.samples) {
+        EXPECT_LE(s.distanceBound, r.threshold + 1e-12);
+        EXPECT_LE(s.cnotCount, r.originalCnots);
+    }
+}
+
+TEST_F(PipelineFixture, BoundHoldsForEverySample)
+{
+    const QuestResult &r = result();
+    for (const ApproxSample &s : r.samples) {
+        double actual = actualProcessDistance(r.original, s.circuit);
+        EXPECT_LE(actual, s.distanceBound + 1e-9);
+    }
+}
+
+TEST_F(PipelineFixture, SampleMetadataConsistent)
+{
+    const QuestResult &r = result();
+    for (const ApproxSample &s : r.samples) {
+        EXPECT_EQ(s.circuit.cnotCount(), s.cnotCount);
+        EXPECT_EQ(s.circuit.numQubits(), r.original.numQubits());
+        ASSERT_EQ(s.choice.size(), r.blocks.size());
+        for (size_t b = 0; b < s.choice.size(); ++b) {
+            EXPECT_GE(s.choice[b], 0);
+            EXPECT_LT(s.choice[b],
+                      static_cast<int>(r.blockApprox[b].size()));
+        }
+    }
+}
+
+TEST_F(PipelineFixture, EnsembleTracksGroundTruth)
+{
+    const QuestResult &r = result();
+    Distribution truth = idealDistribution(r.original);
+    Distribution ensemble = ensembleDistribution(r);
+    EXPECT_LT(tvd(truth, ensemble), 0.08);
+    EXPECT_LT(jsd(truth, ensemble), 0.15);
+}
+
+TEST_F(PipelineFixture, QiskitPostPassPreservesSamples)
+{
+    const QuestResult &r = result();
+    EnsembleOptions opts;
+    opts.applyQiskit = true;
+    Distribution truth = idealDistribution(r.original);
+    Distribution ensemble = ensembleDistribution(r, opts);
+    EXPECT_LT(tvd(truth, ensemble), 0.08);
+    EXPECT_LE(ensembleCnotCount(r, true),
+              ensembleCnotCount(r, false) + 1e-9);
+}
+
+TEST_F(PipelineFixture, StageTimingsPopulated)
+{
+    const QuestResult &r = result();
+    EXPECT_GT(r.synthesisSeconds, 0.0);
+    EXPECT_GE(r.partitionSeconds, 0.0);
+    EXPECT_GT(r.annealSeconds, 0.0);
+}
+
+TEST_F(PipelineFixture, BlockApproxIndexZeroIsOriginal)
+{
+    const QuestResult &r = result();
+    for (size_t b = 0; b < r.blocks.size(); ++b) {
+        EXPECT_EQ(r.blockApprox[b][0].distance, 0.0);
+        EXPECT_EQ(r.blockApprox[b][0].cnotCount,
+                  static_cast<int>(r.blocks[b].circuit.cnotCount()));
+    }
+}
+
+TEST(Pipeline, PartitionedCircuitRuns)
+{
+    // An 8-qubit circuit forces multiple blocks.
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 6;
+    QuestResult r = QuestPipeline(cfg).run(algos::tfim(8, 2));
+    EXPECT_GT(r.blocks.size(), 1u);
+    EXPECT_GE(r.samples.size(), 1u);
+    EXPECT_LE(r.minSampleCnots(), r.originalCnots);
+    // Every sample simulates to a normalized distribution.
+    Distribution d = ensembleDistribution(r);
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(Pipeline, NeverWorseThanBaseline)
+{
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 4;
+    cfg.maxSamples = 3;
+    // A circuit that is hard to compress at this budget: QUEST must
+    // fall back to the original rather than doing worse.
+    QuestResult r = QuestPipeline(cfg).run(algos::hlf(4, 3));
+    EXPECT_LE(r.minSampleCnots(), r.originalCnots);
+    EXPECT_GE(r.samples.size(), 1u);
+}
+
+TEST(Pipeline, DeterministicForSeed)
+{
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 5;
+    cfg.maxSamples = 3;
+    QuestResult a = QuestPipeline(cfg).run(algos::tfim(3, 2));
+    QuestResult b = QuestPipeline(cfg).run(algos::tfim(3, 2));
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (size_t i = 0; i < a.samples.size(); ++i)
+        EXPECT_EQ(a.samples[i].choice, b.samples[i].choice);
+}
+
+TEST(Ensemble, RequiresSamples)
+{
+    QuestResult empty;
+    EXPECT_DEATH(sampleCircuits(empty, false), "samples");
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Coupling map and SWAP-router tests. Correctness criterion: the
+ * routed circuit, after un-permuting the final layout, produces the
+ * same output distribution as the logical circuit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "route/router.hh"
+#include "sim/simulator.hh"
+#include "util/rng.hh"
+
+namespace quest {
+namespace {
+
+Circuit
+randomNativeCircuit(int n, int gates, uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(n);
+    for (int i = 0; i < gates; ++i) {
+        if (rng.bernoulli(0.4)) {
+            int a = static_cast<int>(rng.uniformInt(n));
+            int b = static_cast<int>(rng.uniformInt(n));
+            if (a == b)
+                b = (b + 1) % n;
+            c.append(Gate::cx(a, b));
+        } else {
+            c.append(Gate::u3(static_cast<int>(rng.uniformInt(n)),
+                              rng.uniform(-3, 3), rng.uniform(-3, 3),
+                              rng.uniform(-3, 3)));
+        }
+    }
+    return c;
+}
+
+TEST(CouplingMap, LineTopology)
+{
+    CouplingMap m = CouplingMap::line(5);
+    EXPECT_EQ(m.numQubits(), 5);
+    EXPECT_EQ(m.edges().size(), 4u);
+    EXPECT_TRUE(m.connected(0, 1));
+    EXPECT_TRUE(m.connected(1, 0));
+    EXPECT_FALSE(m.connected(0, 2));
+    EXPECT_EQ(m.distance(0, 4), 4);
+    EXPECT_EQ(m.distance(2, 2), 0);
+}
+
+TEST(CouplingMap, RingTopology)
+{
+    CouplingMap m = CouplingMap::ring(6);
+    EXPECT_EQ(m.edges().size(), 6u);
+    EXPECT_TRUE(m.connected(0, 5));
+    EXPECT_EQ(m.distance(0, 3), 3);
+    EXPECT_EQ(m.distance(0, 5), 1);
+}
+
+TEST(CouplingMap, GridTopology)
+{
+    CouplingMap m = CouplingMap::grid(2, 3);
+    EXPECT_EQ(m.numQubits(), 6);
+    // 2x3 grid: 3 + 4 = 7 edges.
+    EXPECT_EQ(m.edges().size(), 7u);
+    EXPECT_TRUE(m.connected(0, 3));  // vertical
+    EXPECT_TRUE(m.connected(0, 1));  // horizontal
+    EXPECT_EQ(m.distance(0, 5), 3);
+}
+
+TEST(CouplingMap, FullyConnected)
+{
+    CouplingMap m = CouplingMap::fullyConnected(4);
+    EXPECT_EQ(m.edges().size(), 6u);
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+            if (a != b)
+                EXPECT_EQ(m.distance(a, b), 1);
+}
+
+TEST(CouplingMap, DeduplicatesEdges)
+{
+    CouplingMap m(3, {{0, 1}, {1, 0}, {0, 1}});
+    EXPECT_EQ(m.edges().size(), 1u);
+}
+
+TEST(CouplingMap, DisconnectedDistancePanics)
+{
+    CouplingMap m(3, {{0, 1}});
+    EXPECT_DEATH(m.distance(0, 2), "disconnected");
+}
+
+TEST(Router, NoSwapsOnFullConnectivity)
+{
+    Circuit c = randomNativeCircuit(4, 20, 3);
+    RoutingResult r =
+        routeCircuit(c, CouplingMap::fullyConnected(4));
+    EXPECT_EQ(r.swapCount, 0u);
+    EXPECT_EQ(r.circuit.size(), c.size());
+    EXPECT_EQ(r.finalLayout, r.initialLayout);
+}
+
+TEST(Router, AdjacentGatesNeedNoSwaps)
+{
+    Circuit c(3);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::cx(1, 2));
+    RoutingResult r = routeCircuit(c, CouplingMap::line(3));
+    EXPECT_EQ(r.swapCount, 0u);
+}
+
+TEST(Router, DistantGateInsertsSwaps)
+{
+    Circuit c(5);
+    c.append(Gate::cx(0, 4));
+    RoutingResult r = routeCircuit(c, CouplingMap::line(5));
+    EXPECT_EQ(r.swapCount, 3u);  // distance 4 -> 3 swaps
+    // The emitted CX ends on adjacent wires.
+    const Gate &last = r.circuit[r.circuit.size() - 1];
+    EXPECT_EQ(last.type, GateType::CX);
+    EXPECT_EQ(std::abs(last.qubits[0] - last.qubits[1]), 1);
+}
+
+TEST(Router, RoutedGatesRespectCoupling)
+{
+    CouplingMap device = CouplingMap::line(5);
+    Circuit c = randomNativeCircuit(5, 40, 7);
+    RoutingResult r = routeCircuit(c, device);
+    for (const Gate &g : r.circuit) {
+        if (g.arity() == 2)
+            EXPECT_TRUE(device.connected(g.qubits[0], g.qubits[1]))
+                << g.toString();
+    }
+}
+
+class RouterEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>>
+{
+};
+
+TEST_P(RouterEquivalence, OutputDistributionPreserved)
+{
+    auto [seed, topo] = GetParam();
+    Circuit c = randomNativeCircuit(5, 30, seed);
+    CouplingMap device = topo == 0   ? CouplingMap::line(5)
+                         : topo == 1 ? CouplingMap::ring(5)
+                                     : CouplingMap::fullyConnected(5);
+    RoutingResult r = routeCircuit(c, device);
+
+    Distribution logical = idealDistribution(c);
+    Distribution physical = idealDistribution(r.circuit);
+    Distribution unpermuted =
+        unpermuteDistribution(physical, r.finalLayout);
+    EXPECT_LT(tvd(logical, unpermuted), 1e-9)
+        << "seed " << seed << " topo " << topo;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(Router, SuiteCircuitsOnManila)
+{
+    for (const auto &spec : algos::manilaSuite()) {
+        Circuit c = lowerToNative(spec.build()).withoutPseudoOps();
+        RoutingResult r = routeCircuit(c, CouplingMap::ibmqManila());
+        Distribution logical = idealDistribution(c);
+        Distribution physical = idealDistribution(r.circuit);
+        EXPECT_LT(tvd(logical, unpermuteDistribution(physical,
+                                                     r.finalLayout)),
+                  1e-9)
+            << spec.name;
+    }
+}
+
+TEST(Router, WiderDeviceThanCircuit)
+{
+    Circuit c = randomNativeCircuit(3, 15, 11);
+    RoutingResult r = routeCircuit(c, CouplingMap::line(5));
+    EXPECT_EQ(r.circuit.numQubits(), 5);
+    Distribution logical = idealDistribution(c);
+    Distribution physical = idealDistribution(r.circuit);
+    EXPECT_LT(tvd(logical, unpermuteDistribution(physical,
+                                                 r.finalLayout)),
+              1e-9);
+}
+
+TEST(Router, TooWideCircuitPanics)
+{
+    Circuit c(4);
+    c.append(Gate::cx(0, 3));
+    EXPECT_DEATH(routeCircuit(c, CouplingMap::line(3)), "device");
+}
+
+TEST(Router, RequiresLoweredGates)
+{
+    Circuit c(3);
+    c.append(Gate::ccx(0, 1, 2));
+    EXPECT_DEATH(routeCircuit(c, CouplingMap::line(3)), "lowered");
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Distribution type tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/distribution.hh"
+
+namespace quest {
+namespace {
+
+TEST(Distribution, ZeroInitialized)
+{
+    Distribution d(3);
+    EXPECT_EQ(d.size(), 8u);
+    EXPECT_EQ(d.numQubits(), 3);
+    EXPECT_EQ(d.total(), 0.0);
+}
+
+TEST(Distribution, FromVector)
+{
+    Distribution d(std::vector<double>{0.25, 0.25, 0.25, 0.25});
+    EXPECT_EQ(d.numQubits(), 2);
+    EXPECT_NEAR(d.total(), 1.0, 1e-12);
+}
+
+TEST(Distribution, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH(Distribution(std::vector<double>{0.5, 0.25, 0.25}),
+                 "power of two");
+}
+
+TEST(Distribution, FromCountsNormalizes)
+{
+    Distribution d = Distribution::fromCounts({10, 30, 0, 60});
+    EXPECT_NEAR(d[0], 0.1, 1e-12);
+    EXPECT_NEAR(d[1], 0.3, 1e-12);
+    EXPECT_NEAR(d[3], 0.6, 1e-12);
+    EXPECT_NEAR(d.total(), 1.0, 1e-12);
+}
+
+TEST(Distribution, AverageOfTwo)
+{
+    Distribution a(std::vector<double>{1.0, 0.0});
+    Distribution b(std::vector<double>{0.0, 1.0});
+    Distribution avg = Distribution::average({a, b});
+    EXPECT_NEAR(avg[0], 0.5, 1e-12);
+    EXPECT_NEAR(avg[1], 0.5, 1e-12);
+}
+
+TEST(Distribution, AverageSingleIsIdentity)
+{
+    Distribution a(std::vector<double>{0.7, 0.3});
+    Distribution avg = Distribution::average({a});
+    EXPECT_NEAR(avg[0], 0.7, 1e-12);
+}
+
+TEST(Distribution, NormalizeRescales)
+{
+    Distribution d(std::vector<double>{2.0, 2.0});
+    d.normalize();
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+}
+
+TEST(Distribution, NormalizeZeroIsNoop)
+{
+    Distribution d(1);
+    d.normalize();
+    EXPECT_EQ(d.total(), 0.0);
+}
+
+TEST(Distribution, SampleRespectsWeights)
+{
+    Distribution d(std::vector<double>{0.0, 1.0});
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 1u);
+}
+
+TEST(Distribution, SampledConvergesWithShots)
+{
+    Distribution d(std::vector<double>{0.5, 0.25, 0.125, 0.125});
+    Rng rng(7);
+    Distribution emp = d.sampled(100000, rng);
+    for (size_t k = 0; k < 4; ++k)
+        EXPECT_NEAR(emp[k], d[k], 0.01);
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ideal and noisy simulator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/algorithms.hh"
+#include "ir/lower.hh"
+#include "metrics/output_distance.hh"
+#include "sim/simulator.hh"
+
+namespace quest {
+namespace {
+
+TEST(IdealDistribution, BellProbabilities)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    c.append(Gate::cx(0, 1));
+    Distribution d = idealDistribution(c);
+    EXPECT_NEAR(d[0], 0.5, 1e-12);
+    EXPECT_NEAR(d[3], 0.5, 1e-12);
+}
+
+TEST(IdealDistribution, NormalizedForSuite)
+{
+    Distribution d = idealDistribution(lowerToNative(algos::qft(4)));
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(NoiseModel, Presets)
+{
+    EXPECT_TRUE(NoiseModel::ideal().isIdeal());
+    NoiseModel p = NoiseModel::pauli(0.01);
+    EXPECT_NEAR(p.p2, 0.01, 1e-15);
+    EXPECT_NEAR(p.p1, 0.001, 1e-15);
+    EXPECT_NEAR(p.pReadout, 0.01, 1e-15);
+    EXPECT_FALSE(p.isIdeal());
+    NoiseModel m = NoiseModel::ibmqManila();
+    EXPECT_GT(m.p2, m.p1);
+}
+
+TEST(NoisySimulator, ZeroNoiseMatchesIdeal)
+{
+    Circuit c = lowerToNative(algos::tfim(3, 2));
+    NoisySimulator sim(NoiseModel::ideal(), 11);
+    Distribution noisy = sim.run(c, 20000);
+    Distribution ideal = idealDistribution(c);
+    EXPECT_LT(tvd(noisy, ideal), 0.03);  // only shot noise remains
+}
+
+TEST(NoisySimulator, NoiseIncreasesOutputDistance)
+{
+    Circuit c = lowerToNative(algos::tfim(3, 3));
+    Distribution ideal = idealDistribution(c);
+
+    NoisySimulator low(NoiseModel::pauli(0.001), 13);
+    NoisySimulator high(NoiseModel::pauli(0.05), 13);
+    double tvd_low = tvd(low.run(c, 4000), ideal);
+    double tvd_high = tvd(high.run(c, 4000), ideal);
+    EXPECT_LT(tvd_low, tvd_high);
+}
+
+TEST(NoisySimulator, MoreGatesMoreError)
+{
+    Circuit shallow = lowerToNative(algos::tfim(3, 1));
+    Circuit deep = lowerToNative(algos::tfim(3, 8));
+    NoisySimulator sim1(NoiseModel::pauli(0.01), 17);
+    NoisySimulator sim2(NoiseModel::pauli(0.01), 17);
+    double e_shallow = tvd(sim1.run(shallow, 4000),
+                           idealDistribution(shallow));
+    double e_deep = tvd(sim2.run(deep, 4000), idealDistribution(deep));
+    EXPECT_LT(e_shallow, e_deep);
+}
+
+TEST(NoisySimulator, ReadoutErrorOnly)
+{
+    // Identity circuit + readout error: P(0...0) = (1-p)^n.
+    Circuit c(3);
+    c.append(Gate::u3(0, 0.0, 0.0, 0.0));
+    NoiseModel m;
+    m.pReadout = 0.1;
+    NoisySimulator sim(m, 19);
+    Distribution d = sim.run(c, 30000);
+    EXPECT_NEAR(d[0], 0.9 * 0.9 * 0.9, 0.02);
+}
+
+TEST(NoisySimulator, DistributionSumsToOne)
+{
+    Circuit c = lowerToNative(algos::qft(3));
+    NoisySimulator sim(NoiseModel::pauli(0.01), 23);
+    Distribution d = sim.run(c, 2000);
+    EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(NoisySimulator, DeterministicForSeed)
+{
+    Circuit c = lowerToNative(algos::tfim(3, 2));
+    NoisySimulator a(NoiseModel::pauli(0.02), 29);
+    NoisySimulator b(NoiseModel::pauli(0.02), 29);
+    Distribution da = a.run(c, 1000);
+    Distribution db = b.run(c, 1000);
+    for (size_t k = 0; k < da.size(); ++k)
+        EXPECT_EQ(da[k], db[k]);
+}
+
+} // namespace
+} // namespace quest

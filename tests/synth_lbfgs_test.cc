@@ -1,0 +1,142 @@
+/**
+ * @file
+ * L-BFGS minimizer tests on standard optimization problems.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/lbfgs.hh"
+
+namespace quest {
+namespace {
+
+TEST(Lbfgs, QuadraticBowl)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double v = 0.0;
+        if (g)
+            g->resize(x.size());
+        for (size_t i = 0; i < x.size(); ++i) {
+            v += (x[i] - 1.0) * (x[i] - 1.0);
+            if (g)
+                (*g)[i] = 2.0 * (x[i] - 1.0);
+        }
+        return v;
+    };
+    LbfgsResult r = lbfgsMinimize(f, {5.0, -3.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.value, 0.0, 1e-10);
+    for (double xi : r.x)
+        EXPECT_NEAR(xi, 1.0, 1e-5);
+}
+
+TEST(Lbfgs, IllConditionedQuadratic)
+{
+    // f = x0^2 + 1000 x1^2.
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {2.0 * x[0], 2000.0 * x[1]};
+        return x[0] * x[0] + 1000.0 * x[1] * x[1];
+    };
+    LbfgsResult r = lbfgsMinimize(f, {3.0, 1.0});
+    EXPECT_NEAR(r.value, 0.0, 1e-8);
+}
+
+TEST(Lbfgs, Rosenbrock2d)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        if (g) {
+            *g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+        }
+        return a * a + 100.0 * b * b;
+    };
+    LbfgsOptions opts;
+    opts.maxIterations = 2000;
+    LbfgsResult r = lbfgsMinimize(f, {-1.2, 1.0}, opts);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, TrigLandscape)
+{
+    // Smooth periodic objective with a known minimum of -2.
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {std::sin(x[0]), std::sin(x[1])};
+        return -std::cos(x[0]) - std::cos(x[1]);
+    };
+    LbfgsResult r = lbfgsMinimize(f, {0.3, -0.4});
+    EXPECT_NEAR(r.value, -2.0, 1e-8);
+}
+
+TEST(Lbfgs, AlreadyAtMinimum)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {2.0 * x[0]};
+        return x[0] * x[0];
+    };
+    LbfgsResult r = lbfgsMinimize(f, {0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.value, 0.0, 1e-12);
+}
+
+TEST(Lbfgs, EmptyParameterVector)
+{
+    GradObjective f = [](const std::vector<double> &,
+                         std::vector<double> *) { return 7.0; };
+    LbfgsResult r = lbfgsMinimize(f, {});
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.value, 7.0);
+}
+
+TEST(Lbfgs, RespectsIterationCap)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        if (g)
+            *g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+        return a * a + 100.0 * b * b;
+    };
+    LbfgsOptions opts;
+    opts.maxIterations = 3;
+    LbfgsResult r = lbfgsMinimize(f, {-1.2, 1.0}, opts);
+    EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Lbfgs, MonotoneNonIncreasing)
+{
+    // The line search enforces sufficient decrease, so the final
+    // value can never exceed the starting value.
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double v = 0.0;
+        if (g)
+            g->resize(x.size());
+        for (size_t i = 0; i < x.size(); ++i) {
+            v += std::pow(x[i], 4) - 3.0 * x[i] * x[i] + x[i];
+            if (g)
+                (*g)[i] = 4.0 * std::pow(x[i], 3) - 6.0 * x[i] + 1.0;
+        }
+        return v;
+    };
+    std::vector<double> x0 = {2.0, -2.0, 0.5};
+    std::vector<double> dummy;
+    double f0 = f(x0, &dummy);
+    LbfgsResult r = lbfgsMinimize(f, x0);
+    EXPECT_LE(r.value, f0);
+}
+
+} // namespace
+} // namespace quest

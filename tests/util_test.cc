@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG, tables, timers, thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace quest {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(17);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    const int trials = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / trials, 0.0, 0.02);
+    EXPECT_NEAR(sq / trials, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParams)
+{
+    Rng rng(23);
+    const int trials = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / trials, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(37);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int trials = 40000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / trials, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / trials, 0.75, 0.02);
+}
+
+TEST(Rng, SplitIsIndependent)
+{
+    Rng parent(41);
+    Rng child = parent.split();
+    // Parent and child streams should not be identical.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (parent() == child());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitDeterministic)
+{
+    Rng a(43), b(43);
+    Rng ca = a.split(), cb = b.split();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ca(), cb());
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, PctFormatting)
+{
+    EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Stopwatch, AccumulatesTime)
+{
+    Stopwatch w;
+    EXPECT_EQ(w.seconds(), 0.0);
+    w.start();
+    // Burn a little time.
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i)
+        x += std::sqrt(static_cast<double>(i));
+    w.stop();
+    EXPECT_GT(w.seconds(), 0.0);
+    double after_stop = w.seconds();
+    EXPECT_EQ(w.seconds(), after_stop);
+}
+
+TEST(Stopwatch, ResetClears)
+{
+    Stopwatch w;
+    w.start();
+    w.stop();
+    w.reset();
+    EXPECT_EQ(w.seconds(), 0.0);
+}
+
+TEST(ScopedTimer, StopsOnDestruction)
+{
+    Stopwatch w;
+    {
+        ScopedTimer t(w);
+    }
+    double v = w.seconds();
+    EXPECT_EQ(w.seconds(), v);  // not running any more
+}
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    pool.parallelFor(100, [&](size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() { return 42; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForPassesIndices)
+{
+    ThreadPool pool(3);
+    std::vector<int> hit(50, 0);
+    pool.parallelFor(50, [&](size_t i) { hit[i] = static_cast<int>(i); });
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(hit[i], i);
+}
+
+TEST(Logging, FatalExits)
+{
+    EXPECT_DEATH(fatal("bad input"), "bad input");
+}
+
+TEST(Logging, AssertMessage)
+{
+    EXPECT_DEATH(QUEST_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+} // namespace
+} // namespace quest
