@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_motivation.dir/fig01_motivation.cc.o"
+  "CMakeFiles/fig01_motivation.dir/fig01_motivation.cc.o.d"
+  "fig01_motivation"
+  "fig01_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_exact_synthesis.dir/fig04_exact_synthesis.cc.o"
+  "CMakeFiles/fig04_exact_synthesis.dir/fig04_exact_synthesis.cc.o.d"
+  "fig04_exact_synthesis"
+  "fig04_exact_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_exact_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

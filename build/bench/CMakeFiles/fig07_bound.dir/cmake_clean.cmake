@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bound.dir/fig07_bound.cc.o"
+  "CMakeFiles/fig07_bound.dir/fig07_bound.cc.o.d"
+  "fig07_bound"
+  "fig07_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

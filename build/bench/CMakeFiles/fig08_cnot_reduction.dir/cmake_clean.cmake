@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cnot_reduction.dir/fig08_cnot_reduction.cc.o"
+  "CMakeFiles/fig08_cnot_reduction.dir/fig08_cnot_reduction.cc.o.d"
+  "fig08_cnot_reduction"
+  "fig08_cnot_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cnot_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_output_distance.dir/fig09_output_distance.cc.o"
+  "CMakeFiles/fig09_output_distance.dir/fig09_output_distance.cc.o.d"
+  "fig09_output_distance"
+  "fig09_output_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_output_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nisq_machine.dir/fig10_nisq_machine.cc.o"
+  "CMakeFiles/fig10_nisq_machine.dir/fig10_nisq_machine.cc.o.d"
+  "fig10_nisq_machine"
+  "fig10_nisq_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nisq_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

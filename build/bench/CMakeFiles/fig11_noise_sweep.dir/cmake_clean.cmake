@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_noise_sweep.dir/fig11_noise_sweep.cc.o"
+  "CMakeFiles/fig11_noise_sweep.dir/fig11_noise_sweep.cc.o.d"
+  "fig11_noise_sweep"
+  "fig11_noise_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_noise_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

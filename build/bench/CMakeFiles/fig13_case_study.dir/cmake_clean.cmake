@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_case_study.dir/fig13_case_study.cc.o"
+  "CMakeFiles/fig13_case_study.dir/fig13_case_study.cc.o.d"
+  "fig13_case_study"
+  "fig13_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

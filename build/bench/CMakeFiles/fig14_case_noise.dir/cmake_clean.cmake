@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_case_noise.dir/fig14_case_noise.cc.o"
+  "CMakeFiles/fig14_case_noise.dir/fig14_case_noise.cc.o.d"
+  "fig14_case_noise"
+  "fig14_case_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_case_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_structure.dir/fig15_structure.cc.o"
+  "CMakeFiles/fig15_structure.dir/fig15_structure.cc.o.d"
+  "fig15_structure"
+  "fig15_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_threshold.dir/fig16_threshold.cc.o"
+  "CMakeFiles/fig16_threshold.dir/fig16_threshold.cc.o.d"
+  "fig16_threshold"
+  "fig16_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_suite.dir/table1_suite.cc.o"
+  "CMakeFiles/table1_suite.dir/table1_suite.cc.o.d"
+  "table1_suite"
+  "table1_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

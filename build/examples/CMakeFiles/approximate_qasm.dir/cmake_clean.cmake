@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_qasm.dir/approximate_qasm.cpp.o"
+  "CMakeFiles/approximate_qasm.dir/approximate_qasm.cpp.o.d"
+  "approximate_qasm"
+  "approximate_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

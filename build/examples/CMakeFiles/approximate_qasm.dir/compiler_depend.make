@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for approximate_qasm.
+# This may be replaced when dependencies are built.

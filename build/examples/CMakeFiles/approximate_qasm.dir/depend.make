@@ -1,0 +1,2 @@
+# Empty dependencies file for approximate_qasm.
+# This may be replaced when dependencies are built.

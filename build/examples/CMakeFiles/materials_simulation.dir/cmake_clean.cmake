@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materials_simulation.dir/materials_simulation.cpp.o"
+  "CMakeFiles/materials_simulation.dir/materials_simulation.cpp.o.d"
+  "materials_simulation"
+  "materials_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materials_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

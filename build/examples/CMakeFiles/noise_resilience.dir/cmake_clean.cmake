@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_resilience.dir/noise_resilience.cpp.o"
+  "CMakeFiles/noise_resilience.dir/noise_resilience.cpp.o.d"
+  "noise_resilience"
+  "noise_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routed_device.dir/routed_device.cpp.o"
+  "CMakeFiles/routed_device.dir/routed_device.cpp.o.d"
+  "routed_device"
+  "routed_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routed_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

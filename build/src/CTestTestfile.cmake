@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("ir")
+subdirs("sim")
+subdirs("metrics")
+subdirs("route")
+subdirs("algos")
+subdirs("baseline")
+subdirs("partition")
+subdirs("synth")
+subdirs("anneal")
+subdirs("quest")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/adder.cc" "src/algos/CMakeFiles/quest_algos.dir/adder.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/adder.cc.o.d"
+  "/root/repo/src/algos/hamiltonian.cc" "src/algos/CMakeFiles/quest_algos.dir/hamiltonian.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/hamiltonian.cc.o.d"
+  "/root/repo/src/algos/hlf.cc" "src/algos/CMakeFiles/quest_algos.dir/hlf.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/hlf.cc.o.d"
+  "/root/repo/src/algos/multiplier.cc" "src/algos/CMakeFiles/quest_algos.dir/multiplier.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/multiplier.cc.o.d"
+  "/root/repo/src/algos/qaoa.cc" "src/algos/CMakeFiles/quest_algos.dir/qaoa.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/qaoa.cc.o.d"
+  "/root/repo/src/algos/qft.cc" "src/algos/CMakeFiles/quest_algos.dir/qft.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/qft.cc.o.d"
+  "/root/repo/src/algos/suite.cc" "src/algos/CMakeFiles/quest_algos.dir/suite.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/suite.cc.o.d"
+  "/root/repo/src/algos/vqe.cc" "src/algos/CMakeFiles/quest_algos.dir/vqe.cc.o" "gcc" "src/algos/CMakeFiles/quest_algos.dir/vqe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/quest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

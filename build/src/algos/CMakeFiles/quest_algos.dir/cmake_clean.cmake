@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_algos.dir/adder.cc.o"
+  "CMakeFiles/quest_algos.dir/adder.cc.o.d"
+  "CMakeFiles/quest_algos.dir/hamiltonian.cc.o"
+  "CMakeFiles/quest_algos.dir/hamiltonian.cc.o.d"
+  "CMakeFiles/quest_algos.dir/hlf.cc.o"
+  "CMakeFiles/quest_algos.dir/hlf.cc.o.d"
+  "CMakeFiles/quest_algos.dir/multiplier.cc.o"
+  "CMakeFiles/quest_algos.dir/multiplier.cc.o.d"
+  "CMakeFiles/quest_algos.dir/qaoa.cc.o"
+  "CMakeFiles/quest_algos.dir/qaoa.cc.o.d"
+  "CMakeFiles/quest_algos.dir/qft.cc.o"
+  "CMakeFiles/quest_algos.dir/qft.cc.o.d"
+  "CMakeFiles/quest_algos.dir/suite.cc.o"
+  "CMakeFiles/quest_algos.dir/suite.cc.o.d"
+  "CMakeFiles/quest_algos.dir/vqe.cc.o"
+  "CMakeFiles/quest_algos.dir/vqe.cc.o.d"
+  "libquest_algos.a"
+  "libquest_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_anneal.dir/dual_annealing.cc.o"
+  "CMakeFiles/quest_anneal.dir/dual_annealing.cc.o.d"
+  "libquest_anneal.a"
+  "libquest_anneal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pass_manager.cc" "src/baseline/CMakeFiles/quest_baseline.dir/pass_manager.cc.o" "gcc" "src/baseline/CMakeFiles/quest_baseline.dir/pass_manager.cc.o.d"
+  "/root/repo/src/baseline/passes.cc" "src/baseline/CMakeFiles/quest_baseline.dir/passes.cc.o" "gcc" "src/baseline/CMakeFiles/quest_baseline.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/quest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_baseline.dir/pass_manager.cc.o"
+  "CMakeFiles/quest_baseline.dir/pass_manager.cc.o.d"
+  "CMakeFiles/quest_baseline.dir/passes.cc.o"
+  "CMakeFiles/quest_baseline.dir/passes.cc.o.d"
+  "libquest_baseline.a"
+  "libquest_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/circuit.cc" "src/ir/CMakeFiles/quest_ir.dir/circuit.cc.o" "gcc" "src/ir/CMakeFiles/quest_ir.dir/circuit.cc.o.d"
+  "/root/repo/src/ir/gate.cc" "src/ir/CMakeFiles/quest_ir.dir/gate.cc.o" "gcc" "src/ir/CMakeFiles/quest_ir.dir/gate.cc.o.d"
+  "/root/repo/src/ir/lower.cc" "src/ir/CMakeFiles/quest_ir.dir/lower.cc.o" "gcc" "src/ir/CMakeFiles/quest_ir.dir/lower.cc.o.d"
+  "/root/repo/src/ir/qasm.cc" "src/ir/CMakeFiles/quest_ir.dir/qasm.cc.o" "gcc" "src/ir/CMakeFiles/quest_ir.dir/qasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_ir.dir/circuit.cc.o"
+  "CMakeFiles/quest_ir.dir/circuit.cc.o.d"
+  "CMakeFiles/quest_ir.dir/gate.cc.o"
+  "CMakeFiles/quest_ir.dir/gate.cc.o.d"
+  "CMakeFiles/quest_ir.dir/lower.cc.o"
+  "CMakeFiles/quest_ir.dir/lower.cc.o.d"
+  "CMakeFiles/quest_ir.dir/qasm.cc.o"
+  "CMakeFiles/quest_ir.dir/qasm.cc.o.d"
+  "libquest_ir.a"
+  "libquest_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/decompose.cc" "src/linalg/CMakeFiles/quest_linalg.dir/decompose.cc.o" "gcc" "src/linalg/CMakeFiles/quest_linalg.dir/decompose.cc.o.d"
+  "/root/repo/src/linalg/distance.cc" "src/linalg/CMakeFiles/quest_linalg.dir/distance.cc.o" "gcc" "src/linalg/CMakeFiles/quest_linalg.dir/distance.cc.o.d"
+  "/root/repo/src/linalg/embed.cc" "src/linalg/CMakeFiles/quest_linalg.dir/embed.cc.o" "gcc" "src/linalg/CMakeFiles/quest_linalg.dir/embed.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/quest_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/quest_linalg.dir/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

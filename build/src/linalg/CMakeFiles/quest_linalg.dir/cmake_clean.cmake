@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_linalg.dir/decompose.cc.o"
+  "CMakeFiles/quest_linalg.dir/decompose.cc.o.d"
+  "CMakeFiles/quest_linalg.dir/distance.cc.o"
+  "CMakeFiles/quest_linalg.dir/distance.cc.o.d"
+  "CMakeFiles/quest_linalg.dir/embed.cc.o"
+  "CMakeFiles/quest_linalg.dir/embed.cc.o.d"
+  "CMakeFiles/quest_linalg.dir/matrix.cc.o"
+  "CMakeFiles/quest_linalg.dir/matrix.cc.o.d"
+  "libquest_linalg.a"
+  "libquest_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

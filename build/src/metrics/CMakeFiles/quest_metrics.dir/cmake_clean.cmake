@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_metrics.dir/magnetization.cc.o"
+  "CMakeFiles/quest_metrics.dir/magnetization.cc.o.d"
+  "CMakeFiles/quest_metrics.dir/output_distance.cc.o"
+  "CMakeFiles/quest_metrics.dir/output_distance.cc.o.d"
+  "libquest_metrics.a"
+  "libquest_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_partition.dir/scan_partitioner.cc.o"
+  "CMakeFiles/quest_partition.dir/scan_partitioner.cc.o.d"
+  "libquest_partition.a"
+  "libquest_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_core.dir/bound.cc.o"
+  "CMakeFiles/quest_core.dir/bound.cc.o.d"
+  "CMakeFiles/quest_core.dir/ensemble.cc.o"
+  "CMakeFiles/quest_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/quest_core.dir/objective.cc.o"
+  "CMakeFiles/quest_core.dir/objective.cc.o.d"
+  "CMakeFiles/quest_core.dir/pipeline.cc.o"
+  "CMakeFiles/quest_core.dir/pipeline.cc.o.d"
+  "libquest_core.a"
+  "libquest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_route.dir/coupling_map.cc.o"
+  "CMakeFiles/quest_route.dir/coupling_map.cc.o.d"
+  "CMakeFiles/quest_route.dir/router.cc.o"
+  "CMakeFiles/quest_route.dir/router.cc.o.d"
+  "libquest_route.a"
+  "libquest_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

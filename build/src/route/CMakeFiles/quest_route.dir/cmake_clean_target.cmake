@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquest_route.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/density_matrix.cc" "src/sim/CMakeFiles/quest_sim.dir/density_matrix.cc.o" "gcc" "src/sim/CMakeFiles/quest_sim.dir/density_matrix.cc.o.d"
+  "/root/repo/src/sim/distribution.cc" "src/sim/CMakeFiles/quest_sim.dir/distribution.cc.o" "gcc" "src/sim/CMakeFiles/quest_sim.dir/distribution.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/quest_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/quest_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/statevector.cc" "src/sim/CMakeFiles/quest_sim.dir/statevector.cc.o" "gcc" "src/sim/CMakeFiles/quest_sim.dir/statevector.cc.o.d"
+  "/root/repo/src/sim/unitary_builder.cc" "src/sim/CMakeFiles/quest_sim.dir/unitary_builder.cc.o" "gcc" "src/sim/CMakeFiles/quest_sim.dir/unitary_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/quest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

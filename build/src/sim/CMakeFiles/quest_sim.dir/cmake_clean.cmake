@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_sim.dir/density_matrix.cc.o"
+  "CMakeFiles/quest_sim.dir/density_matrix.cc.o.d"
+  "CMakeFiles/quest_sim.dir/distribution.cc.o"
+  "CMakeFiles/quest_sim.dir/distribution.cc.o.d"
+  "CMakeFiles/quest_sim.dir/simulator.cc.o"
+  "CMakeFiles/quest_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/quest_sim.dir/statevector.cc.o"
+  "CMakeFiles/quest_sim.dir/statevector.cc.o.d"
+  "CMakeFiles/quest_sim.dir/unitary_builder.cc.o"
+  "CMakeFiles/quest_sim.dir/unitary_builder.cc.o.d"
+  "libquest_sim.a"
+  "libquest_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/ansatz.cc" "src/synth/CMakeFiles/quest_synth.dir/ansatz.cc.o" "gcc" "src/synth/CMakeFiles/quest_synth.dir/ansatz.cc.o.d"
+  "/root/repo/src/synth/hs_cost.cc" "src/synth/CMakeFiles/quest_synth.dir/hs_cost.cc.o" "gcc" "src/synth/CMakeFiles/quest_synth.dir/hs_cost.cc.o.d"
+  "/root/repo/src/synth/instantiater.cc" "src/synth/CMakeFiles/quest_synth.dir/instantiater.cc.o" "gcc" "src/synth/CMakeFiles/quest_synth.dir/instantiater.cc.o.d"
+  "/root/repo/src/synth/lbfgs.cc" "src/synth/CMakeFiles/quest_synth.dir/lbfgs.cc.o" "gcc" "src/synth/CMakeFiles/quest_synth.dir/lbfgs.cc.o.d"
+  "/root/repo/src/synth/leap_synthesizer.cc" "src/synth/CMakeFiles/quest_synth.dir/leap_synthesizer.cc.o" "gcc" "src/synth/CMakeFiles/quest_synth.dir/leap_synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/quest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

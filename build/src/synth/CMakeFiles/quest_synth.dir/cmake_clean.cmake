@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_synth.dir/ansatz.cc.o"
+  "CMakeFiles/quest_synth.dir/ansatz.cc.o.d"
+  "CMakeFiles/quest_synth.dir/hs_cost.cc.o"
+  "CMakeFiles/quest_synth.dir/hs_cost.cc.o.d"
+  "CMakeFiles/quest_synth.dir/instantiater.cc.o"
+  "CMakeFiles/quest_synth.dir/instantiater.cc.o.d"
+  "CMakeFiles/quest_synth.dir/lbfgs.cc.o"
+  "CMakeFiles/quest_synth.dir/lbfgs.cc.o.d"
+  "CMakeFiles/quest_synth.dir/leap_synthesizer.cc.o"
+  "CMakeFiles/quest_synth.dir/leap_synthesizer.cc.o.d"
+  "libquest_synth.a"
+  "libquest_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_util.dir/logging.cc.o"
+  "CMakeFiles/quest_util.dir/logging.cc.o.d"
+  "CMakeFiles/quest_util.dir/rng.cc.o"
+  "CMakeFiles/quest_util.dir/rng.cc.o.d"
+  "CMakeFiles/quest_util.dir/table.cc.o"
+  "CMakeFiles/quest_util.dir/table.cc.o.d"
+  "CMakeFiles/quest_util.dir/thread_pool.cc.o"
+  "CMakeFiles/quest_util.dir/thread_pool.cc.o.d"
+  "libquest_util.a"
+  "libquest_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

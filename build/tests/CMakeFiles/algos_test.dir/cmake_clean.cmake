@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_test.dir/algos_test.cc.o"
+  "CMakeFiles/algos_test.dir/algos_test.cc.o.d"
+  "algos_test"
+  "algos_test.pdb"
+  "algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_circuit_test.dir/ir_circuit_test.cc.o"
+  "CMakeFiles/ir_circuit_test.dir/ir_circuit_test.cc.o.d"
+  "ir_circuit_test"
+  "ir_circuit_test.pdb"
+  "ir_circuit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_gate_test.dir/ir_gate_test.cc.o"
+  "CMakeFiles/ir_gate_test.dir/ir_gate_test.cc.o.d"
+  "ir_gate_test"
+  "ir_gate_test.pdb"
+  "ir_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

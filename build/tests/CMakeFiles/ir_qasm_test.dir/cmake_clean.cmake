@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_qasm_test.dir/ir_qasm_test.cc.o"
+  "CMakeFiles/ir_qasm_test.dir/ir_qasm_test.cc.o.d"
+  "ir_qasm_test"
+  "ir_qasm_test.pdb"
+  "ir_qasm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_qasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

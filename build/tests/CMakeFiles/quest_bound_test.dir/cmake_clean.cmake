@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_bound_test.dir/quest_bound_test.cc.o"
+  "CMakeFiles/quest_bound_test.dir/quest_bound_test.cc.o.d"
+  "quest_bound_test"
+  "quest_bound_test.pdb"
+  "quest_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_ensemble_test.dir/quest_ensemble_test.cc.o"
+  "CMakeFiles/quest_ensemble_test.dir/quest_ensemble_test.cc.o.d"
+  "quest_ensemble_test"
+  "quest_ensemble_test.pdb"
+  "quest_ensemble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quest_objective_test.cc" "tests/CMakeFiles/quest_objective_test.dir/quest_objective_test.cc.o" "gcc" "tests/CMakeFiles/quest_objective_test.dir/quest_objective_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quest/CMakeFiles/quest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/anneal/CMakeFiles/quest_anneal.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/quest_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/quest_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/quest_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/quest_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/quest_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/quest_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/quest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/quest_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/quest_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/quest_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_objective_test.dir/quest_objective_test.cc.o"
+  "CMakeFiles/quest_objective_test.dir/quest_objective_test.cc.o.d"
+  "quest_objective_test"
+  "quest_objective_test.pdb"
+  "quest_objective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_pipeline_test.dir/quest_pipeline_test.cc.o"
+  "CMakeFiles/quest_pipeline_test.dir/quest_pipeline_test.cc.o.d"
+  "quest_pipeline_test"
+  "quest_pipeline_test.pdb"
+  "quest_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_density_matrix_test.dir/sim_density_matrix_test.cc.o"
+  "CMakeFiles/sim_density_matrix_test.dir/sim_density_matrix_test.cc.o.d"
+  "sim_density_matrix_test"
+  "sim_density_matrix_test.pdb"
+  "sim_density_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_density_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

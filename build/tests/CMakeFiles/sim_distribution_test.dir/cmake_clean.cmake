@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_distribution_test.dir/sim_distribution_test.cc.o"
+  "CMakeFiles/sim_distribution_test.dir/sim_distribution_test.cc.o.d"
+  "sim_distribution_test"
+  "sim_distribution_test.pdb"
+  "sim_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_simulator_test.dir/sim_simulator_test.cc.o"
+  "CMakeFiles/sim_simulator_test.dir/sim_simulator_test.cc.o.d"
+  "sim_simulator_test"
+  "sim_simulator_test.pdb"
+  "sim_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_statevector_test.dir/sim_statevector_test.cc.o"
+  "CMakeFiles/sim_statevector_test.dir/sim_statevector_test.cc.o.d"
+  "sim_statevector_test"
+  "sim_statevector_test.pdb"
+  "sim_statevector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_statevector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

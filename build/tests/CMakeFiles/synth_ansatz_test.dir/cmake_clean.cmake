@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_ansatz_test.dir/synth_ansatz_test.cc.o"
+  "CMakeFiles/synth_ansatz_test.dir/synth_ansatz_test.cc.o.d"
+  "synth_ansatz_test"
+  "synth_ansatz_test.pdb"
+  "synth_ansatz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_ansatz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_leap_test.dir/synth_leap_test.cc.o"
+  "CMakeFiles/synth_leap_test.dir/synth_leap_test.cc.o.d"
+  "synth_leap_test"
+  "synth_leap_test.pdb"
+  "synth_leap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_leap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for synth_leap_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_gate_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_lower_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_qasm_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_statevector_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_density_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/route_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/algos_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_ansatz_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_lbfgs_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_leap_test[1]_include.cmake")
+include("/root/repo/build/tests/anneal_test[1]_include.cmake")
+include("/root/repo/build/tests/quest_objective_test[1]_include.cmake")
+include("/root/repo/build/tests/quest_bound_test[1]_include.cmake")
+include("/root/repo/build/tests/quest_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/quest_ensemble_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")

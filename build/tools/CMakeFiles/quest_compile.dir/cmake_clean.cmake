@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_compile.dir/quest_compile.cc.o"
+  "CMakeFiles/quest_compile.dir/quest_compile.cc.o.d"
+  "quest_compile"
+  "quest_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

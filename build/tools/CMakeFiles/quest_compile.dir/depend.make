@@ -1,0 +1,2 @@
+# Empty dependencies file for quest_compile.
+# This may be replaced when dependencies are built.
