@@ -372,6 +372,12 @@ parseQasm(const std::string &text)
         }
         if (static_cast<int>(wires.size()) != gateArity(type))
             throw QasmError("gate " + name + " wire-count mismatch");
+        // Throw rather than trip Gate's internal duplicate-wire
+        // assertion: malformed input is a user error, not a bug.
+        for (size_t i = 0; i < wires.size(); ++i)
+            for (size_t j = i + 1; j < wires.size(); ++j)
+                if (wires[i] == wires[j])
+                    throw QasmError("duplicate wire in gate: " + stmt);
         pending.emplace_back(type, std::move(wires), std::move(params));
     }
 

@@ -58,6 +58,20 @@ struct QuestConfig
     /** Worker threads for parallel block synthesis (0 = all cores). */
     unsigned threads = 0;
 
+    /**
+     * Run the structural IR verifiers (src/verify) on the output of
+     * every pipeline step: the lowered circuit and partition after
+     * STEP 1, every per-block approximation after STEP 2, every
+     * selected sample after STEP 3, plus the synthesizer's own
+     * candidate verification. A failure is an internal invariant
+     * violation and panics. Defaults on in debug builds.
+     */
+#ifdef NDEBUG
+    bool verify = false;
+#else
+    bool verify = true;
+#endif
+
     /** Master seed (annealer seeds derive from it per sample). */
     uint64_t seed = 99;
 };

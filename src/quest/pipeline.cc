@@ -12,6 +12,7 @@
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/timer.hh"
+#include "verify/verifier.hh"
 
 namespace quest {
 
@@ -73,6 +74,13 @@ QuestPipeline::run(const Circuit &circuit) const
     result.originalCnots = result.original.cnotCount();
     const size_t num_blocks = result.blocks.size();
     QUEST_ASSERT(num_blocks > 0, "empty circuit");
+    if (cfg.verify) {
+        verifyOrPanic(result.original,
+                      {.requireNative = true, .allowPseudoOps = false},
+                      "STEP 1 lowered circuit");
+        verifyOrPanic(result.original, result.blocks, cfg.maxBlockSize,
+                      "STEP 1 partition");
+    }
     result.threshold = std::min(cfg.thresholdPerBlock *
                                     static_cast<double>(num_blocks),
                                 cfg.thresholdCap);
@@ -104,6 +112,8 @@ QuestPipeline::run(const Circuit &circuit) const
             // Few unique blocks: parallelize inside the synthesizer;
             // many blocks: parallelize across them.
             SynthConfig synth_cfg = cfg.synth;
+            if (cfg.verify)
+                synth_cfg.verifyCandidates = true;
             unsigned across = cfg.threads == 0
                                   ? std::thread::hardware_concurrency()
                                   : cfg.threads;
@@ -159,6 +169,30 @@ QuestPipeline::run(const Circuit &circuit) const
                 }
                 list.push_back({c.circuit, c.distance, c.cnotCount});
                 mats.push_back(circuitUnitary(c.circuit));
+            }
+        }
+
+        if (cfg.verify) {
+            CircuitVerifier verifier({.requireNative = true,
+                                      .allowPseudoOps = false});
+            for (size_t b = 0; b < num_blocks; ++b) {
+                for (size_t k = 0; k < result.blockApprox[b].size();
+                     ++k) {
+                    const Circuit &c = result.blockApprox[b][k].circuit;
+                    QUEST_ASSERT(c.numQubits() ==
+                                 result.blocks[b].width(),
+                                 "approximation ", k, " of block ", b,
+                                 " spans ", c.numQubits(),
+                                 " wires; the block has ",
+                                 result.blocks[b].width());
+                    VerifyReport report = verifier.verify(c);
+                    if (!report.ok()) {
+                        QUEST_PANIC("STEP 2 approximation ", k,
+                                    " of block ", b,
+                                    " failed verification:\n",
+                                    report.toString());
+                    }
+                }
             }
         }
 
@@ -233,6 +267,15 @@ QuestPipeline::run(const Circuit &circuit) const
 
             selected.push_back(std::move(choice));
             result.samples.push_back(std::move(sample));
+        }
+
+        if (cfg.verify) {
+            for (size_t s = 0; s < result.samples.size(); ++s) {
+                verifyOrPanic(result.samples[s].circuit,
+                              {.requireNative = true,
+                               .allowPseudoOps = false},
+                              detail::concat("STEP 3 sample ", s));
+            }
         }
     }
 

@@ -6,10 +6,39 @@
 #include "linalg/decompose.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "verify/verifier.hh"
 
 namespace quest {
 
 namespace {
+
+/**
+ * Structural lint over every recorded candidate: native gate set on
+ * the right wire count, and a CNOT count that matches the circuit.
+ * Any failure is a synthesizer bug.
+ */
+void
+verifyCandidates(const SynthOutput &out, int n)
+{
+    CircuitVerifier verifier({.requireNative = true,
+                              .allowPseudoOps = false,
+                              .maxIssues = 16});
+    for (size_t i = 0; i < out.candidates.size(); ++i) {
+        const SynthCandidate &c = out.candidates[i];
+        QUEST_ASSERT(c.circuit.numQubits() == n,
+                     "candidate ", i, " spans ",
+                     c.circuit.numQubits(), " wires; target has ", n);
+        QUEST_ASSERT(static_cast<size_t>(c.cnotCount) ==
+                     c.circuit.cnotCount(),
+                     "candidate ", i, " reports ", c.cnotCount,
+                     " CNOTs but contains ", c.circuit.cnotCount());
+        VerifyReport report = verifier.verify(c.circuit);
+        if (!report.ok()) {
+            QUEST_PANIC("synthesis candidate ", i,
+                        " failed verification:\n", report.toString());
+        }
+    }
+}
 
 int
 log2Dim(size_t dim)
@@ -86,6 +115,8 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
         c.append(Gate::u3(0, a.theta, a.phi, a.lambda));
         out.candidates.push_back({std::move(c), 0.0, 0});
         out.bestIndex = 0;
+        if (cfg.verifyCandidates)
+            verifyCandidates(out, n);
         return out;
     }
 
@@ -267,6 +298,8 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             out.bestIndex = i;
         }
     }
+    if (cfg.verifyCandidates)
+        verifyCandidates(out, n);
     return out;
 }
 

@@ -60,6 +60,15 @@ struct SynthConfig
      */
     std::vector<std::pair<int, int>> couplings;
 
+    /** Structurally verify every emitted candidate (native gate set,
+     *  wires in range, finite angles; see src/verify). A failure is
+     *  a synthesizer bug and panics. Defaults on in debug builds. */
+#ifdef NDEBUG
+    bool verifyCandidates = false;
+#else
+    bool verifyCandidates = true;
+#endif
+
     /** RNG seed for instantiation restarts. */
     uint64_t seed = 1;
 

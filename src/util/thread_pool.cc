@@ -50,8 +50,22 @@ ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
     futures.reserve(count);
     for (size_t i = 0; i < count; ++i)
         futures.push_back(submit([&fn, i]() { fn(i); }));
-    for (auto &f : futures)
-        f.get();
+
+    // Wait for every task before propagating any exception: the
+    // queued tasks capture &fn, so returning (or throwing) while
+    // some are still pending would leave workers dereferencing a
+    // dead stack frame.
+    std::exception_ptr first;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
 }
 
 } // namespace quest

@@ -50,7 +50,9 @@ class ThreadPool
 
     /**
      * Run @p fn(i) for i in [0, count) across the pool and wait for
-     * all of them. Exceptions propagate from the first failing index.
+     * all of them — even when some throw, so @p fn is never invoked
+     * after the call returns. The lowest failing index's exception
+     * is rethrown once every task has finished.
      */
     void parallelFor(size_t count, const std::function<void(size_t)> &fn);
 

@@ -106,8 +106,9 @@ TEST(Gate, RzzIsDiagonal)
     Matrix m = gateMatrix(Gate::rzz(0, 1, 0.7));
     for (size_t r = 0; r < 4; ++r)
         for (size_t c = 0; c < 4; ++c)
-            if (r != c)
+            if (r != c) {
                 EXPECT_EQ(m(r, c), Complex(0.0, 0.0));
+            }
     EXPECT_NEAR(std::arg(m(0, 0)), -0.35, 1e-12);
     EXPECT_NEAR(std::arg(m(1, 1)), 0.35, 1e-12);
 }

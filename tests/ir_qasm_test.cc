@@ -106,6 +106,10 @@ TEST(QasmParser, Errors)
     EXPECT_THROW(parseQasm("qreg q[2];\nx q[0]"), QasmError);  // no ';'
     EXPECT_THROW(parseQasm("qreg q[2];\nqreg r[2];"), QasmError);
     EXPECT_THROW(parseQasm("qreg q[0];"), QasmError);
+    // Duplicate wires must throw, not trip Gate's internal assert.
+    EXPECT_THROW(parseQasm("qreg q[2];\ncx q[0],q[0];"), QasmError);
+    EXPECT_THROW(parseQasm("qreg q[3];\nccx q[0],q[1],q[1];"),
+                 QasmError);
 }
 
 class QasmRoundTrip : public ::testing::TestWithParam<std::string>

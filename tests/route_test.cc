@@ -76,8 +76,9 @@ TEST(CouplingMap, FullyConnected)
     EXPECT_EQ(m.edges().size(), 6u);
     for (int a = 0; a < 4; ++a)
         for (int b = 0; b < 4; ++b)
-            if (a != b)
+            if (a != b) {
                 EXPECT_EQ(m.distance(a, b), 1);
+            }
 }
 
 TEST(CouplingMap, DeduplicatesEdges)
@@ -129,9 +130,10 @@ TEST(Router, RoutedGatesRespectCoupling)
     Circuit c = randomNativeCircuit(5, 40, 7);
     RoutingResult r = routeCircuit(c, device);
     for (const Gate &g : r.circuit) {
-        if (g.arity() == 2)
+        if (g.arity() == 2) {
             EXPECT_TRUE(device.connected(g.qubits[0], g.qubits[1]))
                 << g.toString();
+        }
     }
 }
 

@@ -9,6 +9,9 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -197,7 +200,7 @@ TEST(Stopwatch, AccumulatesTime)
     // Burn a little time.
     volatile double x = 0.0;
     for (int i = 0; i < 100000; ++i)
-        x += std::sqrt(static_cast<double>(i));
+        x = x + std::sqrt(static_cast<double>(i));
     w.stop();
     EXPECT_GT(w.seconds(), 0.0);
     double after_stop = w.seconds();
@@ -245,6 +248,86 @@ TEST(ThreadPool, ParallelForPassesIndices)
     pool.parallelFor(50, [&](size_t i) { hit[i] = static_cast<int>(i); });
     for (int i = 0; i < 50; ++i)
         EXPECT_EQ(hit[i], i);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryTaskEvenWhenSomeThrow)
+{
+    // Regression: parallelFor used to rethrow while tasks were still
+    // queued, leaving workers with a dangling reference to the
+    // caller's function object (use-after-scope under ASan/TSan).
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [&](size_t i) {
+                                      ++ran;
+                                      if (i % 7 == 3)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex)
+{
+    ThreadPool pool(3);
+    std::string message;
+    try {
+        pool.parallelFor(32, [](size_t i) {
+            if (i == 5 || i == 20)
+                throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        message = e.what();
+    }
+    EXPECT_EQ(message, "5");
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&done]() { ++done; });
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, StressConcurrentParallelForCallers)
+{
+    // TSan stress: several external threads drive the same pool
+    // (exactly the pipeline's pattern of distinct-index writes).
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<int> cells(4 * 200, 0);
+    std::vector<std::thread> callers;
+    callers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        callers.emplace_back([&, t]() {
+            pool.parallelFor(200, [&, t](size_t i) {
+                cells[static_cast<size_t>(t) * 200 + i] = 1;
+                ++counter;
+            });
+        });
+    }
+    for (auto &caller : callers)
+        caller.join();
+    EXPECT_EQ(counter.load(), 800);
+    for (int cell : cells)
+        EXPECT_EQ(cell, 1);
+}
+
+TEST(ThreadPool, StressRepeatedConstructionAndShutdown)
+{
+    // TSan stress on the startup/shutdown handshake.
+    std::atomic<int> total{0};
+    for (int round = 0; round < 25; ++round) {
+        ThreadPool pool(3);
+        pool.parallelFor(40, [&](size_t) { ++total; });
+    }
+    EXPECT_EQ(total.load(), 25 * 40);
 }
 
 TEST(Logging, FatalExits)

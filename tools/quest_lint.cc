@@ -1,0 +1,235 @@
+/**
+ * @file
+ * quest_lint — structural linter for OpenQASM circuits and QUEST
+ * pipeline outputs.
+ *
+ * For every input file: parse it, run the CircuitVerifier, and print
+ * each issue as `file:gate: message`. With --pipeline the tool also
+ * lowers the circuit, checks native-gate conformance, partitions it
+ * and checks partition coverage, then runs the full QUEST pipeline
+ * and lints every per-block approximation and selected sample —
+ * reporting problems instead of aborting, so it can be pointed at
+ * untrusted inputs.
+ *
+ * Usage:
+ *   quest_lint [options] <input.qasm>...
+ * Options:
+ *   --native         require the native {U3, CX} gate set up front
+ *   --pipeline       run and lint the full QUEST pipeline
+ *   --block-size <k> partition width for --pipeline (default 4)
+ *   --max-layers <l> synthesis layer cap for --pipeline (default 6)
+ *   --quiet          print nothing; exit status only
+ *
+ * Exit status: 0 all inputs clean, 1 lint issues found, 2 usage or
+ * I/O error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ir/lower.hh"
+#include "ir/qasm.hh"
+#include "partition/scan_partitioner.hh"
+#include "quest/pipeline.hh"
+#include "verify/verifier.hh"
+
+namespace {
+
+using namespace quest;
+
+struct LintOptions
+{
+    bool native = false;
+    bool pipeline = false;
+    bool quiet = false;
+    int blockSize = 4;
+    int maxLayers = 6;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: quest_lint [--native] [--pipeline]"
+              << " [--block-size k] [--max-layers l] [--quiet]"
+              << " <input.qasm>...\n";
+    return 2;
+}
+
+/** Parse a positive integer option value; false on garbage. */
+bool
+parsePositiveInt(const std::string &option, const std::string &text,
+                 int min_value, int &out)
+{
+    try {
+        size_t used = 0;
+        int value = std::stoi(text, &used);
+        if (used != text.size() || value < min_value) {
+            std::cerr << "quest_lint: " << option << " needs an "
+                      << "integer >= " << min_value << ", got '"
+                      << text << "'\n";
+            return false;
+        }
+        out = value;
+        return true;
+    } catch (const std::exception &) {
+        std::cerr << "quest_lint: " << option << " needs an integer"
+                  << " >= " << min_value << ", got '" << text
+                  << "'\n";
+        return false;
+    }
+}
+
+/** Print a report's issues as `file[ (context)]:gate: message`. */
+void
+printReport(const std::string &file, const std::string &context,
+            const VerifyReport &report, const LintOptions &opts)
+{
+    if (opts.quiet)
+        return;
+    for (const VerifyIssue &issue : report.issues) {
+        std::cout << file;
+        if (!context.empty())
+            std::cout << " (" << context << ")";
+        if (issue.gateIndex != VerifyIssue::noIndex)
+            std::cout << ":gate " << issue.gateIndex;
+        std::cout << ": " << issue.message << "\n";
+    }
+}
+
+/** Lint one file; returns the number of issues found (or -1 on I/O
+ *  or parse error, which the caller treats as fatal). */
+long
+lintFile(const std::string &path, const LintOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "quest_lint: cannot open " << path << "\n";
+        return -1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Circuit circuit;
+    try {
+        circuit = parseQasm(buffer.str());
+    } catch (const QasmError &e) {
+        std::cerr << path << ": QASM parse error: " << e.what()
+                  << "\n";
+        return -1;
+    }
+
+    long issues = 0;
+    CircuitVerifier verifier({.requireNative = opts.native});
+    VerifyReport report = verifier.verify(circuit);
+    printReport(path, "", report, opts);
+    issues += static_cast<long>(report.issues.size());
+
+    if (!opts.pipeline)
+        return issues;
+
+    // Lower and partition, linting each stage the way the pipeline's
+    // own (panicking) verifiers would.
+    Circuit lowered = lowerToNative(circuit).withoutPseudoOps();
+    CircuitVerifier native_verifier({.requireNative = true,
+                                     .allowPseudoOps = false});
+    report = native_verifier.verify(lowered);
+    printReport(path, "lowered", report, opts);
+    issues += static_cast<long>(report.issues.size());
+
+    if (lowered.empty()) {
+        if (!opts.quiet)
+            std::cout << path << ": empty circuit; skipping the "
+                      << "pipeline stages\n";
+        return issues + 1;
+    }
+
+    ScanPartitioner partitioner(opts.blockSize);
+    std::vector<Block> blocks = partitioner.partition(lowered);
+    report = PartitionVerifier(opts.blockSize).verify(lowered, blocks);
+    printReport(path, "partition", report, opts);
+    issues += static_cast<long>(report.issues.size());
+
+    // Full pipeline with the in-pipeline verifiers off — this tool
+    // reports findings rather than aborting on them.
+    QuestConfig config;
+    config.verify = false;
+    config.synth.verifyCandidates = false;
+    config.maxBlockSize = opts.blockSize;
+    config.synth.maxLayers = opts.maxLayers;
+    config.synth.beamWidth = 1;
+    config.synth.inst.multistarts = 2;
+    config.synth.inst.lbfgs.maxIterations = 200;
+    config.maxSamples = 4;
+    QuestResult result = QuestPipeline(config).run(circuit);
+
+    for (size_t b = 0; b < result.blockApprox.size(); ++b) {
+        for (size_t k = 0; k < result.blockApprox[b].size(); ++k) {
+            report = native_verifier.verify(
+                result.blockApprox[b][k].circuit);
+            std::ostringstream context;
+            context << "block " << b << " approximation " << k;
+            printReport(path, context.str(), report, opts);
+            issues += static_cast<long>(report.issues.size());
+        }
+    }
+    for (size_t s = 0; s < result.samples.size(); ++s) {
+        report = native_verifier.verify(result.samples[s].circuit);
+        std::ostringstream context;
+        context << "sample " << s;
+        printReport(path, context.str(), report, opts);
+        issues += static_cast<long>(report.issues.size());
+    }
+    if (!opts.quiet) {
+        std::cout << path << ": pipeline produced "
+                  << result.samples.size() << " samples from "
+                  << result.blocks.size() << " blocks\n";
+    }
+    return issues;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LintOptions opts;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--native") {
+            opts.native = true;
+        } else if (arg == "--pipeline") {
+            opts.pipeline = true;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opts.quiet = true;
+        } else if (arg == "--block-size" && i + 1 < argc) {
+            if (!parsePositiveInt(arg, argv[++i], 2, opts.blockSize))
+                return usage();
+        } else if (arg == "--max-layers" && i + 1 < argc) {
+            if (!parsePositiveInt(arg, argv[++i], 1, opts.maxLayers))
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty())
+        return usage();
+
+    long total = 0;
+    for (const std::string &file : files) {
+        long issues = lintFile(file, opts);
+        if (issues < 0)
+            return 2;
+        total += issues;
+        if (!opts.quiet && issues == 0)
+            std::cout << file << ": clean\n";
+    }
+    return total == 0 ? 0 : 1;
+}
