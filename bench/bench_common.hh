@@ -11,6 +11,9 @@
 #ifndef QUEST_BENCH_COMMON_HH
 #define QUEST_BENCH_COMMON_HH
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,15 +22,30 @@
 #include "ir/lower.hh"
 #include "metrics/magnetization.hh"
 #include "metrics/output_distance.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
 #include "sim/simulator.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace quest::bench {
 
 /** Paper setting: trials per hardware experiment. */
 constexpr int kShots = 8192;
+
+/**
+ * True when QUEST_BENCH_SMOKE is set: CI smoke runs shrink the
+ * synthesis budgets and the benchmark suite so a figure harness
+ * finishes in seconds while still exercising every stage.
+ */
+inline bool
+smokeMode()
+{
+    static const bool on = std::getenv("QUEST_BENCH_SMOKE") != nullptr;
+    return on;
+}
 
 /** Single-core synthesis budget used by every figure harness. */
 inline QuestConfig
@@ -41,7 +59,26 @@ benchConfig()
     cfg.synth.candidatesPerLevel = 6;
     cfg.synth.stallLevels = 8;
     cfg.anneal.maxIterations = 400;
+    if (smokeMode()) {
+        cfg.synth.inst.multistarts = 1;
+        cfg.synth.inst.lbfgs.maxIterations = 60;
+        cfg.synth.maxLayers = 6;
+        cfg.synth.candidatesPerLevel = 3;
+        cfg.synth.stallLevels = 3;
+        cfg.anneal.maxIterations = 80;
+        cfg.maxSamples = 4;
+    }
     return cfg;
+}
+
+/** The evaluation suite, truncated to its head in smoke mode. */
+inline std::vector<algos::BenchmarkSpec>
+suite()
+{
+    auto specs = algos::standardSuite();
+    if (smokeMode() && specs.size() > 2)
+        specs.resize(2);
+    return specs;
 }
 
 /** Banner naming the figure a binary regenerates. */
@@ -72,6 +109,80 @@ questNoisyTvd(const QuestResult &result, const Distribution &truth,
     opts.applyQiskit = apply_qiskit;
     opts.seed = seed;
     return tvd(ensembleDistribution(result, opts), truth);
+}
+
+/**
+ * Write the figure's result table plus the current metrics snapshot
+ * as BENCH_<name>.json (schema "quest-bench-v1") into
+ * $QUEST_BENCH_JSON_DIR, so CI can archive machine-readable records
+ * of every harness run. A no-op when the variable is unset.
+ */
+inline void
+writeBenchJson(const std::string &name, const Table &table)
+{
+    const char *dir = std::getenv("QUEST_BENCH_JSON_DIR");
+    if (!dir)
+        return;
+    std::filesystem::path path =
+        std::filesystem::path(dir) / ("BENCH_" + name + ".json");
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write ", path.string());
+
+    obs::JsonWriter json(out);
+    json.beginObject();
+    json.key("schema").value("quest-bench-v1");
+    json.key("bench").value(name);
+    json.key("smoke").value(smokeMode());
+    json.key("headers").beginArray();
+    for (const std::string &h : table.headerRow())
+        json.value(h);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const auto &row : table.rowData()) {
+        json.beginArray();
+        for (const std::string &cell : row)
+            json.value(cell);
+        json.endArray();
+    }
+    json.endArray();
+    json.key("metrics").beginArray();
+    for (const obs::MetricSnapshot &m :
+         obs::MetricsRegistry::global().snapshot()) {
+        json.beginObject();
+        json.key("name").value(m.name);
+        switch (m.kind) {
+          case obs::MetricKind::Counter:
+            json.key("kind").value("counter");
+            json.key("value").value(m.count);
+            break;
+          case obs::MetricKind::Gauge:
+            json.key("kind").value("gauge");
+            json.key("value").value(m.gaugeValue);
+            break;
+          case obs::MetricKind::Histogram:
+            json.key("kind").value("histogram");
+            json.key("count").value(m.count);
+            json.key("sum").value(m.sum);
+            json.key("min").value(m.min);
+            json.key("max").value(m.max);
+            json.key("mean").value(m.mean);
+            break;
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << "\n";
+    std::cout << "bench json written to " << path.string() << "\n";
+}
+
+/** Print the figure table and archive its JSON record. */
+inline void
+finishBench(const std::string &name, const Table &table)
+{
+    table.print(std::cout);
+    writeBenchJson(name, table);
 }
 
 } // namespace quest::bench

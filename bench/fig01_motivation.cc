@@ -37,7 +37,7 @@ runModel(const std::string &name,
     }
     std::cout << "\n-- " << name << " (4 spins, Manila noise model, "
               << "Qiskit-only compilation) --\n";
-    table.print(std::cout);
+    finishBench("fig01_" + name, table);
 }
 
 } // namespace

@@ -72,7 +72,7 @@ main()
         }
         best_tvd = std::min(best_tvd, t);
     }
-    table.print(std::cout);
+    finishBench("fig04_exact_synthesis", table);
 
     std::cout << "\nsolutions: " << solutions.size()
               << "; min-CNOT solution TVD = " << Table::num(min_cnot_tvd, 5)

@@ -75,7 +75,7 @@ main()
                           ok ? "yes" : "NO"});
         }
     }
-    table.print(std::cout);
+    finishBench("fig07_bound", table);
     std::cout << "\nbound respected in " << (samples - violations) << "/"
               << samples << " samples"
               << "\nExpected shape (paper): the bound holds for every "

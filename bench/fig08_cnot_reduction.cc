@@ -45,7 +45,7 @@ main()
                       Table::pct(red(quest_cx)),
                       Table::pct(red(qq_cx))});
     }
-    table.print(std::cout);
+    finishBench("fig08_cnot_reduction", table);
     std::cout << "\nExpected shape (paper): QUEST reduces CNOTs by "
                  "30-80% for most algorithms (more for Heisenberg, "
                  "less for hard-to-partition QAOA/Multiplier); Qiskit "

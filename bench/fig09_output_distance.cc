@@ -44,7 +44,7 @@ main()
                       Table::num(jsd(truth, ensemble), 4),
                       Table::num(tvd(truth, lone), 4)});
     }
-    table.print(std::cout);
+    finishBench("fig09_output_distance", table);
     std::cout << "\nExpected shape (paper): both metrics stay low "
                  "(approximately 0.0-0.1) across all algorithms "
                  "despite the CNOT reduction; the averaged ensemble "

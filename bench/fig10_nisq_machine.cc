@@ -71,7 +71,7 @@ main()
                       Table::num(quest_tvd, 3),
                       Table::num(qiskit_tvd - quest_tvd, 3)});
     }
-    table.print(std::cout);
+    finishBench("fig10_nisq_machine", table);
     std::cout << "\nExpected shape (paper): QUEST + Qiskit reduces the "
                  "TVD, by up to ~0.3 for the deep circuits (e.g. the "
                  "four-qubit TFIM drops from ~0.35 to ~0.08).\n";

@@ -18,9 +18,11 @@ main()
 
     banner("Figure 11: TVD reduction under 1% / 0.5% / 0.1% noise");
 
-    const std::vector<std::string> names = {
+    std::vector<std::string> names = {
         "adder_4", "qft_5", "tfim_8", "heisenberg_8", "vqe_5",
     };
+    if (smokeMode())
+        names.resize(2);
     const std::vector<double> levels = {0.01, 0.005, 0.001};
     const int shots = 2048;  // reduced from 8192 for the 8q runs
 
@@ -68,7 +70,12 @@ main()
                           Table::pct(red(qiskit_tvd)),
                           Table::pct(red(quest_tvd))});
         }
-        table.print(std::cout);
+        // Per-mille suffix so each noise level gets its own record.
+        finishBench("fig11_noise_" +
+                        std::to_string(static_cast<int>(
+                            level * 1000.0 + 0.5)) +
+                        "pm",
+                    table);
     }
     std::cout << "\nExpected shape (paper): QUEST + Qiskit reduces the "
                  "TVD across the board, and keeps helping as hardware "

@@ -22,7 +22,7 @@ main()
                  "annealing%"});
     QuestPipeline pipeline(benchConfig());
 
-    for (const auto &spec : algos::standardSuite()) {
+    for (const auto &spec : suite()) {
         QuestResult r = pipeline.run(spec.build());
         double total = r.partitionSeconds + r.synthesisSeconds +
                        r.annealSeconds;
@@ -34,7 +34,7 @@ main()
                       pct(r.synthesisSeconds),
                       pct(r.annealSeconds)});
     }
-    table.print(std::cout);
+    finishBench("fig12_overhead", table);
     std::cout << "\nExpected shape (paper): a one-time cost of minutes "
                  "to hours per circuit, dominated by one stage "
                  "(partitioning in the paper's Python stack, synthesis "

@@ -46,7 +46,7 @@ runModel(const std::string &name,
                       std::to_string(baseline.cnotCount())});
     }
     std::cout << "\n-- " << name << " (4 spins, Manila noise) --\n";
-    table.print(std::cout);
+    finishBench("fig13_" + name, table);
 }
 
 } // namespace

@@ -42,7 +42,7 @@ main()
                             3)});
         }
     }
-    table.print(std::cout);
+    finishBench("fig14_case_noise", table);
     std::cout << "\nExpected shape (paper): QUEST's TVD shrinks as the "
                  "noise drops (TFIM), and for Heisenberg QUEST stays "
                  "close to the ground truth even at 1% noise thanks "

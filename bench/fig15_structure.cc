@@ -40,7 +40,7 @@ runCase(const std::string &name, const Circuit &circuit, bool dump)
                   std::to_string(approx.gateCount()),
                   std::to_string(approx.cnotCount()),
                   std::to_string(approx.depth())});
-    table.print(std::cout);
+    finishBench("fig15_structure", table);
 
     if (dump) {
         std::cout << "\nQUEST approximation (OpenQASM 2.0):\n"

@@ -71,7 +71,7 @@ runModel(const std::string &name, const Circuit &circuit)
                       std::to_string(result.minSampleCnots())});
     }
     std::cout << "\n-- " << name << " --\n";
-    table.print(std::cout);
+    finishBench("fig16_" + name, table);
 }
 
 } // namespace

@@ -21,6 +21,6 @@ main()
                       std::to_string(c.cnotCount()),
                       std::to_string(c.depth())});
     }
-    table.print(std::cout);
+    finishBench("table1_suite", table);
     return 0;
 }

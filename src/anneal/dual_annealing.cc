@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace quest {
@@ -82,6 +84,7 @@ dualAnnealing(const AnnealObjective &objective,
               const std::vector<double> &lo, const std::vector<double> &hi,
               const AnnealOptions &options)
 {
+    QUEST_TRACE_SCOPE("anneal.run");
     const size_t dim = lo.size();
     QUEST_ASSERT(dim > 0 && hi.size() == dim, "bad bounds");
     for (size_t i = 0; i < dim; ++i)
@@ -118,6 +121,7 @@ dualAnnealing(const AnnealObjective &objective,
     const double qa = options.acceptParam;
     const double t1 = std::exp((qv - 1.0) * std::log(2.0)) - 1.0;
 
+    int steps = 0, acceptances = 0, restarts = 0;
     int step_index = 1;
     std::vector<double> candidate(dim);
     for (int iter = 1; iter <= options.maxIterations; ++iter, ++step_index) {
@@ -127,9 +131,11 @@ dualAnnealing(const AnnealObjective &objective,
                     1.0;
         double temperature = options.initialTemp * t1 / t2;
 
+        ++steps;
         if (temperature < options.initialTemp *
                               options.restartTempRatio) {
             // Re-anneal: reset the schedule and re-randomize.
+            ++restarts;
             step_index = 1;
             for (size_t i = 0; i < dim; ++i)
                 current[i] = rng.uniform(lo[i], hi[i]);
@@ -169,6 +175,7 @@ dualAnnealing(const AnnealObjective &objective,
             accept = rng.uniform() < p;
         }
         if (accept) {
+            ++acceptances;
             current = candidate;
             f_current = f_candidate;
             if (f_current < result.value) {
@@ -204,6 +211,22 @@ dualAnnealing(const AnnealObjective &objective,
         }
     }
 
+    {
+        auto &registry = obs::MetricsRegistry::global();
+        static auto &runs = registry.counter("anneal.runs");
+        static auto &steps_counter = registry.counter("anneal.steps");
+        static auto &accept_counter =
+            registry.counter("anneal.acceptances");
+        static auto &restart_counter =
+            registry.counter("anneal.restarts");
+        static auto &eval_counter =
+            registry.counter("anneal.evaluations");
+        runs.increment();
+        steps_counter.add(static_cast<uint64_t>(steps));
+        accept_counter.add(static_cast<uint64_t>(acceptances));
+        restart_counter.add(static_cast<uint64_t>(restarts));
+        eval_counter.add(static_cast<uint64_t>(result.evaluations));
+    }
     return result;
 }
 

@@ -1,0 +1,50 @@
+#include "obs/chrome_trace.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace quest::obs {
+
+namespace {
+
+/** ns as a microsecond decimal string (ns precision, e.g. "12.345"). */
+std::string
+microseconds(int64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(ns) / 1000.0);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceEvent> &events)
+{
+    os << "[\n";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("cat").value("quest");
+        w.key("ph").value("X");
+        w.key("ts").rawValue(microseconds(e.startNs));
+        w.key("dur").rawValue(microseconds(e.durNs));
+        w.key("pid").value(1);
+        w.key("tid").value(e.tid);
+        w.key("args").beginObject();
+        w.key("depth").value(e.depth);
+        w.endObject();
+        w.endObject();
+    }
+    os << "\n]\n";
+}
+
+} // namespace quest::obs

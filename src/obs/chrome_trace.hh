@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Chrome-trace exporter: renders collected spans as the JSON array
+ * form of the Trace Event Format, loadable in chrome://tracing and
+ * Perfetto (ui.perfetto.dev).
+ */
+
+#ifndef QUEST_OBS_CHROME_TRACE_HH
+#define QUEST_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace quest::obs {
+
+/**
+ * Write @p events as a Chrome-trace JSON array of complete ("X")
+ * events. Timestamps and durations are microseconds with ns
+ * precision; the nesting depth is attached under "args".
+ */
+void writeChromeTrace(std::ostream &os,
+                      const std::vector<TraceEvent> &events);
+
+} // namespace quest::obs
+
+#endif // QUEST_OBS_CHROME_TRACE_HH

@@ -1,0 +1,159 @@
+#include "obs/json.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace quest::obs {
+
+JsonWriter::JsonWriter(std::ostream &os) : os(os) {}
+
+void
+JsonWriter::separator()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (!firstInScope.empty()) {
+        if (!firstInScope.back())
+            os << ",";
+        firstInScope.back() = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    os << "{";
+    firstInScope.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    QUEST_ASSERT(!firstInScope.empty() && !afterKey,
+                 "unbalanced endObject");
+    firstInScope.pop_back();
+    os << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    os << "[";
+    firstInScope.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    QUEST_ASSERT(!firstInScope.empty() && !afterKey,
+                 "unbalanced endArray");
+    firstInScope.pop_back();
+    os << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    QUEST_ASSERT(!afterKey, "key after key");
+    separator();
+    os << "\"" << escape(k) << "\":";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separator();
+    os << "\"" << escape(s) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", d);
+    return rawValue(buf);
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separator();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separator();
+    os << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separator();
+    os << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view text)
+{
+    separator();
+    os << text;
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace quest::obs

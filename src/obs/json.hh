@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the trace and benchmark
+ * exporters. Handles comma placement and string escaping; the caller
+ * is responsible for well-formed nesting (asserted in debug builds).
+ */
+
+#ifndef QUEST_OBS_JSON_HH
+#define QUEST_OBS_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quest::obs {
+
+/** Streaming JSON emitter with automatic comma management. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(double d);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+    JsonWriter &value(bool b);
+
+    /** Emit @p text verbatim as a value (pre-formatted number). */
+    JsonWriter &rawValue(std::string_view text);
+
+    /** JSON-escape @p s (without surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+  private:
+    void separator();
+
+    std::ostream &os;
+    std::vector<bool> firstInScope; //!< per open scope
+    bool afterKey = false;
+};
+
+} // namespace quest::obs
+
+#endif // QUEST_OBS_JSON_HH

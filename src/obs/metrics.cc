@@ -1,0 +1,147 @@
+#include "obs/metrics.hh"
+
+#include "util/logging.hh"
+
+namespace quest::obs {
+
+namespace {
+
+const char *
+kindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Entry &e = entries[name];
+    if (!e.counter) {
+        QUEST_ASSERT(!e.gauge && !e.histogram, "metric '", name,
+                     "' already registered as ", kindName(e.kind));
+        e.kind = MetricKind::Counter;
+        e.counter = std::make_unique<Counter>();
+    }
+    return *e.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Entry &e = entries[name];
+    if (!e.gauge) {
+        QUEST_ASSERT(!e.counter && !e.histogram, "metric '", name,
+                     "' already registered as ", kindName(e.kind));
+        e.kind = MetricKind::Gauge;
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Entry &e = entries[name];
+    if (!e.histogram) {
+        QUEST_ASSERT(!e.counter && !e.gauge, "metric '", name,
+                     "' already registered as ", kindName(e.kind));
+        e.kind = MetricKind::Histogram;
+        e.histogram = std::make_unique<Histogram>();
+    }
+    return *e.histogram;
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<MetricSnapshot> out;
+    out.reserve(entries.size());
+    for (const auto &[name, e] : entries) {
+        MetricSnapshot s;
+        s.name = name;
+        s.kind = e.kind;
+        switch (e.kind) {
+          case MetricKind::Counter:
+            s.count = e.counter->value();
+            break;
+          case MetricKind::Gauge:
+            s.gaugeValue = e.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            s.count = e.histogram->count();
+            s.sum = e.histogram->sum();
+            s.min = e.histogram->minValue();
+            s.max = e.histogram->maxValue();
+            s.mean = e.histogram->mean();
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto &[name, e] : entries) {
+        switch (e.kind) {
+          case MetricKind::Counter:
+            e.counter->reset();
+            break;
+          case MetricKind::Gauge:
+            e.gauge->reset();
+            break;
+          case MetricKind::Histogram:
+            e.histogram->reset();
+            break;
+        }
+    }
+}
+
+Table
+MetricsRegistry::table() const
+{
+    Table t({"metric", "kind", "value", "sum", "mean", "min", "max"});
+    for (const MetricSnapshot &s : snapshot()) {
+        switch (s.kind) {
+          case MetricKind::Counter:
+            t.addRow({s.name, "counter", std::to_string(s.count), "",
+                      "", "", ""});
+            break;
+          case MetricKind::Gauge:
+            t.addRow({s.name, "gauge", std::to_string(s.gaugeValue),
+                      "", "", "", ""});
+            break;
+          case MetricKind::Histogram:
+            t.addRow({s.name, "histogram", std::to_string(s.count),
+                      std::to_string(s.sum), Table::num(s.mean, 2),
+                      std::to_string(s.min), std::to_string(s.max)});
+            break;
+        }
+    }
+    return t;
+}
+
+} // namespace quest::obs

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Process-wide metrics: counters, gauges and log2-bucketed
+ * histograms, registered by name in a global MetricsRegistry.
+ *
+ * The record path is lock-free (relaxed atomics); the registry mutex
+ * is taken only on first lookup of a name, so call sites cache the
+ * returned reference in a function-local static:
+ *
+ *     static auto &calls =
+ *         obs::MetricsRegistry::global().counter("lbfgs.calls");
+ *     calls.increment();
+ *
+ * Metric handles are never invalidated: reset() zeroes values but
+ * keeps every registered object alive for the process lifetime.
+ * Building with -DQUEST_OBS=OFF compiles the record operations into
+ * no-ops.
+ */
+
+#ifndef QUEST_OBS_METRICS_HH
+#define QUEST_OBS_METRICS_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/table.hh"
+
+namespace quest::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n)
+    {
+#ifndef QUEST_OBS_DISABLED
+        val.fetch_add(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+
+    void increment() { add(1); }
+
+    uint64_t value() const { return val.load(std::memory_order_relaxed); }
+
+    void reset() { val.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> val{0};
+};
+
+/** Last-set instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+#ifndef QUEST_OBS_DISABLED
+        val.store(v, std::memory_order_relaxed);
+#else
+        (void)v;
+#endif
+    }
+
+    void
+    add(int64_t n)
+    {
+#ifndef QUEST_OBS_DISABLED
+        val.fetch_add(n, std::memory_order_relaxed);
+#else
+        (void)n;
+#endif
+    }
+
+    int64_t value() const { return val.load(std::memory_order_relaxed); }
+
+    void reset() { val.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> val{0};
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples (bucket b
+ * holds values whose bit width is b, i.e. [2^(b-1), 2^b - 1]; bucket
+ * 0 holds the value 0). Tracks count, sum, min and max exactly;
+ * quantiles are bucket-resolution upper bounds.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    record(uint64_t sample)
+    {
+#ifndef QUEST_OBS_DISABLED
+        buckets[bucketIndex(sample)].fetch_add(
+            1, std::memory_order_relaxed);
+        total.fetch_add(1, std::memory_order_relaxed);
+        sumVal.fetch_add(sample, std::memory_order_relaxed);
+        relaxedMin(minVal, sample);
+        relaxedMax(maxVal, sample);
+#else
+        (void)sample;
+#endif
+    }
+
+    uint64_t count() const { return total.load(std::memory_order_relaxed); }
+    uint64_t sum() const { return sumVal.load(std::memory_order_relaxed); }
+
+    /** Smallest recorded sample (0 when empty). */
+    uint64_t
+    minValue() const
+    {
+        uint64_t v = minVal.load(std::memory_order_relaxed);
+        return v == UINT64_MAX ? 0 : v;
+    }
+
+    /** Largest recorded sample (0 when empty). */
+    uint64_t maxValue() const { return maxVal.load(std::memory_order_relaxed); }
+
+    double
+    mean() const
+    {
+        uint64_t n = count();
+        return n == 0 ? 0.0
+                      : static_cast<double>(sum()) /
+                            static_cast<double>(n);
+    }
+
+    uint64_t
+    bucketCount(int b) const
+    {
+        return buckets[b].load(std::memory_order_relaxed);
+    }
+
+    /** Largest value bucket @p b can hold. */
+    static uint64_t
+    bucketUpperBound(int b)
+    {
+        if (b <= 0)
+            return 0;
+        if (b >= 64)
+            return UINT64_MAX;
+        return (uint64_t{1} << b) - 1;
+    }
+
+    static int
+    bucketIndex(uint64_t sample)
+    {
+        return static_cast<int>(std::bit_width(sample));
+    }
+
+    /**
+     * Upper bound on the q-quantile (0 < q <= 1) at bucket
+     * resolution; clamped to the exact max. 0 when empty.
+     */
+    uint64_t
+    quantile(double q) const
+    {
+        const uint64_t n = count();
+        if (n == 0)
+            return 0;
+        uint64_t target = static_cast<uint64_t>(
+            q * static_cast<double>(n) + 0.5);
+        if (target < 1)
+            target = 1;
+        if (target > n)
+            target = n;
+        uint64_t seen = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            seen += bucketCount(b);
+            if (seen >= target)
+                return std::min(bucketUpperBound(b), maxValue());
+        }
+        return maxValue();
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b.store(0, std::memory_order_relaxed);
+        total.store(0, std::memory_order_relaxed);
+        sumVal.store(0, std::memory_order_relaxed);
+        minVal.store(UINT64_MAX, std::memory_order_relaxed);
+        maxVal.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static void
+    relaxedMin(std::atomic<uint64_t> &slot, uint64_t v)
+    {
+        uint64_t cur = slot.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    static void
+    relaxedMax(std::atomic<uint64_t> &slot, uint64_t v)
+    {
+        uint64_t cur = slot.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !slot.compare_exchange_weak(cur, v,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<uint64_t> buckets[kBuckets]{};
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint64_t> sumVal{0};
+    std::atomic<uint64_t> minVal{UINT64_MAX};
+    std::atomic<uint64_t> maxVal{0};
+};
+
+/** Metric kinds, for snapshots and export. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** One metric's state at snapshot time. */
+struct MetricSnapshot
+{
+    std::string name;
+    MetricKind kind;
+    uint64_t count = 0;     //!< counter value / histogram count
+    int64_t gaugeValue = 0; //!< gauge only
+    uint64_t sum = 0;       //!< histogram only
+    uint64_t min = 0;       //!< histogram only
+    uint64_t max = 0;       //!< histogram only
+    double mean = 0.0;      //!< histogram only
+};
+
+/** Name-keyed registry of all metrics in the process. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &global();
+
+    /** Get or create. Panics if @p name exists with another kind. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** All metrics, sorted by name. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /** Zero every metric (handles stay valid). */
+    void reset();
+
+    /** Render the snapshot as an aligned table. */
+    Table table() const;
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace quest::obs
+
+#endif // QUEST_OBS_METRICS_HH

@@ -1,0 +1,83 @@
+#include "obs/stats.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace quest::obs {
+
+namespace {
+
+/** The longest event named @p name, or nullptr. */
+const TraceEvent *
+findRoot(const std::vector<TraceEvent> &events, const std::string &name)
+{
+    const TraceEvent *root = nullptr;
+    for (const TraceEvent &e : events) {
+        if (name == e.name && (!root || e.durNs > root->durNs))
+            root = &e;
+    }
+    return root;
+}
+
+} // namespace
+
+std::vector<SpanStat>
+aggregateSpans(const std::vector<TraceEvent> &events)
+{
+    std::map<std::string, SpanStat> by_name;
+    for (const TraceEvent &e : events) {
+        SpanStat &s = by_name[e.name];
+        s.name = e.name;
+        ++s.count;
+        s.totalMs += static_cast<double>(e.durNs) / 1e6;
+    }
+    std::vector<SpanStat> out;
+    out.reserve(by_name.size());
+    for (auto &[name, s] : by_name)
+        out.push_back(std::move(s));
+    std::sort(out.begin(), out.end(),
+              [](const SpanStat &a, const SpanStat &b) {
+                  return a.totalMs > b.totalMs;
+              });
+    return out;
+}
+
+double
+phaseCoverage(const std::vector<TraceEvent> &events,
+              const std::string &root_name)
+{
+    const TraceEvent *root = findRoot(events, root_name);
+    if (!root || root->durNs <= 0)
+        return 0.0;
+    const int64_t root_end = root->startNs + root->durNs;
+    int64_t covered = 0;
+    for (const TraceEvent &e : events) {
+        if (e.tid != root->tid || e.depth != root->depth + 1)
+            continue;
+        if (e.startNs < root->startNs || e.startNs >= root_end)
+            continue;
+        covered += std::min(e.durNs, root_end - e.startNs);
+    }
+    return static_cast<double>(covered) /
+           static_cast<double>(root->durNs);
+}
+
+Table
+spanStatsTable(const std::vector<TraceEvent> &events,
+               const std::string &root_name)
+{
+    const TraceEvent *root = findRoot(events, root_name);
+    const double root_ms =
+        root ? static_cast<double>(root->durNs) / 1e6 : 0.0;
+
+    Table t({"span", "count", "total_ms", "%of_" + root_name});
+    for (const SpanStat &s : aggregateSpans(events)) {
+        std::string pct =
+            root_ms > 0.0 ? Table::pct(s.totalMs / root_ms) : "";
+        t.addRow({s.name, std::to_string(s.count),
+                  Table::num(s.totalMs, 3), pct});
+    }
+    return t;
+}
+
+} // namespace quest::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Span aggregation: turn collected trace events into a per-phase
+ * wall-clock attribution table (the `--stats` output of
+ * quest_compile) and a coverage figure for testing.
+ */
+
+#ifndef QUEST_OBS_STATS_HH
+#define QUEST_OBS_STATS_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "util/table.hh"
+
+namespace quest::obs {
+
+/** Aggregate of all spans sharing a name. */
+struct SpanStat
+{
+    std::string name;
+    uint64_t count = 0;
+    double totalMs = 0.0;
+};
+
+/** Group events by span name, sorted by total time descending. */
+std::vector<SpanStat> aggregateSpans(const std::vector<TraceEvent> &events);
+
+/**
+ * Fraction of the outermost @p root_name span's wall-clock covered
+ * by its direct children (same thread, one nesting level deeper).
+ * 0 when no such span exists.
+ */
+double phaseCoverage(const std::vector<TraceEvent> &events,
+                     const std::string &root_name);
+
+/**
+ * Attribution table: one row per span name with call count, total
+ * milliseconds and percentage of the outermost @p root_name span
+ * (blank when the root is absent).
+ */
+Table spanStatsTable(const std::vector<TraceEvent> &events,
+                     const std::string &root_name);
+
+} // namespace quest::obs
+
+#endif // QUEST_OBS_STATS_HH

@@ -1,0 +1,120 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace quest::obs {
+
+namespace {
+
+/** Per-thread span nesting depth. */
+thread_local uint32_t t_depth = 0;
+
+/** The calling thread's buffer, shared with the session registry so
+ *  it survives the thread. Null until the thread first records. */
+thread_local std::shared_ptr<TraceBuffer> t_buffer;
+
+/** Dense thread ids in registration order. */
+std::atomic<uint32_t> g_next_tid{0};
+
+} // namespace
+
+int64_t
+traceNowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch)
+        .count();
+}
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::start()
+{
+    clear();
+    enabledFlag.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::stop()
+{
+    enabledFlag.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (auto &buffer : buffers)
+        buffer->resetCounts();
+}
+
+std::vector<TraceEvent>
+TraceSession::collect() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex);
+        for (const auto &buffer : buffers)
+            buffer->snapshot(events);
+    }
+    // Parents open before (and close after) their children, so
+    // sorting by start time — longest span first on ties — yields
+    // parent-before-child order.
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.durNs > b.durNs;
+              });
+    return events;
+}
+
+size_t
+TraceSession::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    size_t total = 0;
+    for (const auto &buffer : buffers)
+        total += buffer->dropped();
+    return total;
+}
+
+TraceBuffer &
+TraceSession::threadBuffer()
+{
+    if (!t_buffer) {
+        t_buffer = std::make_shared<TraceBuffer>(
+            g_next_tid.fetch_add(1, std::memory_order_relaxed));
+        std::lock_guard<std::mutex> lock(registryMutex);
+        buffers.push_back(t_buffer);
+    }
+    return *t_buffer;
+}
+
+TraceScope::TraceScope(const char *name) : name(name), startNs(-1)
+{
+    if (!TraceSession::global().enabled())
+        return;
+    depth = t_depth++;
+    startNs = traceNowNs();
+}
+
+TraceScope::~TraceScope()
+{
+    if (startNs < 0)
+        return;
+    --t_depth;
+    TraceSession::global().threadBuffer().record(
+        name, depth, startNs, traceNowNs() - startNs);
+}
+
+} // namespace quest::obs

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Scoped-span tracing with per-thread ring buffers.
+ *
+ * `QUEST_TRACE_SCOPE("name")` opens a span that records its wall-clock
+ * interval, thread id and nesting depth when it closes. The record
+ * path is lock-free: each thread appends to its own pre-sized buffer
+ * and publishes the write index with a release store; the exporter
+ * reads published slots with an acquire load, so concurrent recording
+ * and collection are race-free without any mutex on the hot path.
+ *
+ * Tracing is off by default. `TraceSession::global().start()` enables
+ * it at runtime; building with -DQUEST_OBS=OFF (which defines
+ * QUEST_OBS_DISABLED) compiles the macro away entirely. The span name
+ * must be a string literal (or otherwise outlive the session) — only
+ * the pointer is stored.
+ */
+
+#ifndef QUEST_OBS_TRACE_HH
+#define QUEST_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace quest::obs {
+
+/** One closed span. Times are ns since the process trace epoch. */
+struct TraceEvent
+{
+    const char *name;   //!< static-storage span name
+    uint32_t tid;       //!< dense per-thread id (registration order)
+    uint32_t depth;     //!< nesting depth on its thread (0 = outermost)
+    int64_t startNs;
+    int64_t durNs;
+};
+
+/** Monotonic ns since the process-wide trace epoch. */
+int64_t traceNowNs();
+
+/**
+ * Single-writer event buffer owned by one thread. The owning thread
+ * appends; any thread may snapshot the published prefix concurrently.
+ */
+class TraceBuffer
+{
+  public:
+    /** Spans recorded beyond this per-thread capacity are dropped
+     *  (and counted) rather than wrapping, so published slots stay
+     *  immutable and readable without synchronization. */
+    static constexpr size_t kCapacity = size_t{1} << 14;
+
+    explicit TraceBuffer(uint32_t tid)
+        : slots(kCapacity), threadId(tid)
+    {}
+
+    uint32_t tid() const { return threadId; }
+
+    /** Append one event (owner thread only). */
+    void
+    record(const char *name, uint32_t depth, int64_t start_ns,
+           int64_t dur_ns)
+    {
+        const size_t i = countAtomic.load(std::memory_order_relaxed);
+        if (i >= kCapacity) {
+            droppedAtomic.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slots[i] = TraceEvent{name, threadId, depth, start_ns, dur_ns};
+        countAtomic.store(i + 1, std::memory_order_release);
+    }
+
+    /** Number of published events. */
+    size_t size() const { return countAtomic.load(std::memory_order_acquire); }
+
+    /** Events dropped because the buffer was full. */
+    size_t
+    dropped() const
+    {
+        return droppedAtomic.load(std::memory_order_relaxed);
+    }
+
+    /** Append the published prefix to @p out. */
+    void
+    snapshot(std::vector<TraceEvent> &out) const
+    {
+        const size_t n = size();
+        out.insert(out.end(), slots.begin(), slots.begin() + n);
+    }
+
+    /** Forget all events. Requires the owner thread to be quiescent. */
+    void
+    resetCounts()
+    {
+        countAtomic.store(0, std::memory_order_relaxed);
+        droppedAtomic.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<TraceEvent> slots;
+    std::atomic<size_t> countAtomic{0};
+    std::atomic<size_t> droppedAtomic{0};
+    uint32_t threadId;
+};
+
+/**
+ * Global trace collector: owns the registry of per-thread buffers and
+ * the runtime enable flag. Buffers outlive their threads (shared
+ * ownership), so spans recorded by short-lived pool workers survive
+ * until export.
+ */
+class TraceSession
+{
+  public:
+    static TraceSession &global();
+
+    /** Clear previous events and enable recording. Must not be
+     *  called while instrumented work is in flight. */
+    void start();
+
+    /** Disable recording (events stay collectable). */
+    void stop();
+
+    /** True while spans are being recorded. */
+    bool
+    enabled() const
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Forget all recorded events (see start() for the caveat). */
+    void clear();
+
+    /** All published events, sorted by start time (parents before
+     *  their children). Safe to call while recording. */
+    std::vector<TraceEvent> collect() const;
+
+    /** Total events dropped across all thread buffers. */
+    size_t droppedEvents() const;
+
+    /** The calling thread's buffer (registers it on first use). */
+    TraceBuffer &threadBuffer();
+
+  private:
+    std::atomic<bool> enabledFlag{false};
+    mutable std::mutex registryMutex;
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+};
+
+/** RAII span: opens at construction, records at destruction. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(const char *name);
+    ~TraceScope();
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name;
+    int64_t startNs;   //!< -1 when the session was disabled at entry
+    uint32_t depth = 0;
+};
+
+} // namespace quest::obs
+
+#ifdef QUEST_OBS_DISABLED
+#define QUEST_TRACE_SCOPE(name) ((void)0)
+#else
+#define QUEST_TRACE_SCOPE_CAT2(a, b) a##b
+#define QUEST_TRACE_SCOPE_CAT(a, b) QUEST_TRACE_SCOPE_CAT2(a, b)
+#define QUEST_TRACE_SCOPE(name) \
+    ::quest::obs::TraceScope QUEST_TRACE_SCOPE_CAT( \
+        quest_trace_scope_, __LINE__)(name)
+#endif
+
+#endif // QUEST_OBS_TRACE_HH

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "baseline/pass_manager.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
 
@@ -25,6 +27,10 @@ Distribution
 ensembleDistribution(const QuestResult &result,
                      const EnsembleOptions &options)
 {
+    QUEST_TRACE_SCOPE("quest.ensemble_eval");
+    static auto &evals = obs::MetricsRegistry::global().counter(
+        "quest.ensemble.evals");
+    evals.increment();
     std::vector<Circuit> circuits =
         sampleCircuits(result, options.applyQiskit);
 

@@ -8,6 +8,8 @@
 
 #include "ir/lower.hh"
 #include "linalg/distance.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "quest/objective.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -61,26 +63,37 @@ QuestPipeline::QuestPipeline(QuestConfig config)
 QuestResult
 QuestPipeline::run(const Circuit &circuit) const
 {
+    QUEST_TRACE_SCOPE("quest.pipeline");
+    static auto &runs_counter =
+        obs::MetricsRegistry::global().counter("quest.pipeline.runs");
+    runs_counter.increment();
+
     QuestResult result;
     Stopwatch partition_watch, synth_watch, anneal_watch;
 
     // ---- STEP 1: lower and partition. --------------------------------
     {
-        ScopedTimer timer(partition_watch);
-        result.original = lowerToNative(circuit).withoutPseudoOps();
-        ScanPartitioner partitioner(cfg.maxBlockSize);
-        result.blocks = partitioner.partition(result.original);
+        QUEST_TRACE_SCOPE("quest.partition");
+        {
+            ScopedTimer timer(partition_watch);
+            result.original = lowerToNative(circuit).withoutPseudoOps();
+            ScanPartitioner partitioner(cfg.maxBlockSize);
+            result.blocks = partitioner.partition(result.original);
+        }
+        result.originalCnots = result.original.cnotCount();
+        QUEST_ASSERT(!result.blocks.empty(), "empty circuit");
+        if (cfg.verify) {
+            verifyOrPanic(result.original,
+                          {.requireNative = true,
+                           .allowPseudoOps = false},
+                          "STEP 1 lowered circuit");
+            verifyOrPanic(result.original, result.blocks,
+                          cfg.maxBlockSize, "STEP 1 partition");
+        }
     }
-    result.originalCnots = result.original.cnotCount();
     const size_t num_blocks = result.blocks.size();
-    QUEST_ASSERT(num_blocks > 0, "empty circuit");
-    if (cfg.verify) {
-        verifyOrPanic(result.original,
-                      {.requireNative = true, .allowPseudoOps = false},
-                      "STEP 1 lowered circuit");
-        verifyOrPanic(result.original, result.blocks, cfg.maxBlockSize,
-                      "STEP 1 partition");
-    }
+    obs::MetricsRegistry::global().gauge("quest.blocks").set(
+        static_cast<int64_t>(num_blocks));
     result.threshold = std::min(cfg.thresholdPerBlock *
                                     static_cast<double>(num_blocks),
                                 cfg.thresholdCap);
@@ -88,6 +101,7 @@ QuestPipeline::run(const Circuit &circuit) const
     // ---- STEP 2: approximate synthesis per block (parallel, with a
     // cache so identical block unitaries synthesize once). ------------
     {
+        QUEST_TRACE_SCOPE("quest.synthesis");
         ScopedTimer timer(synth_watch);
 
         std::vector<Matrix> targets(num_blocks);
@@ -101,6 +115,14 @@ QuestPipeline::run(const Circuit &circuit) const
                 unique.try_emplace(matrixKey(targets[b]), b);
             canonical[b] = it->second;
         }
+        static auto &cache_misses =
+            obs::MetricsRegistry::global().counter(
+                "quest.synth.cache_misses");
+        static auto &cache_hits =
+            obs::MetricsRegistry::global().counter(
+                "quest.synth.cache_hits");
+        cache_misses.add(unique.size());
+        cache_hits.add(num_blocks - unique.size());
 
         std::vector<SynthOutput> outputs(num_blocks);
         {
@@ -125,6 +147,7 @@ QuestPipeline::run(const Circuit &circuit) const
             ThreadPool pool(std::min<unsigned>(
                 across, static_cast<unsigned>(work.size())));
             pool.parallelFor(work.size(), [&](size_t i) {
+                QUEST_TRACE_SCOPE("quest.block_synth");
                 const size_t b = work[i];
                 const Circuit &block = result.blocks[b].circuit;
                 std::vector<std::pair<int, int>> skeleton;
@@ -198,6 +221,7 @@ QuestPipeline::run(const Circuit &circuit) const
 
         // Pairwise block-approximation similarity (Alg. 1 line 13):
         // similar iff hs(A_i, A_j) <= max(dist_i, dist_j).
+        QUEST_TRACE_SCOPE("quest.similarity");
         result.blockSimilar.resize(num_blocks);
         for (size_t b = 0; b < num_blocks; ++b) {
             const auto &list = result.blockApprox[b];
@@ -222,6 +246,7 @@ QuestPipeline::run(const Circuit &circuit) const
 
     // ---- STEP 3: dual-annealing selection of dissimilar samples. -----
     {
+        QUEST_TRACE_SCOPE("quest.anneal");
         ScopedTimer timer(anneal_watch);
 
         std::vector<std::vector<int>> selected;
@@ -282,6 +307,8 @@ QuestPipeline::run(const Circuit &circuit) const
     result.partitionSeconds = partition_watch.seconds();
     result.synthesisSeconds = synth_watch.seconds();
     result.annealSeconds = anneal_watch.seconds();
+    obs::MetricsRegistry::global().gauge("quest.samples").set(
+        static_cast<int64_t>(result.samples.size()));
     return result;
 }
 

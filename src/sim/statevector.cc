@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace quest {
@@ -146,6 +147,12 @@ StateVector::applyGate(const Gate &gate)
       case GateType::Barrier:
       case GateType::Measure:
         return;
+      default:
+        break;
+    }
+    ++nGateApplies;
+    nBytesTouched += amps.size() * sizeof(Complex);
+    switch (gate.type) {
       case GateType::CX: {
         // Direct conditional swap: fast path for the dominant gate.
         const size_t bc = size_t{1} << (nQubits - 1 - gate.qubits[0]);
@@ -167,8 +174,18 @@ StateVector::applyCircuit(const Circuit &circuit)
 {
     QUEST_ASSERT(circuit.numQubits() == nQubits,
                  "circuit width does not match state");
+    const uint64_t gates_before = nGateApplies;
+    const uint64_t bytes_before = nBytesTouched;
     for (const Gate &g : circuit)
         applyGate(g);
+#ifndef QUEST_OBS_DISABLED
+    static auto &gate_counter =
+        obs::MetricsRegistry::global().counter("sim.gate_applies");
+    static auto &byte_counter =
+        obs::MetricsRegistry::global().counter("sim.bytes_touched");
+    gate_counter.add(nGateApplies - gates_before);
+    byte_counter.add(nBytesTouched - bytes_before);
+#endif
 }
 
 double

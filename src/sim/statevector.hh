@@ -59,9 +59,20 @@ class StateVector
     /** Sample a single measurement outcome without collapsing. */
     size_t sample(Rng &rng) const;
 
+    /** Gates applied to this state so far (Barrier/Measure excluded). */
+    uint64_t gateApplies() const { return nGateApplies; }
+
+    /** Amplitude bytes read+written by those gate applications. */
+    uint64_t bytesTouched() const { return nBytesTouched; }
+
   private:
     int nQubits;
     std::vector<Complex> amps;
+    // Per-instance tallies (plain members so hot kernels pay no
+    // atomic cost); applyCircuit flushes the deltas to the metrics
+    // registry.
+    uint64_t nGateApplies = 0;
+    uint64_t nBytesTouched = 0;
 };
 
 } // namespace quest

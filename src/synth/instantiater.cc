@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "synth/hs_cost.hh"
 #include "util/logging.hh"
 
@@ -13,6 +15,13 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
             const InstantiaterOptions &options,
             const std::optional<std::vector<double>> &warm_start)
 {
+    QUEST_TRACE_SCOPE("synth.instantiate");
+    static auto &calls =
+        obs::MetricsRegistry::global().counter("synth.instantiations");
+    static auto &starts_counter =
+        obs::MetricsRegistry::global().counter("synth.multistarts");
+    calls.increment();
+
     constexpr double pi = std::numbers::pi;
     HsCost cost(target, ansatz);
     const int n_params = ansatz.paramCount();
@@ -28,6 +37,7 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
 
     for (int start = 0; start < std::max(1, options.multistarts);
          ++start) {
+        starts_counter.increment();
         std::vector<double> x0(n_params);
         if (start == 0 && warm_start) {
             QUEST_ASSERT(warm_start->size() <= x0.size(),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace quest {
@@ -28,6 +29,34 @@ infNorm(const std::vector<double> &v)
     return worst;
 }
 
+/** Flush one call's iteration/evaluation tallies to the metrics
+ *  registry on every exit path. */
+class LbfgsTally
+{
+  public:
+    int evaluations = 0;
+    const int *iterations = nullptr;
+
+    ~LbfgsTally()
+    {
+        static auto &calls =
+            obs::MetricsRegistry::global().counter("lbfgs.calls");
+        static auto &iters =
+            obs::MetricsRegistry::global().counter("lbfgs.iterations");
+        static auto &evals = obs::MetricsRegistry::global().counter(
+            "lbfgs.evaluations");
+        static auto &iter_hist =
+            obs::MetricsRegistry::global().histogram(
+                "lbfgs.iterations_per_call");
+        calls.increment();
+        evals.add(static_cast<uint64_t>(evaluations));
+        if (iterations) {
+            iters.add(static_cast<uint64_t>(*iterations));
+            iter_hist.record(static_cast<uint64_t>(*iterations));
+        }
+    }
+};
+
 } // namespace
 
 LbfgsResult
@@ -38,8 +67,12 @@ lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
     LbfgsResult result;
     result.x = std::move(x0);
 
+    LbfgsTally tally;
+    tally.iterations = &result.iterations;
+
     std::vector<double> grad(n);
     double f = objective(result.x, &grad);
+    ++tally.evaluations;
 
     if (n == 0) {
         result.value = f;
@@ -110,6 +143,7 @@ lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
             for (size_t i = 0; i < n; ++i)
                 x_new[i] = result.x[i] + step * direction[i];
             f_new = objective(x_new, &grad_new);
+            ++tally.evaluations;
             if (f_new <= f + c1 * step * dir_deriv) {
                 improved = true;
                 break;

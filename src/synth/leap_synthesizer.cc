@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/decompose.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "verify/verifier.hh"
@@ -104,6 +106,11 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
                             const std::vector<std::pair<int, int>>
                                 *skeleton) const
 {
+    QUEST_TRACE_SCOPE("synth.synthesize");
+    static auto &synth_calls =
+        obs::MetricsRegistry::global().counter("synth.calls");
+    synth_calls.increment();
+
     const int n = log2Dim(target.rows());
     QUEST_ASSERT(target.isUnitary(1e-8), "synthesis target not unitary");
     SynthOutput out;
@@ -195,7 +202,14 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     int levels_past_exact = 0;
     int stall = 0;
 
+    static auto &levels_counter =
+        obs::MetricsRegistry::global().counter("synth.levels");
+    static auto &tasks_counter =
+        obs::MetricsRegistry::global().counter("synth.tasks");
+
     for (int level = 1; level <= budget; ++level) {
+        QUEST_TRACE_SCOPE("synth.level");
+        levels_counter.increment();
         // Build the level's task list: every (frontier node, pair)
         // expansion plus the brickwork lineage.
         struct Task
@@ -222,6 +236,7 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
                              rng.split(), true});
         }
 
+        tasks_counter.add(tasks.size());
         std::vector<Node> children(tasks.size(),
                                    Node{Ansatz(n), {}, 1.0});
         auto run_task = [&](size_t i) {
@@ -298,6 +313,9 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             out.bestIndex = i;
         }
     }
+    static auto &candidates_counter =
+        obs::MetricsRegistry::global().counter("synth.candidates");
+    candidates_counter.add(out.candidates.size());
     if (cfg.verifyCandidates)
         verifyCandidates(out, n);
     return out;

@@ -43,6 +43,15 @@ class Table
     /** Number of data rows. */
     size_t rows() const { return data.size(); }
 
+    /** Column headers, in order. */
+    const std::vector<std::string> &headerRow() const { return headers; }
+
+    /** All data rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rowData() const
+    {
+        return data;
+    }
+
   private:
     std::vector<std::string> headers;
     std::vector<std::vector<std::string>> data;

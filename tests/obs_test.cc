@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Tests for the observability layer: scoped-span tracing, the metrics
+ * registry, the Chrome-trace exporter and the span-attribution stats.
+ *
+ * The trace session and metrics registry are process-global; every
+ * trace test starts a fresh session (which clears prior events) and
+ * metric tests use names unique to this file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "obs/chrome_trace.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/thread_pool.hh"
+
+namespace quest::obs {
+namespace {
+
+/** Spin until the monotonic trace clock has visibly advanced, so
+ *  nested spans get strictly ordered timestamps. */
+void
+tick()
+{
+    const int64_t start = traceNowNs();
+    while (traceNowNs() == start) {
+    }
+}
+
+class TraceFixture : public ::testing::Test
+{
+  protected:
+    void SetUp() override { TraceSession::global().start(); }
+    void TearDown() override { TraceSession::global().stop(); }
+};
+
+TEST_F(TraceFixture, RecordsNestingDepthAndOrdering)
+{
+    {
+        QUEST_TRACE_SCOPE("outer");
+        tick();
+        {
+            QUEST_TRACE_SCOPE("inner");
+            tick();
+        }
+        tick();
+        {
+            QUEST_TRACE_SCOPE("inner2");
+            tick();
+        }
+        tick();
+    }
+    auto events = TraceSession::global().collect();
+    ASSERT_EQ(events.size(), 3u);
+
+    // collect() sorts parents before children.
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_STREQ(events[2].name, "inner2");
+
+    EXPECT_EQ(events[0].depth, 0u);
+    EXPECT_EQ(events[1].depth, 1u);
+    EXPECT_EQ(events[2].depth, 1u);
+    EXPECT_EQ(events[0].tid, events[1].tid);
+
+    // Children are contained in the parent interval and disjoint.
+    const auto &outer = events[0];
+    for (size_t i = 1; i < events.size(); ++i) {
+        EXPECT_GE(events[i].startNs, outer.startNs);
+        EXPECT_LE(events[i].startNs + events[i].durNs,
+                  outer.startNs + outer.durNs);
+    }
+    EXPECT_GE(events[2].startNs, events[1].startNs + events[1].durNs);
+}
+
+TEST_F(TraceFixture, DisabledSessionRecordsNothing)
+{
+    TraceSession::global().stop();
+    {
+        QUEST_TRACE_SCOPE("ignored");
+        tick();
+    }
+    EXPECT_TRUE(TraceSession::global().collect().empty());
+}
+
+TEST_F(TraceFixture, StartClearsPreviousEvents)
+{
+    {
+        QUEST_TRACE_SCOPE("stale");
+    }
+    ASSERT_EQ(TraceSession::global().collect().size(), 1u);
+    TraceSession::global().start();
+    EXPECT_TRUE(TraceSession::global().collect().empty());
+    EXPECT_EQ(TraceSession::global().droppedEvents(), 0u);
+}
+
+TEST(TraceBufferTest, DropsInsteadOfWrapping)
+{
+    TraceBuffer buffer(7);
+    const size_t extra = 5;
+    for (size_t i = 0; i < TraceBuffer::kCapacity + extra; ++i)
+        buffer.record("x", 0, static_cast<int64_t>(i), 1);
+    EXPECT_EQ(buffer.size(), TraceBuffer::kCapacity);
+    EXPECT_EQ(buffer.dropped(), extra);
+
+    std::vector<TraceEvent> events;
+    buffer.snapshot(events);
+    ASSERT_EQ(events.size(), TraceBuffer::kCapacity);
+    // The earliest records survive; late ones are the dropped ones.
+    EXPECT_EQ(events.front().startNs, 0);
+    EXPECT_EQ(events.back().startNs,
+              static_cast<int64_t>(TraceBuffer::kCapacity - 1));
+    EXPECT_EQ(events.front().tid, 7u);
+
+    buffer.resetCounts();
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST_F(TraceFixture, ThreadPoolStress)
+{
+    // Many workers record spans while the main thread concurrently
+    // collects: exercises the single-writer/any-reader contract the
+    // tsan preset checks.
+    static auto &stress_counter =
+        MetricsRegistry::global().counter("obs_test.stress");
+    stress_counter.reset();
+
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            auto events = TraceSession::global().collect();
+            for (const TraceEvent &e : events)
+                EXPECT_GE(e.durNs, 0);
+        }
+    });
+
+    constexpr size_t kTasks = 4096;
+    {
+        ThreadPool pool(8);
+        pool.parallelFor(kTasks, [](size_t) {
+            QUEST_TRACE_SCOPE("stress.outer");
+            {
+                QUEST_TRACE_SCOPE("stress.inner");
+                stress_counter.increment();
+            }
+        });
+    }
+    done.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(stress_counter.value(), kTasks);
+    // Every span was either published or counted as dropped.
+    auto events = TraceSession::global().collect();
+    EXPECT_EQ(events.size() + TraceSession::global().droppedEvents(),
+              2 * kTasks);
+}
+
+TEST(CounterTest, AddAndReset)
+{
+    static auto &c = MetricsRegistry::global().counter("obs_test.c");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd)
+{
+    static auto &g = MetricsRegistry::global().gauge("obs_test.g");
+    g.set(-3);
+    EXPECT_EQ(g.value(), -3);
+    g.add(5);
+    EXPECT_EQ(g.value(), 2);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketsAndSummary)
+{
+    static auto &h =
+        MetricsRegistry::global().histogram("obs_test.h");
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+
+    for (uint64_t v : {0u, 1u, 2u, 3u, 4u, 100u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 110u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 100u);
+    EXPECT_NEAR(h.mean(), 110.0 / 6.0, 1e-12);
+
+    // Bucket b holds values of bit width b.
+    EXPECT_EQ(Histogram::bucketIndex(0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(1), 1);
+    EXPECT_EQ(Histogram::bucketIndex(2), 2);
+    EXPECT_EQ(Histogram::bucketIndex(3), 2);
+    EXPECT_EQ(Histogram::bucketIndex(4), 3);
+    EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.bucketCount(7), 1u);  // 100 has bit width 7
+
+    // Quantiles are bucket-resolution upper bounds, clamped to max.
+    EXPECT_EQ(h.quantile(0.5), 3u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStable)
+{
+    auto &a = MetricsRegistry::global().counter("obs_test.stable");
+    auto &b = MetricsRegistry::global().counter("obs_test.stable");
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsRegisteredMetrics)
+{
+    MetricsRegistry::global().counter("obs_test.snap").add(9);
+    MetricsRegistry::global().gauge("obs_test.snap_g").set(-1);
+    MetricsRegistry::global().histogram("obs_test.snap_h").record(8);
+
+    bool saw_counter = false, saw_gauge = false, saw_hist = false;
+    for (const MetricSnapshot &m :
+         MetricsRegistry::global().snapshot()) {
+        if (m.name == "obs_test.snap") {
+            saw_counter = true;
+            EXPECT_EQ(m.kind, MetricKind::Counter);
+            EXPECT_EQ(m.count, 9u);
+        } else if (m.name == "obs_test.snap_g") {
+            saw_gauge = true;
+            EXPECT_EQ(m.kind, MetricKind::Gauge);
+            EXPECT_EQ(m.gaugeValue, -1);
+        } else if (m.name == "obs_test.snap_h") {
+            saw_hist = true;
+            EXPECT_EQ(m.kind, MetricKind::Histogram);
+            EXPECT_EQ(m.count, 1u);
+            EXPECT_EQ(m.max, 8u);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
+    EXPECT_TRUE(saw_hist);
+    EXPECT_GT(MetricsRegistry::global().table().rows(), 0u);
+}
+
+TEST(MetricsRegistryTest, KindMismatchPanics)
+{
+    MetricsRegistry::global().counter("obs_test.kind");
+    EXPECT_DEATH(MetricsRegistry::global().gauge("obs_test.kind"),
+                 "obs_test.kind");
+}
+
+TEST(JsonWriterTest, EscapesAndNests)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("s").value("a\"b\\c\n\t");
+    w.key("arr").beginArray().value(1).value(2.5).value(true).endArray();
+    w.key("neg").value(int64_t{-7});
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"s\":\"a\\\"b\\\\c\\n\\t\","
+              "\"arr\":[1,2.5,true],\"neg\":-7}");
+}
+
+TEST(ChromeTraceTest, GoldenFormat)
+{
+    std::vector<TraceEvent> events = {
+        {"quest.pipeline", 0, 0, 1000, 250500},
+        {"quest.partition", 0, 1, 2000, 10250},
+        {"block", 3, 0, 5000, 1000},
+    };
+    std::ostringstream os;
+    writeChromeTrace(os, events);
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "{\"name\":\"quest.pipeline\",\"cat\":\"quest\","
+              "\"ph\":\"X\",\"ts\":1.000,\"dur\":250.500,\"pid\":1,"
+              "\"tid\":0,\"args\":{\"depth\":0}},\n"
+              "{\"name\":\"quest.partition\",\"cat\":\"quest\","
+              "\"ph\":\"X\",\"ts\":2.000,\"dur\":10.250,\"pid\":1,"
+              "\"tid\":0,\"args\":{\"depth\":1}},\n"
+              "{\"name\":\"block\",\"cat\":\"quest\",\"ph\":\"X\","
+              "\"ts\":5.000,\"dur\":1.000,\"pid\":1,\"tid\":3,"
+              "\"args\":{\"depth\":0}}\n"
+              "]\n");
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsAnEmptyArray)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, {});
+    EXPECT_EQ(os.str(), "[\n\n]\n");
+}
+
+TEST(StatsTest, AggregatesAndCoverage)
+{
+    // Root of 100us with two direct children covering 90us total;
+    // the grandchild and other-thread spans must not count.
+    std::vector<TraceEvent> events = {
+        {"root", 0, 0, 0, 100000},
+        {"a", 0, 1, 0, 60000},
+        {"a.inner", 0, 2, 1000, 5000},
+        {"b", 0, 1, 60000, 30000},
+        {"other", 1, 1, 0, 90000},
+    };
+    EXPECT_NEAR(phaseCoverage(events, "root"), 0.9, 1e-12);
+    EXPECT_EQ(phaseCoverage(events, "absent"), 0.0);
+
+    auto stats = aggregateSpans(events);
+    ASSERT_EQ(stats.size(), 5u);
+    // Sorted by total time descending.
+    EXPECT_EQ(stats[0].name, "root");
+    EXPECT_EQ(stats[0].count, 1u);
+    EXPECT_NEAR(stats[0].totalMs, 0.1, 1e-12);
+
+    Table t = spanStatsTable(events, "root");
+    EXPECT_EQ(t.rows(), 5u);
+    ASSERT_EQ(t.headerRow().size(), 4u);
+    EXPECT_EQ(t.headerRow()[3], "%of_root");
+}
+
+TEST(StatsTest, ChildClippedToRootEnd)
+{
+    // A child that outlives the root only counts the overlap.
+    std::vector<TraceEvent> events = {
+        {"root", 0, 0, 0, 100},
+        {"late", 0, 1, 50, 100},
+    };
+    EXPECT_NEAR(phaseCoverage(events, "root"), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace quest::obs

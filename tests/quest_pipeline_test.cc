@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "algos/algorithms.hh"
 #include "ir/lower.hh"
 #include "metrics/output_distance.hh"
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "quest/bound.hh"
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
@@ -32,17 +37,47 @@ leanConfig()
     return cfg;
 }
 
+/** The pipeline result plus the observability record of its run. */
+struct RunArtifacts
+{
+    QuestResult r;
+    std::vector<obs::TraceEvent> events;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+};
+
+RunArtifacts
+tracedRun(const QuestConfig &cfg, const Circuit &circuit)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    auto &hits = registry.counter("quest.synth.cache_hits");
+    auto &misses = registry.counter("quest.synth.cache_misses");
+    const uint64_t hits_before = hits.value();
+    const uint64_t misses_before = misses.value();
+
+    obs::TraceSession::global().start();
+    RunArtifacts out;
+    out.r = QuestPipeline(cfg).run(circuit);
+    obs::TraceSession::global().stop();
+    out.events = obs::TraceSession::global().collect();
+    out.cacheHits = hits.value() - hits_before;
+    out.cacheMisses = misses.value() - misses_before;
+    return out;
+}
+
 class PipelineFixture : public ::testing::Test
 {
   protected:
-    static const QuestResult &
-    result()
+    static const RunArtifacts &
+    artifacts()
     {
         // Shared across tests: the pipeline run is the expensive part.
-        static QuestResult r =
-            QuestPipeline(leanConfig()).run(algos::tfim(4, 5));
-        return r;
+        static RunArtifacts a =
+            tracedRun(leanConfig(), algos::tfim(4, 5));
+        return a;
     }
+
+    static const QuestResult &result() { return artifacts().r; }
 };
 
 TEST_F(PipelineFixture, ReducesCnotCount)
@@ -136,18 +171,60 @@ TEST_F(PipelineFixture, BlockApproxIndexZeroIsOriginal)
     }
 }
 
+TEST_F(PipelineFixture, PhaseSpansCoverTheRun)
+{
+    const auto &events = artifacts().events;
+    ASSERT_FALSE(events.empty());
+
+    // The three pipeline phases must be present as spans...
+    bool partition = false, synthesis = false, anneal = false;
+    for (const obs::TraceEvent &e : events) {
+        partition |= std::string(e.name) == "quest.partition";
+        synthesis |= std::string(e.name) == "quest.synthesis";
+        anneal |= std::string(e.name) == "quest.anneal";
+    }
+    EXPECT_TRUE(partition);
+    EXPECT_TRUE(synthesis);
+    EXPECT_TRUE(anneal);
+
+    // ...and together attribute >90% of the pipeline wall-clock.
+    EXPECT_GT(obs::phaseCoverage(events, "quest.pipeline"), 0.9);
+}
+
 TEST(Pipeline, PartitionedCircuitRuns)
 {
     // An 8-qubit circuit forces multiple blocks.
     QuestConfig cfg = leanConfig();
     cfg.synth.maxLayers = 6;
-    QuestResult r = QuestPipeline(cfg).run(algos::tfim(8, 2));
+    RunArtifacts a = tracedRun(cfg, algos::tfim(8, 2));
+    const QuestResult &r = a.r;
     EXPECT_GT(r.blocks.size(), 1u);
     EXPECT_GE(r.samples.size(), 1u);
     EXPECT_LE(r.minSampleCnots(), r.originalCnots);
+    // Every block went through the synthesis cache exactly once.
+    EXPECT_EQ(a.cacheHits + a.cacheMisses, r.blocks.size());
     // Every sample simulates to a normalized distribution.
     Distribution d = ensembleDistribution(r);
     EXPECT_NEAR(d.total(), 1.0, 1e-9);
+}
+
+TEST(Pipeline, RepeatedBlocksHitTheSynthesisCache)
+{
+    // The same 4-qubit evolution on two disjoint wire sets partitions
+    // into byte-identical block unitaries, so the second block must be
+    // a cache hit rather than a fresh synthesis.
+    Circuit half = algos::tfim(4, 2);
+    Circuit circuit(8);
+    circuit.appendCircuit(half, {0, 1, 2, 3});
+    circuit.appendCircuit(half, {4, 5, 6, 7});
+
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 6;
+    RunArtifacts a = tracedRun(cfg, circuit);
+    EXPECT_GT(a.r.blocks.size(), 1u);
+    EXPECT_EQ(a.cacheHits + a.cacheMisses, a.r.blocks.size());
+    EXPECT_GT(a.cacheHits, 0u);
+    EXPECT_LT(a.cacheMisses, a.r.blocks.size());
 }
 
 TEST(Pipeline, NeverWorseThanBaseline)

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Cross-checks buildUnitary against the statevector simulator: column
+ * j of the circuit unitary must equal the state obtained by applying
+ * the circuit to basis state |j>.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "algos/algorithms.hh"
+#include "ir/circuit.hh"
+#include "sim/statevector.hh"
+#include "sim/unitary_builder.hh"
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+/** The circuit applied to basis state |j>. */
+std::vector<Complex>
+applyToBasis(const Circuit &circuit, size_t j)
+{
+    StateVector sv(circuit.numQubits());
+    auto &amps = sv.amplitudes();
+    std::fill(amps.begin(), amps.end(), Complex(0.0, 0.0));
+    amps[j] = Complex(1.0, 0.0);
+    sv.applyCircuit(circuit);
+    return sv.amplitudes();
+}
+
+/** Column-by-column comparison against the simulator. */
+void
+expectMatchesSimulator(const Circuit &circuit)
+{
+    Matrix u = buildUnitary(circuit);
+    const size_t dim = size_t{1} << circuit.numQubits();
+    ASSERT_EQ(u.rows(), dim);
+    ASSERT_EQ(u.cols(), dim);
+    for (size_t j = 0; j < dim; ++j) {
+        std::vector<Complex> column = applyToBasis(circuit, j);
+        for (size_t r = 0; r < dim; ++r) {
+            EXPECT_NEAR(std::abs(u(r, j) - column[r]), 0.0, 1e-12)
+                << "column " << j << " row " << r;
+        }
+    }
+}
+
+TEST(UnitaryBuilder, SingleQubitGates)
+{
+    Circuit c(1);
+    c.append(Gate::h(0));
+    c.append(Gate::t(0));
+    c.append(Gate::u3(0, 0.3, -1.2, 2.5));
+    c.append(Gate::sx(0));
+    expectMatchesSimulator(c);
+}
+
+TEST(UnitaryBuilder, TwoQubitGates)
+{
+    Circuit c(2);
+    c.append(Gate::h(0));
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::rzz(0, 1, 0.7));
+    c.append(Gate::swap(0, 1));
+    c.append(Gate::cp(1, 0, pi / 3));
+    expectMatchesSimulator(c);
+}
+
+TEST(UnitaryBuilder, ThreeQubitGates)
+{
+    Circuit c(3);
+    c.append(Gate::h(1));
+    c.append(Gate::ccx(0, 1, 2));
+    c.append(Gate::cx(2, 0));
+    c.append(Gate::ry(1, 0.4));
+    c.append(Gate::ccx(2, 0, 1));
+    expectMatchesSimulator(c);
+}
+
+TEST(UnitaryBuilder, CxDirectionMatters)
+{
+    Circuit up(2), down(2);
+    up.append(Gate::cx(0, 1));
+    down.append(Gate::cx(1, 0));
+    expectMatchesSimulator(up);
+    expectMatchesSimulator(down);
+
+    Matrix mu = buildUnitary(up);
+    Matrix md = buildUnitary(down);
+    double diff = 0.0;
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t cidx = 0; cidx < 4; ++cidx)
+            diff += std::abs(mu(r, cidx) - md(r, cidx));
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(UnitaryBuilder, GateOrderMatters)
+{
+    Circuit hc(2), ch(2);
+    hc.append(Gate::h(0));
+    hc.append(Gate::cx(0, 1));
+    ch.append(Gate::cx(0, 1));
+    ch.append(Gate::h(0));
+    expectMatchesSimulator(hc);
+    expectMatchesSimulator(ch);
+
+    Matrix a = buildUnitary(hc);
+    Matrix b = buildUnitary(ch);
+    double diff = 0.0;
+    for (size_t r = 0; r < 4; ++r)
+        for (size_t cidx = 0; cidx < 4; ++cidx)
+            diff += std::abs(a(r, cidx) - b(r, cidx));
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(UnitaryBuilder, WirePermutationRemapsTheUnitary)
+{
+    // The same block embedded on permuted wires must agree with the
+    // simulator on the full register.
+    Circuit block(2);
+    block.append(Gate::h(0));
+    block.append(Gate::cx(0, 1));
+    block.append(Gate::rz(1, 0.9));
+
+    Circuit embedded(3);
+    embedded.appendCircuit(block, {2, 0});
+    expectMatchesSimulator(embedded);
+
+    // And a permutation is not a no-op: wires (2,0) differ from (0,2).
+    Circuit direct(3);
+    direct.appendCircuit(block, {0, 2});
+    Matrix a = buildUnitary(embedded);
+    Matrix b = buildUnitary(direct);
+    double diff = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t cidx = 0; cidx < a.cols(); ++cidx)
+            diff += std::abs(a(r, cidx) - b(r, cidx));
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(UnitaryBuilder, AgreesWithCircuitUnitary)
+{
+    Circuit c = algos::tfim(3, 2);
+    Matrix fast = buildUnitary(c);
+    Matrix slow = circuitUnitary(c);
+    ASSERT_EQ(fast.rows(), slow.rows());
+    for (size_t r = 0; r < fast.rows(); ++r)
+        for (size_t j = 0; j < fast.cols(); ++j)
+            EXPECT_NEAR(std::abs(fast(r, j) - slow(r, j)), 0.0, 1e-11);
+}
+
+TEST(UnitaryBuilder, TrotterCircuitMatchesSimulator)
+{
+    expectMatchesSimulator(algos::heisenberg(3, 1));
+    expectMatchesSimulator(algos::qft(3));
+}
+
+TEST(UnitaryBuilder, BarrierAndMeasureAreIgnored)
+{
+    Circuit with(2), without(2);
+    with.append(Gate::h(0));
+    with.append(Gate::barrier({0, 1}));
+    with.append(Gate::cx(0, 1));
+    with.append(Gate::measure(0));
+    without.append(Gate::h(0));
+    without.append(Gate::cx(0, 1));
+
+    Matrix a = buildUnitary(with);
+    Matrix b = buildUnitary(without);
+    for (size_t r = 0; r < a.rows(); ++r)
+        for (size_t j = 0; j < a.cols(); ++j)
+            EXPECT_NEAR(std::abs(a(r, j) - b(r, j)), 0.0, 1e-14);
+}
+
+TEST(UnitaryBuilder, RejectsOversizedCircuits)
+{
+    EXPECT_DEATH(buildUnitary(Circuit(15)), "14");
+}
+
+} // namespace
+} // namespace quest

@@ -12,13 +12,20 @@
  *     summary.txt                        counts, bounds, timings
  *
  * Usage:
- *   quest_compile <input.qasm> <output-dir> [options]
+ *   quest_compile [options] <input.qasm> [output-dir]
+ *
+ * Without an output directory only the summary (and any requested
+ * observability output) is printed.
+ *
  * Options:
  *   --threshold <t>    per-block threshold (default 0.3)
  *   --max-samples <m>  ensemble size cap (default 16)
  *   --max-layers <l>   synthesis layer cap (default 16)
  *   --block-size <k>   partition width (default 4)
  *   --seed <s>         master seed (default 99)
+ *   --threads <n>      synthesis worker threads (default: all cores)
+ *   --trace <file>     write a Chrome-trace JSON of the run
+ *   --stats            print span attribution + metrics tables
  */
 
 #include <filesystem>
@@ -26,8 +33,13 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "ir/qasm.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
 #include "util/logging.hh"
@@ -48,9 +60,17 @@ writeFile(const std::filesystem::path &path, const std::string &text)
 int
 usage()
 {
-    std::cerr << "usage: quest_compile <input.qasm> <output-dir>"
-              << " [--threshold t] [--max-samples m]"
-              << " [--max-layers l] [--block-size k] [--seed s]\n";
+    std::cerr << "usage: quest_compile [options] <input.qasm>"
+              << " [output-dir]\n"
+              << "options:\n"
+              << "  --threshold t    per-block threshold\n"
+              << "  --max-samples m  ensemble size cap\n"
+              << "  --max-layers l   synthesis layer cap\n"
+              << "  --block-size k   partition width\n"
+              << "  --seed s         master seed\n"
+              << "  --threads n      synthesis worker threads\n"
+              << "  --trace file     write Chrome-trace JSON\n"
+              << "  --stats          print span/metrics tables\n";
     return 2;
 }
 
@@ -59,36 +79,57 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
-        return usage();
-
-    const std::string input_path = argv[1];
-    const std::filesystem::path out_dir = argv[2];
-
     QuestConfig config;
     config.synth.beamWidth = 1;
     config.synth.inst.multistarts = 2;
     config.synth.inst.lbfgs.maxIterations = 300;
     config.synth.stallLevels = 8;
 
-    for (int i = 3; i + 1 < argc; i += 2) {
-        const std::string flag = argv[i];
-        const std::string value = argv[i + 1];
-        if (flag == "--threshold") {
+    std::vector<std::string> positionals;
+    std::string trace_path;
+    bool print_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.starts_with("--")) {
+            positionals.push_back(arg);
+            continue;
+        }
+        if (arg == "--stats") {
+            print_stats = true;
+            continue;
+        }
+        if (i + 1 >= argc) {
+            std::cerr << "option " << arg << " needs a value\n";
+            return usage();
+        }
+        const std::string value = argv[++i];
+        if (arg == "--threshold") {
             config.thresholdPerBlock = std::stod(value);
-        } else if (flag == "--max-samples") {
+        } else if (arg == "--max-samples") {
             config.maxSamples = std::stoi(value);
-        } else if (flag == "--max-layers") {
+        } else if (arg == "--max-layers") {
             config.synth.maxLayers = std::stoi(value);
-        } else if (flag == "--block-size") {
+        } else if (arg == "--block-size") {
             config.maxBlockSize = std::stoi(value);
-        } else if (flag == "--seed") {
+        } else if (arg == "--seed") {
             config.seed = std::stoull(value);
+        } else if (arg == "--threads") {
+            config.threads = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--trace") {
+            trace_path = value;
         } else {
-            std::cerr << "unknown option: " << flag << "\n";
+            std::cerr << "unknown option: " << arg << "\n";
             return usage();
         }
     }
+
+    if (positionals.empty() || positionals.size() > 2)
+        return usage();
+    const std::string input_path = positionals[0];
+    const bool have_out_dir = positionals.size() == 2;
+    const std::filesystem::path out_dir =
+        have_out_dir ? positionals[1] : "";
 
     std::ifstream in(input_path);
     if (!in) {
@@ -106,31 +147,45 @@ main(int argc, char **argv)
         return 1;
     }
 
+    const bool observe = print_stats || !trace_path.empty();
+    if (observe) {
+        obs::MetricsRegistry::global().reset();
+        obs::TraceSession::global().start();
+    }
+
     QuestPipeline pipeline(config);
     QuestResult result = pipeline.run(circuit);
 
-    namespace fs = std::filesystem;
-    fs::create_directories(out_dir / "blocks");
-    fs::create_directories(out_dir / "approximations");
-    fs::create_directories(out_dir / "samples");
+    std::vector<obs::TraceEvent> events;
+    if (observe) {
+        obs::TraceSession::global().stop();
+        events = obs::TraceSession::global().collect();
+    }
 
-    for (size_t b = 0; b < result.blocks.size(); ++b) {
-        writeFile(out_dir / "blocks" /
-                      ("qasm_block_" + std::to_string(b) + ".qasm"),
-                  toQasm(result.blocks[b].circuit));
-    }
-    for (size_t b = 0; b < result.blockApprox.size(); ++b) {
-        for (size_t k = 0; k < result.blockApprox[b].size(); ++k) {
-            writeFile(out_dir / "approximations" /
-                          ("block_" + std::to_string(b) + "_" +
-                           std::to_string(k) + ".qasm"),
-                      toQasm(result.blockApprox[b][k].circuit));
+    namespace fs = std::filesystem;
+    if (have_out_dir) {
+        fs::create_directories(out_dir / "blocks");
+        fs::create_directories(out_dir / "approximations");
+        fs::create_directories(out_dir / "samples");
+
+        for (size_t b = 0; b < result.blocks.size(); ++b) {
+            writeFile(out_dir / "blocks" /
+                          ("qasm_block_" + std::to_string(b) + ".qasm"),
+                      toQasm(result.blocks[b].circuit));
         }
-    }
-    for (size_t s = 0; s < result.samples.size(); ++s) {
-        writeFile(out_dir / "samples" /
-                      ("sample_" + std::to_string(s) + ".qasm"),
-                  toQasm(result.samples[s].circuit));
+        for (size_t b = 0; b < result.blockApprox.size(); ++b) {
+            for (size_t k = 0; k < result.blockApprox[b].size(); ++k) {
+                writeFile(out_dir / "approximations" /
+                              ("block_" + std::to_string(b) + "_" +
+                               std::to_string(k) + ".qasm"),
+                          toQasm(result.blockApprox[b][k].circuit));
+            }
+        }
+        for (size_t s = 0; s < result.samples.size(); ++s) {
+            writeFile(out_dir / "samples" /
+                          ("sample_" + std::to_string(s) + ".qasm"),
+                      toQasm(result.samples[s].circuit));
+        }
     }
 
     std::ostringstream summary;
@@ -149,9 +204,33 @@ main(int argc, char **argv)
             << "partition seconds: " << result.partitionSeconds << "\n"
             << "synthesis seconds: " << result.synthesisSeconds << "\n"
             << "annealing seconds: " << result.annealSeconds << "\n";
-    writeFile(out_dir / "summary.txt", summary.str());
+    if (have_out_dir)
+        writeFile(out_dir / "summary.txt", summary.str());
 
     std::cout << summary.str();
-    std::cout << "artifacts written to " << out_dir.string() << "\n";
+    if (have_out_dir)
+        std::cout << "artifacts written to " << out_dir.string() << "\n";
+
+    if (!trace_path.empty()) {
+        std::ofstream trace_out(trace_path);
+        if (!trace_out)
+            fatal("cannot write ", trace_path);
+        obs::writeChromeTrace(trace_out, events);
+        std::cout << "trace written to " << trace_path << " ("
+                  << events.size() << " spans";
+        if (size_t dropped = obs::TraceSession::global().droppedEvents())
+            std::cout << ", " << dropped << " dropped";
+        std::cout << ")\n";
+    }
+    if (print_stats) {
+        std::cout << "\n-- span attribution --\n";
+        obs::spanStatsTable(events, "quest.pipeline").print(std::cout);
+        std::cout << "phase coverage: "
+                  << Table::pct(obs::phaseCoverage(events,
+                                                   "quest.pipeline"))
+                  << " of quest.pipeline\n";
+        std::cout << "\n-- metrics --\n";
+        obs::MetricsRegistry::global().table().print(std::cout);
+    }
     return 0;
 }
