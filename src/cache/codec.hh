@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Versioned binary codecs for ir::Circuit and synthesis candidate
+ * records — the payload format of persistent cache entries.
+ *
+ * Built on the little-endian primitives in util/serialize.hh; the
+ * byte layout (with a worked hex example) is specified in
+ * docs/FORMATS.md and locked by round-trip property tests. Doubles
+ * round-trip bit-exactly, which is what lets a warm-cache pipeline
+ * run reproduce a cold run byte for byte.
+ *
+ * Decoders validate everything before constructing IR objects (gate
+ * codes, arities, wire ranges, candidate indices) and throw
+ * SerializeError on any violation — they must never panic on bytes
+ * from disk, however damaged.
+ */
+
+#ifndef QUEST_CACHE_CODEC_HH
+#define QUEST_CACHE_CODEC_HH
+
+#include <cstdint>
+
+#include "ir/circuit.hh"
+#include "synth/leap_synthesizer.hh"
+#include "util/serialize.hh"
+
+namespace quest::cache {
+
+/** Payload format version; bump on any layout change. */
+inline constexpr uint32_t kCodecVersion = 1;
+
+/** Stable wire-format code for a gate type (independent of the
+ *  GateType enumerator order, which is free to change). */
+uint8_t gateTypeCode(GateType type);
+
+/** Inverse of gateTypeCode. @throws SerializeError on unknown codes. */
+GateType gateTypeFromCode(uint8_t code);
+
+/** Append a circuit's wire count and gate list to @p w. */
+void encodeCircuit(ByteWriter &w, const Circuit &circuit);
+
+/**
+ * Decode a circuit. Validates wire count, gate codes, arities,
+ * parameter counts, wire ranges and wire distinctness before
+ * constructing any Gate. @throws SerializeError on malformed input.
+ */
+Circuit decodeCircuit(ByteReader &r);
+
+/** Append one synthesis candidate (circuit, distance, CNOT count). */
+void encodeSynthCandidate(ByteWriter &w, const SynthCandidate &c);
+
+/** @throws SerializeError on malformed input or a CNOT-count field
+ *  that contradicts the decoded circuit. */
+SynthCandidate decodeSynthCandidate(ByteReader &r);
+
+/** Append a full synthesis output (all candidates + best index). */
+void encodeSynthOutput(ByteWriter &w, const SynthOutput &out);
+
+/** @throws SerializeError on malformed input, an empty candidate
+ *  set, an out-of-range best index, or trailing bytes. */
+SynthOutput decodeSynthOutput(ByteReader &r);
+
+} // namespace quest::cache
+
+#endif // QUEST_CACHE_CODEC_HH

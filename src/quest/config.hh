@@ -7,6 +7,7 @@
 #define QUEST_QUEST_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "anneal/dual_annealing.hh"
 #include "synth/leap_synthesizer.hh"
@@ -55,8 +56,21 @@ struct QuestConfig
     /** Dual-annealing settings for sample selection. */
     AnnealOptions anneal;
 
-    /** Worker threads for parallel block synthesis (0 = all cores). */
+    /** Worker threads for parallel block synthesis (0 = all cores).
+     *  This is the whole pipeline's thread budget: one shared pool
+     *  serves both across-block and within-block parallelism. */
     unsigned threads = 0;
+
+    /**
+     * Directory for the persistent synthesis cache (src/cache);
+     * empty disables it. Safe to share between concurrent processes.
+     * Identical (block unitary, synthesis config) pairs then skip
+     * LEAP search entirely on warm runs, with byte-identical results.
+     */
+    std::string cacheDir;
+
+    /** Size budget for the persistent cache (0 = unbounded). */
+    uint64_t cacheMaxBytes = uint64_t{1} << 30;
 
     /**
      * Run the structural IR verifiers (src/verify) on the output of

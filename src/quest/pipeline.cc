@@ -4,8 +4,8 @@
 #include <cstring>
 #include <map>
 #include <set>
-#include <thread>
 
+#include "cache/synthesis_cache.hh"
 #include "ir/lower.hh"
 #include "linalg/distance.hh"
 #include "obs/metrics.hh"
@@ -58,7 +58,15 @@ QuestPipeline::QuestPipeline(QuestConfig config)
     QUEST_ASSERT(cfg.maxSamples >= 1, "need at least one sample");
     QUEST_ASSERT(cfg.maxApproxPerBlock >= 2,
                  "need at least two approximations per block");
+    if (!cfg.cacheDir.empty()) {
+        cache::CacheConfig cc;
+        cc.dir = cfg.cacheDir;
+        cc.maxBytes = cfg.cacheMaxBytes;
+        synthCache = std::make_unique<cache::SynthesisCache>(cc);
+    }
 }
+
+QuestPipeline::~QuestPipeline() = default;
 
 QuestResult
 QuestPipeline::run(const Circuit &circuit) const
@@ -115,13 +123,12 @@ QuestPipeline::run(const Circuit &circuit) const
                 unique.try_emplace(matrixKey(targets[b]), b);
             canonical[b] = it->second;
         }
-        static auto &cache_misses =
-            obs::MetricsRegistry::global().counter(
-                "quest.synth.cache_misses");
+        // In-memory dedup across the run's blocks: repeats of a block
+        // unitary are cache hits (the synthesizer itself counts disk
+        // hits and actual searches, so hits + misses == blocks).
         static auto &cache_hits =
             obs::MetricsRegistry::global().counter(
                 "quest.synth.cache_hits");
-        cache_misses.add(unique.size());
         cache_hits.add(num_blocks - unique.size());
 
         std::vector<SynthOutput> outputs(num_blocks);
@@ -131,21 +138,24 @@ QuestPipeline::run(const Circuit &circuit) const
                 if (canonical[b] == b)
                     work.push_back(b);
 
-            // Few unique blocks: parallelize inside the synthesizer;
-            // many blocks: parallelize across them.
+            // One cooperative pool is the whole pipeline's thread
+            // budget: its parallelFor claims indices from a shared
+            // cursor and the caller participates, so the nested
+            // within-synthesizer parallelFor reuses the same threads
+            // instead of oversubscribing (budget - 1 workers + this
+            // thread = budget busy threads total).
+            const unsigned budget = std::max(
+                1u, cfg.threads == 0 ? ThreadPool::hardwareConcurrency()
+                                     : cfg.threads);
+            ThreadPool pool(budget - 1);
+
             SynthConfig synth_cfg = cfg.synth;
             if (cfg.verify)
                 synth_cfg.verifyCandidates = true;
-            unsigned across = cfg.threads == 0
-                                  ? std::thread::hardware_concurrency()
-                                  : cfg.threads;
-            if (work.size() < across)
-                synth_cfg.threads = std::max(1u, across /
-                                    static_cast<unsigned>(work.size()));
+            synth_cfg.pool = &pool;
+            synth_cfg.cache = synthCache.get();
             LeapSynthesizer synthesizer(synth_cfg);
 
-            ThreadPool pool(std::min<unsigned>(
-                across, static_cast<unsigned>(work.size())));
             pool.parallelFor(work.size(), [&](size_t i) {
                 QUEST_TRACE_SCOPE("quest.block_synth");
                 const size_t b = work[i];

@@ -8,17 +8,24 @@
 #ifndef QUEST_QUEST_PIPELINE_HH
 #define QUEST_QUEST_PIPELINE_HH
 
+#include <memory>
+
 #include "ir/circuit.hh"
 #include "quest/config.hh"
 #include "quest/result.hh"
 
 namespace quest {
 
+namespace cache {
+class SynthesisCache;
+} // namespace cache
+
 /** Orchestrates the three QUEST steps. */
 class QuestPipeline
 {
   public:
     explicit QuestPipeline(QuestConfig config = {});
+    ~QuestPipeline();
 
     /**
      * Run QUEST on a circuit (measurements are stripped; the input
@@ -32,6 +39,9 @@ class QuestPipeline
 
   private:
     QuestConfig cfg;
+
+    /** Persistent synthesis store, when cfg.cacheDir is set. */
+    std::unique_ptr<cache::SynthesisCache> synthCache;
 };
 
 } // namespace quest

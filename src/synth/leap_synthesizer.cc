@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "linalg/decompose.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "synth/synth_cache.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "verify/verifier.hh"
@@ -40,6 +42,57 @@ verifyCandidates(const SynthOutput &out, int n)
                         " failed verification:\n", report.toString());
         }
     }
+}
+
+/**
+ * Deep validation of a cache-loaded output. Disk bytes are untrusted
+ * even after checksums: a stale or foreign entry must never reach the
+ * pipeline, so every candidate is re-linted (native gate set, wires,
+ * finite angles) and the summary fields are cross-checked. A failure
+ * here is a reason to invalidate and re-synthesize, never to crash.
+ */
+bool
+loadedOutputUsable(const SynthOutput &out, int n)
+{
+    if (out.candidates.empty() ||
+        out.bestIndex >= out.candidates.size()) {
+        return false;
+    }
+    const CircuitVerifier verifier({.requireNative = true,
+                                    .allowPseudoOps = false,
+                                    .maxIssues = 1});
+    for (const SynthCandidate &c : out.candidates) {
+        if (c.circuit.numQubits() != n)
+            return false;
+        if (c.cnotCount < 0 ||
+            static_cast<size_t>(c.cnotCount) != c.circuit.cnotCount()) {
+            return false;
+        }
+        if (!std::isfinite(c.distance) || c.distance < 0.0)
+            return false;
+        if (!verifier.verify(c.circuit).ok())
+            return false;
+    }
+    return true;
+}
+
+/** Searches actually performed (not served by any cache layer). */
+obs::Counter &
+searchCounter()
+{
+    static auto &c = obs::MetricsRegistry::global().counter(
+        "quest.synth.cache_misses");
+    return c;
+}
+
+/** Searches avoided via the persistent store (the pipeline's
+ *  in-memory dedup adds to the same counter). */
+obs::Counter &
+diskHitCounter()
+{
+    static auto &c = obs::MetricsRegistry::global().counter(
+        "quest.synth.cache_hits");
+    return c;
 }
 
 int
@@ -113,6 +166,28 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
 
     const int n = log2Dim(target.rows());
     QUEST_ASSERT(target.isUnitary(1e-8), "synthesis target not unitary");
+
+    std::string cache_key;
+    if (cfg.cache) {
+        cache_key = synthesisCacheKey(target, max_cnots, skeleton, cfg);
+        if (auto loaded = cfg.cache->load(cache_key)) {
+            if (loadedOutputUsable(*loaded, n)) {
+                diskHitCounter().increment();
+                return *std::move(loaded);
+            }
+            // The store's own integrity checks passed but the content
+            // is not a valid output for this target: drop the entry
+            // and synthesize fresh.
+            obs::MetricsRegistry::global()
+                .counter("quest.cache.corrupt")
+                .increment();
+            warn("synthesis cache: entry ", cache_key,
+                 " failed deep validation; re-synthesizing");
+            cfg.cache->invalidate(cache_key);
+        }
+    }
+    searchCounter().increment();
+
     SynthOutput out;
 
     if (n == 1) {
@@ -124,6 +199,8 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
         out.bestIndex = 0;
         if (cfg.verifyCandidates)
             verifyCandidates(out, n);
+        if (cfg.cache)
+            cfg.cache->store(cache_key, out);
         return out;
     }
 
@@ -197,6 +274,18 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             lineages.push_back({frontier.front(), std::move(sched)});
     }
 
+    // Worker threads for the per-level instantiations: a shared pool
+    // when the caller provides one (cooperative parallelFor, so this
+    // is safe even from inside the caller's own parallelFor), else a
+    // private pool of cfg.threads - 1 workers — the calling thread
+    // participates, so cfg.threads is the total busy-thread count.
+    ThreadPool *pool = cfg.pool;
+    std::optional<ThreadPool> local_pool;
+    if (!pool && cfg.threads > 1) {
+        local_pool.emplace(cfg.threads - 1);
+        pool = &*local_pool;
+    }
+
     const int budget = std::min(max_cnots, cfg.maxLayers);
     double best_overall = frontier.front().distance;
     int levels_past_exact = 0;
@@ -250,9 +339,8 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             children[i] = {std::move(t.ansatz), std::move(r.params),
                            r.distance};
         };
-        if (cfg.threads > 1) {
-            ThreadPool pool(cfg.threads);
-            pool.parallelFor(tasks.size(), run_task);
+        if (pool) {
+            pool->parallelFor(tasks.size(), run_task);
         } else {
             for (size_t i = 0; i < tasks.size(); ++i)
                 run_task(i);
@@ -318,6 +406,8 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     candidates_counter.add(out.candidates.size());
     if (cfg.verifyCandidates)
         verifyCandidates(out, n);
+    if (cfg.cache)
+        cfg.cache->store(cache_key, out);
     return out;
 }
 

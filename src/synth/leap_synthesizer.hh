@@ -23,6 +23,9 @@
 
 namespace quest {
 
+class SynthCacheHook;
+class ThreadPool;
+
 /** Synthesis settings. */
 struct SynthConfig
 {
@@ -73,8 +76,26 @@ struct SynthConfig
     uint64_t seed = 1;
 
     /** Worker threads for per-level instantiations (1 = serial).
-     *  Results are deterministic regardless of the thread count. */
+     *  Ignored when @ref pool is set. Results are deterministic
+     *  regardless of the thread count. */
     unsigned threads = 1;
+
+    /**
+     * Shared worker pool for per-level instantiations. When set, the
+     * synthesizer uses it instead of spawning its own threads, so one
+     * pool bounds the whole process even when many synthesize() calls
+     * run concurrently (the pool's parallelFor is cooperative: callers
+     * claim work themselves, nested use cannot deadlock). Not owned.
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * Persistent synthesis-result store (see synth/synth_cache.hh).
+     * Consulted before searching and updated afterwards; entries that
+     * fail deep validation are invalidated and re-synthesized. Not
+     * owned; nullptr disables persistent caching.
+     */
+    SynthCacheHook *cache = nullptr;
 };
 
 /** One synthesized circuit for a block. */

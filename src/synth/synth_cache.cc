@@ -1,0 +1,59 @@
+#include "synth/synth_cache.hh"
+
+#include "util/serialize.hh"
+#include "util/sha256.hh"
+
+namespace quest {
+
+std::string
+synthesisCacheKey(const Matrix &target, int max_cnots,
+                  const std::vector<std::pair<int, int>> *skeleton,
+                  const SynthConfig &cfg)
+{
+    ByteWriter key;
+
+    // Bump this tag whenever a synthesis change makes previously
+    // cached outputs semantically stale (new lineages, a different
+    // candidate-recording rule, ...). It invalidates every existing
+    // entry at once without touching the on-disk container format.
+    key.str("quest-synth-key-v1");
+
+    key.u64(target.rows());
+    key.u64(target.cols());
+    key.bytes(target.data().data(),
+              target.data().size() * sizeof(Complex));
+
+    key.i32(max_cnots);
+    const size_t skeleton_len = skeleton ? skeleton->size() : 0;
+    key.u32(static_cast<uint32_t>(skeleton_len));
+    if (skeleton) {
+        for (auto [a, b] : *skeleton) {
+            key.i32(a);
+            key.i32(b);
+        }
+    }
+
+    key.f64(cfg.exactEpsilon);
+    key.i32(cfg.beamWidth);
+    key.i32(cfg.reseedInterval);
+    key.i32(cfg.candidatesPerLevel);
+    key.i32(cfg.extraLevels);
+    key.i32(cfg.maxLayers);
+    key.i32(cfg.stallLevels);
+    key.i32(cfg.inst.multistarts);
+    key.f64(cfg.inst.goal);
+    key.i32(cfg.inst.lbfgs.maxIterations);
+    key.i32(cfg.inst.lbfgs.historySize);
+    key.f64(cfg.inst.lbfgs.gradTolerance);
+    key.f64(cfg.inst.lbfgs.valueTolerance);
+    key.u32(static_cast<uint32_t>(cfg.couplings.size()));
+    for (auto [a, b] : cfg.couplings) {
+        key.i32(a);
+        key.i32(b);
+    }
+    key.u64(cfg.seed);
+
+    return Sha256::hexDigest(key.buffer().data(), key.size());
+}
+
+} // namespace quest

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent synthesis-result caching: the hook interface the
+ * synthesizer talks to and the content-addressed key derivation.
+ *
+ * Per-block numerical synthesis dominates QUEST's compilation cost
+ * (paper Sec. 6, Fig. 12), and identical block unitaries recur both
+ * within a circuit (repeated Trotter steps) and across runs. The
+ * in-run recurrence is handled by the pipeline's in-memory dedup;
+ * this hook extends it across processes: the synthesizer consults the
+ * hook before searching and stores what it finds afterwards.
+ *
+ * The concrete disk-backed store lives in src/cache (it depends on
+ * quest_synth, not the other way around); anything implementing
+ * SynthCacheHook can be plugged in via SynthConfig::cache.
+ */
+
+#ifndef QUEST_SYNTH_SYNTH_CACHE_HH
+#define QUEST_SYNTH_SYNTH_CACHE_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "synth/leap_synthesizer.hh"
+
+namespace quest {
+
+/**
+ * Storage backend for synthesis results, keyed by the hex digest
+ * from synthesisCacheKey. Implementations must never throw out of
+ * these methods and must treat unreadable or damaged entries as
+ * absent: a cache can only ever make a run faster, not wrong.
+ */
+class SynthCacheHook
+{
+  public:
+    virtual ~SynthCacheHook() = default;
+
+    /** The stored output for @p key, or nullopt. */
+    virtual std::optional<SynthOutput> load(const std::string &key) = 0;
+
+    /** Persist @p out under @p key (best effort). */
+    virtual void store(const std::string &key,
+                       const SynthOutput &out) = 0;
+
+    /** Drop @p key (e.g. an entry that failed deep validation). */
+    virtual void invalidate(const std::string &key) = 0;
+};
+
+/**
+ * Content-addressed cache key: the SHA-256 hex digest of the exact
+ * synthesize() inputs — the target unitary's raw bytes, the CNOT
+ * budget, the optional skeleton, and every SynthConfig field that
+ * influences the result (thresholds, search shape, instantiater and
+ * L-BFGS settings, couplings, seed) — plus a format tag bumped
+ * whenever the synthesis algorithm changes meaning. Fields that
+ * cannot change the output (thread count, verification flags, the
+ * cache pointers themselves) are excluded, so e.g. a --threads
+ * change still hits. The exact byte layout is specified in
+ * docs/FORMATS.md.
+ */
+std::string
+synthesisCacheKey(const Matrix &target, int max_cnots,
+                  const std::vector<std::pair<int, int>> *skeleton,
+                  const SynthConfig &cfg);
+
+} // namespace quest
+
+#endif // QUEST_SYNTH_SYNTH_CACHE_HH

@@ -1,0 +1,78 @@
+#include "util/serialize.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace quest {
+
+void
+ByteWriter::f64(double v)
+{
+    u64(std::bit_cast<uint64_t>(v));
+}
+
+void
+ByteWriter::bytes(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    buf.insert(buf.end(), p, p + n);
+}
+
+void
+ByteWriter::str(std::string_view s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+double
+ByteReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+void
+ByteReader::bytes(void *out, size_t n)
+{
+    require(n);
+    std::memcpy(out, ptr + pos, n);
+    pos += n;
+}
+
+std::string
+ByteReader::str()
+{
+    uint32_t n = u32();
+    require(n);
+    std::string s(reinterpret_cast<const char *>(ptr + pos), n);
+    pos += n;
+    return s;
+}
+
+uint64_t
+fnv1a64(const void *data, size_t n, uint64_t seed)
+{
+    constexpr uint64_t prime = 0x100000001b3ull;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= prime;
+    }
+    return h;
+}
+
+std::string
+toHex(const uint8_t *data, size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+} // namespace quest

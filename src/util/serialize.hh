@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Byte-level primitives for the repo's versioned little-endian binary
+ * formats (docs/FORMATS.md): a bounds-checked reader, an appending
+ * writer, FNV-1a checksumming and hex rendering.
+ *
+ * Every multi-byte integer is encoded little-endian byte by byte, so
+ * the format is identical on any host. Doubles are encoded as the
+ * little-endian bytes of their IEEE-754 bit pattern, which makes
+ * round trips bit-exact (including NaNs and signed zeros) — a
+ * requirement for the synthesis cache's byte-identical-replay
+ * guarantee. Higher-level codecs (ir::Circuit, synthesis candidate
+ * records) build on these in src/cache/codec.hh; they cannot live
+ * here because quest_util sits below quest_ir in the layering.
+ */
+
+#ifndef QUEST_UTIL_SERIALIZE_HH
+#define QUEST_UTIL_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quest {
+
+/**
+ * Thrown by ByteReader on truncated or malformed input. Deliberately
+ * an exception, not a panic: decoding untrusted bytes (a cache entry
+ * another process half-wrote) is an expected failure, handled by
+ * treating the entry as a miss.
+ */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Appending little-endian byte-buffer writer. */
+class ByteWriter
+{
+  public:
+    void u8(uint8_t v) { buf.push_back(v); }
+
+    void
+    u16(uint16_t v)
+    {
+        buf.push_back(static_cast<uint8_t>(v));
+        buf.push_back(static_cast<uint8_t>(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    /** IEEE-754 bit pattern, little-endian: bit-exact round trips. */
+    void f64(double v);
+
+    /** Raw bytes, no length prefix. */
+    void bytes(const void *data, size_t n);
+
+    /** u32 byte length followed by the bytes. */
+    void str(std::string_view s);
+
+    size_t size() const { return buf.size(); }
+    const std::vector<uint8_t> &buffer() const { return buf; }
+    std::vector<uint8_t> take() { return std::move(buf); }
+
+  private:
+    std::vector<uint8_t> buf;
+};
+
+/**
+ * Bounds-checked little-endian reader over a borrowed byte span.
+ * Every read throws SerializeError instead of walking past the end.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : ptr(data), len(size)
+    {}
+
+    explicit ByteReader(const std::vector<uint8_t> &buf)
+        : ptr(buf.data()), len(buf.size())
+    {}
+
+    uint8_t
+    u8()
+    {
+        require(1);
+        return ptr[pos++];
+    }
+
+    uint16_t
+    u16()
+    {
+        require(2);
+        uint16_t v = static_cast<uint16_t>(
+            ptr[pos] | (static_cast<uint16_t>(ptr[pos + 1]) << 8));
+        pos += 2;
+        return v;
+    }
+
+    uint32_t
+    u32()
+    {
+        require(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(ptr[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        require(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(ptr[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    int32_t i32() { return static_cast<int32_t>(u32()); }
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    double f64();
+
+    void bytes(void *out, size_t n);
+
+    std::string str();
+
+    size_t remaining() const { return len - pos; }
+    bool atEnd() const { return pos == len; }
+    size_t position() const { return pos; }
+
+    /** Throw SerializeError unless @p n more bytes are available. */
+    void
+    require(size_t n) const
+    {
+        if (len - pos < n)
+            throw SerializeError("truncated input: need " +
+                                 std::to_string(n) + " bytes at offset " +
+                                 std::to_string(pos) + ", have " +
+                                 std::to_string(len - pos));
+    }
+
+  private:
+    const uint8_t *ptr;
+    size_t len;
+    size_t pos = 0;
+};
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+
+/**
+ * FNV-1a 64-bit hash of a byte range; used as the cheap per-entry
+ * payload checksum (corruption detection, not content addressing —
+ * that is Sha256's job).
+ */
+uint64_t fnv1a64(const void *data, size_t n,
+                 uint64_t seed = kFnv1aOffset);
+
+/** Lower-case hex rendering of a byte range. */
+std::string toHex(const uint8_t *data, size_t n);
+
+} // namespace quest
+
+#endif // QUEST_UTIL_SERIALIZE_HH

@@ -1,0 +1,169 @@
+#include "util/sha256.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/serialize.hh"
+
+namespace quest {
+
+namespace {
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t
+bigSigma0(uint32_t x)
+{
+    return std::rotr(x, 2) ^ std::rotr(x, 13) ^ std::rotr(x, 22);
+}
+
+inline uint32_t
+bigSigma1(uint32_t x)
+{
+    return std::rotr(x, 6) ^ std::rotr(x, 11) ^ std::rotr(x, 25);
+}
+
+inline uint32_t
+smallSigma0(uint32_t x)
+{
+    return std::rotr(x, 7) ^ std::rotr(x, 18) ^ (x >> 3);
+}
+
+inline uint32_t
+smallSigma1(uint32_t x)
+{
+    return std::rotr(x, 17) ^ std::rotr(x, 19) ^ (x >> 10);
+}
+
+} // namespace
+
+Sha256::Sha256()
+    : state{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+            0x9b05688c, 0x1f83d9ab, 0x5be0cd19}
+{}
+
+void
+Sha256::compress(const uint8_t block[64])
+{
+    uint32_t w[64];
+    for (int t = 0; t < 16; ++t) {
+        w[t] = (static_cast<uint32_t>(block[4 * t]) << 24) |
+               (static_cast<uint32_t>(block[4 * t + 1]) << 16) |
+               (static_cast<uint32_t>(block[4 * t + 2]) << 8) |
+               static_cast<uint32_t>(block[4 * t + 3]);
+    }
+    for (int t = 16; t < 64; ++t) {
+        w[t] = smallSigma1(w[t - 2]) + w[t - 7] +
+               smallSigma0(w[t - 15]) + w[t - 16];
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int t = 0; t < 64; ++t) {
+        uint32_t t1 = h + bigSigma1(e) + ((e & f) ^ (~e & g)) +
+                      kRoundConstants[t] + w[t];
+        uint32_t t2 =
+            bigSigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+void
+Sha256::update(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    totalBytes += n;
+
+    if (pendingLen > 0) {
+        size_t take = std::min(n, sizeof(pending) - pendingLen);
+        std::memcpy(pending + pendingLen, p, take);
+        pendingLen += take;
+        p += take;
+        n -= take;
+        if (pendingLen == sizeof(pending)) {
+            compress(pending);
+            pendingLen = 0;
+        }
+    }
+    while (n >= sizeof(pending)) {
+        compress(p);
+        p += sizeof(pending);
+        n -= sizeof(pending);
+    }
+    if (n > 0) {
+        std::memcpy(pending + pendingLen, p, n);
+        pendingLen += n;
+    }
+}
+
+std::array<uint8_t, Sha256::kDigestSize>
+Sha256::digest()
+{
+    const uint64_t bit_length = totalBytes * 8;
+
+    // Pad: 0x80, zeros to 56 mod 64, then the big-endian bit length.
+    uint8_t pad[72];
+    size_t pad_len = 0;
+    pad[pad_len++] = 0x80;
+    while ((pendingLen + pad_len) % 64 != 56)
+        pad[pad_len++] = 0;
+    for (int i = 7; i >= 0; --i)
+        pad[pad_len++] = static_cast<uint8_t>(bit_length >> (8 * i));
+    update(pad, pad_len);
+    totalBytes -= pad_len;  // padding is not message content
+
+    std::array<uint8_t, kDigestSize> out;
+    for (int i = 0; i < 8; ++i) {
+        out[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+        out[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+        out[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+        out[4 * i + 3] = static_cast<uint8_t>(state[i]);
+    }
+    return out;
+}
+
+std::array<uint8_t, Sha256::kDigestSize>
+Sha256::hash(const void *data, size_t n)
+{
+    Sha256 h;
+    h.update(data, n);
+    return h.digest();
+}
+
+std::string
+Sha256::hexDigest(const void *data, size_t n)
+{
+    auto d = hash(data, n);
+    return toHex(d.data(), d.size());
+}
+
+} // namespace quest

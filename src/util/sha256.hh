@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4): the content-addressing digest for the
+ * synthesis cache. A cache key must make accidental collisions
+ * impossible in practice — two different (unitary, config) inputs
+ * mapping to one entry would silently return the wrong circuits — so
+ * a cryptographic digest is used rather than a fast non-crypto hash
+ * (fnv1a64 covers the cheap-checksum role).
+ *
+ * Self-contained incremental implementation, no external
+ * dependencies; validated against the FIPS test vectors in
+ * util_serialize_test.cc.
+ */
+
+#ifndef QUEST_UTIL_SHA256_HH
+#define QUEST_UTIL_SHA256_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace quest {
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    static constexpr size_t kDigestSize = 32;
+
+    Sha256();
+
+    /** Absorb @p n bytes. May be called repeatedly. */
+    void update(const void *data, size_t n);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /** Finalize and return the digest. The hasher must not be
+     *  updated afterwards (reconstruct for a new message). */
+    std::array<uint8_t, kDigestSize> digest();
+
+    /** One-shot digest of a byte range. */
+    static std::array<uint8_t, kDigestSize> hash(const void *data,
+                                                 size_t n);
+
+    /** One-shot lower-case hex digest (64 characters). */
+    static std::string hexDigest(const void *data, size_t n);
+    static std::string
+    hexDigest(std::string_view s)
+    {
+        return hexDigest(s.data(), s.size());
+    }
+
+  private:
+    void compress(const uint8_t block[64]);
+
+    uint32_t state[8];
+    uint64_t totalBytes = 0;
+    uint8_t pending[64];
+    size_t pendingLen = 0;
+};
+
+} // namespace quest
+
+#endif // QUEST_UTIL_SHA256_HH

@@ -3,6 +3,15 @@
  * Fixed-size thread pool used to synthesize circuit blocks in
  * parallel (the paper runs block synthesis on up to ten nodes; we use
  * threads on one node).
+ *
+ * parallelFor is cooperative: the calling thread claims and runs
+ * batch indices alongside the workers, and a worker that calls
+ * parallelFor on its own pool drains its nested batch itself instead
+ * of blocking on queued tasks. That makes one pool safely shareable
+ * across nesting levels — the QUEST pipeline threads a single thread
+ * budget through both block-level and instantiation-level parallelism
+ * (QuestConfig::threads), so the process never oversubscribes the
+ * hardware no matter how the levels nest.
  */
 
 #ifndef QUEST_UTIL_THREAD_POOL_HH
@@ -18,18 +27,26 @@
 
 namespace quest {
 
-/** Simple work-queue thread pool. */
+/** Simple work-queue thread pool with cooperative parallelFor. */
 class ThreadPool
 {
   public:
-    /** Spawn @p threads workers (0 means hardware concurrency). */
-    explicit ThreadPool(unsigned threads = 0);
+    /**
+     * Spawn exactly @p threads workers. Zero is valid: no workers are
+     * spawned and parallelFor runs every index inline on the caller —
+     * the natural encoding of "a budget of one thread" given that the
+     * caller always participates.
+     */
+    explicit ThreadPool(unsigned threads);
 
     /** Drains outstanding work, then joins all workers. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** std::thread::hardware_concurrency, floored at one. */
+    static unsigned hardwareConcurrency();
 
     /** Enqueue a task and get a future for its result. */
     template <typename F>
@@ -40,26 +57,37 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<Result()>>(
             std::forward<F>(fn));
         std::future<Result> result = task->get_future();
-        {
-            std::lock_guard<std::mutex> lock(mutex);
-            jobs.push([task]() { (*task)(); });
-        }
-        wakeup.notify_one();
+        enqueue([task]() { (*task)(); });
         return result;
     }
 
     /**
-     * Run @p fn(i) for i in [0, count) across the pool and wait for
-     * all of them — even when some throw, so @p fn is never invoked
-     * after the call returns. The lowest failing index's exception
-     * is rethrown once every task has finished.
+     * Run @p fn(i) for i in [0, count) and wait for all of them —
+     * even when some throw, so @p fn is never invoked after the call
+     * returns. The lowest failing index's exception is rethrown once
+     * every index has finished.
+     *
+     * The caller participates: indices are claimed from a shared
+     * atomic cursor by the workers and the calling thread alike, so
+     * at most size() + 1 threads run @p fn concurrently and nested
+     * calls on the same pool make progress even when every worker is
+     * busy.
      */
     void parallelFor(size_t count, const std::function<void(size_t)> &fn);
 
     /** Number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
 
+    /** @name Process-wide worker accounting (regression tests).
+     *  Counts live workers across every ThreadPool instance. */
+    /// @{
+    static unsigned liveWorkers();
+    static unsigned peakLiveWorkers();
+    static void resetPeakLiveWorkers();
+    /// @}
+
   private:
+    void enqueue(std::function<void()> job);
     void workerLoop();
 
     std::vector<std::thread> workers;

@@ -5,7 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "algos/algorithms.hh"
 #include "ir/lower.hh"
@@ -17,6 +22,7 @@
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
 #include "sim/simulator.hh"
+#include "util/thread_pool.hh"
 
 namespace quest {
 namespace {
@@ -255,6 +261,148 @@ TEST(Ensemble, RequiresSamples)
 {
     QuestResult empty;
     EXPECT_DEATH(sampleCircuits(empty, false), "samples");
+}
+
+/** Temporary persistent-cache directory, removed on scope exit. */
+struct TempCacheDir
+{
+    std::filesystem::path path;
+
+    TempCacheDir()
+    {
+        std::string tmpl = (std::filesystem::temp_directory_path() /
+                            "quest-pipeline-cache-XXXXXX")
+                               .string();
+        path = std::filesystem::path(mkdtemp(tmpl.data()));
+    }
+
+    ~TempCacheDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+/** Bitwise circuit equality — value comparison would hide the exact
+ *  double replay the cache guarantees. */
+bool
+sameCircuitBytes(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits() || a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].type != b[i].type || a[i].qubits != b[i].qubits ||
+            a[i].params.size() != b[i].params.size()) {
+            return false;
+        }
+        for (size_t p = 0; p < a[i].params.size(); ++p) {
+            if (std::memcmp(&a[i].params[p], &b[i].params[p],
+                            sizeof(double)) != 0) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+expectSameResult(const QuestResult &a, const QuestResult &b)
+{
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (size_t s = 0; s < a.samples.size(); ++s) {
+        EXPECT_EQ(a.samples[s].choice, b.samples[s].choice);
+        EXPECT_TRUE(sameCircuitBytes(a.samples[s].circuit,
+                                     b.samples[s].circuit))
+            << "sample " << s << " differs";
+    }
+    ASSERT_EQ(a.blockApprox.size(), b.blockApprox.size());
+    for (size_t blk = 0; blk < a.blockApprox.size(); ++blk) {
+        ASSERT_EQ(a.blockApprox[blk].size(), b.blockApprox[blk].size());
+        for (size_t k = 0; k < a.blockApprox[blk].size(); ++k) {
+            EXPECT_TRUE(
+                sameCircuitBytes(a.blockApprox[blk][k].circuit,
+                                 b.blockApprox[blk][k].circuit))
+                << "approximation " << k << " of block " << blk
+                << " differs";
+        }
+    }
+}
+
+TEST(PipelineCache, WarmRunSkipsEverySearchAndReplaysExactly)
+{
+    TempCacheDir tmp;
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 6;
+    cfg.cacheDir = tmp.path.string();
+
+    const Circuit circuit = algos::tfim(4, 2);
+    RunArtifacts cold = tracedRun(cfg, circuit);
+    EXPECT_GT(cold.cacheMisses, 0u);
+    EXPECT_EQ(cold.cacheHits + cold.cacheMisses, cold.r.blocks.size());
+
+    RunArtifacts warm = tracedRun(cfg, circuit);
+    EXPECT_EQ(warm.cacheMisses, 0u)
+        << "a warm cache must serve every block";
+    EXPECT_EQ(warm.cacheHits, warm.r.blocks.size());
+    expectSameResult(cold.r, warm.r);
+}
+
+TEST(PipelineCache, CorruptEntriesDegradeToMissesNeverToCrashes)
+{
+    TempCacheDir tmp;
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 6;
+    cfg.cacheDir = tmp.path.string();
+
+    const Circuit circuit = algos::tfim(4, 2);
+    RunArtifacts cold = tracedRun(cfg, circuit);
+
+    // Flip a byte at the end of every published entry.
+    size_t damaged = 0;
+    for (const auto &e : std::filesystem::recursive_directory_iterator(
+             tmp.path / "objects")) {
+        if (!e.is_regular_file() || e.path().extension() != ".qsc")
+            continue;
+        std::fstream f(e.path(), std::ios::binary | std::ios::in |
+                                     std::ios::out);
+        f.seekp(-1, std::ios::end);
+        f.put('\xaa');
+        ++damaged;
+    }
+    ASSERT_GT(damaged, 0u);
+
+    auto &corrupt =
+        obs::MetricsRegistry::global().counter("quest.cache.corrupt");
+    const uint64_t corrupt_before = corrupt.value();
+
+    RunArtifacts rewarm = tracedRun(cfg, circuit);
+    EXPECT_EQ(rewarm.cacheMisses, cold.cacheMisses)
+        << "corrupt entries must be treated exactly like cold misses";
+    EXPECT_EQ(corrupt.value(), corrupt_before + damaged);
+    expectSameResult(cold.r, rewarm.r);
+
+    // The damaged entries were replaced; a third run is fully warm.
+    RunArtifacts warm = tracedRun(cfg, circuit);
+    EXPECT_EQ(warm.cacheMisses, 0u);
+}
+
+TEST(Pipeline, SingleSharedPoolBoundsTotalThreads)
+{
+    // cfg.threads is the whole pipeline's budget. Even with an inner
+    // synthesis thread count configured far higher, the shared pool
+    // must keep the process at budget - 1 workers (the caller is the
+    // budget's last thread) — the old design multiplied the two.
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 4;
+    cfg.maxSamples = 2;
+    cfg.threads = 3;
+    cfg.synth.threads = 8; // must be ignored in favor of the pool
+
+    const unsigned baseline = ThreadPool::liveWorkers();
+    ThreadPool::resetPeakLiveWorkers();
+    QuestResult r = QuestPipeline(cfg).run(algos::tfim(5, 2));
+    EXPECT_GE(r.samples.size(), 1u);
+    EXPECT_LE(ThreadPool::peakLiveWorkers(), baseline + cfg.threads - 1);
 }
 
 } // namespace

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
+#include "util/serialize.hh"
+#include "util/sha256.hh"
+
+namespace quest {
+namespace {
+
+TEST(ByteWriter, EncodesLittleEndian)
+{
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u32(0xdeadbeef);
+    w.u64(0x0102030405060708ull);
+
+    const std::vector<uint8_t> expected = {
+        0xab,                                           // u8
+        0x34, 0x12,                                     // u16
+        0xef, 0xbe, 0xad, 0xde,                         // u32
+        0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // u64
+    };
+    EXPECT_EQ(w.buffer(), expected);
+}
+
+TEST(ByteRoundTrip, AllPrimitiveTypes)
+{
+    ByteWriter w;
+    w.u8(200);
+    w.u16(65000);
+    w.u32(4000000000u);
+    w.u64(0xffffffffffffffffull);
+    w.i32(-123456789);
+    w.i64(-9000000000000000000ll);
+    w.f64(3.141592653589793);
+    w.str("hello");
+
+    ByteReader r(w.buffer());
+    EXPECT_EQ(r.u8(), 200);
+    EXPECT_EQ(r.u16(), 65000);
+    EXPECT_EQ(r.u32(), 4000000000u);
+    EXPECT_EQ(r.u64(), 0xffffffffffffffffull);
+    EXPECT_EQ(r.i32(), -123456789);
+    EXPECT_EQ(r.i64(), -9000000000000000000ll);
+    EXPECT_EQ(r.f64(), 3.141592653589793);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteRoundTrip, DoublesAreBitExact)
+{
+    // The cache's byte-identical-replay guarantee rests on doubles
+    // surviving a round trip exactly, including the values plain
+    // decimal formatting mangles.
+    const double values[] = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+    };
+    for (double v : values) {
+        ByteWriter w;
+        w.f64(v);
+        ByteReader r(w.buffer());
+        const double back = r.f64();
+        uint64_t a, b;
+        std::memcpy(&a, &v, sizeof(a));
+        std::memcpy(&b, &back, sizeof(b));
+        EXPECT_EQ(a, b) << "value " << v;
+    }
+}
+
+TEST(ByteRoundTrip, RandomizedFuzz)
+{
+    std::mt19937_64 rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<uint64_t> u64s(rng() % 8);
+        std::vector<double> f64s(rng() % 8);
+        for (auto &v : u64s)
+            v = rng();
+        for (auto &v : f64s) {
+            uint64_t bits = rng();
+            std::memcpy(&v, &bits, sizeof(v));
+        }
+
+        ByteWriter w;
+        for (auto v : u64s)
+            w.u64(v);
+        for (auto v : f64s)
+            w.f64(v);
+
+        ByteReader r(w.buffer());
+        for (auto v : u64s)
+            EXPECT_EQ(r.u64(), v);
+        for (auto v : f64s) {
+            const double back = r.f64();
+            EXPECT_EQ(std::memcmp(&back, &v, sizeof(v)), 0);
+        }
+        EXPECT_TRUE(r.atEnd());
+    }
+}
+
+TEST(ByteReader, ThrowsOnTruncation)
+{
+    ByteWriter w;
+    w.u32(42);
+    ByteReader r(w.buffer());
+    EXPECT_EQ(r.u16(), 42);
+    EXPECT_THROW(r.u32(), SerializeError);
+
+    ByteReader empty(nullptr, 0);
+    EXPECT_THROW(empty.u8(), SerializeError);
+    EXPECT_TRUE(empty.atEnd());
+}
+
+TEST(ByteReader, ThrowsOnOversizedString)
+{
+    // A hostile length prefix must fail the bounds check, not drive a
+    // giant allocation.
+    ByteWriter w;
+    w.u32(0xffffffffu);
+    w.u8('x');
+    ByteReader r(w.buffer());
+    EXPECT_THROW(r.str(), SerializeError);
+}
+
+TEST(Fnv1a64, KnownVectors)
+{
+    // Reference values from the FNV specification.
+    EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, SeedChaining)
+{
+    // Hashing in two chunks with seed chaining equals one shot.
+    const char data[] = "synthesis-cache-payload";
+    const size_t n = sizeof(data) - 1;
+    const uint64_t whole = fnv1a64(data, n);
+    const uint64_t part = fnv1a64(data + 5, n - 5,
+                                  fnv1a64(data, 5));
+    EXPECT_EQ(whole, part);
+}
+
+TEST(ToHex, RendersLowercase)
+{
+    const uint8_t bytes[] = {0x00, 0xff, 0x1a, 0x2b};
+    EXPECT_EQ(toHex(bytes, sizeof(bytes)), "00ff1a2b");
+    EXPECT_EQ(toHex(bytes, 0), "");
+}
+
+TEST(Sha256, FipsVectors)
+{
+    EXPECT_EQ(Sha256::hexDigest(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+    EXPECT_EQ(Sha256::hexDigest("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+    EXPECT_EQ(Sha256::hexDigest("abcdbcdecdefdefgefghfghighijhijkijkljkl"
+                                "mklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, ChunkedUpdatesMatchOneShot)
+{
+    std::mt19937_64 rng(13);
+    std::vector<uint8_t> data(1000);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(rng());
+
+    const auto whole = Sha256::hash(data.data(), data.size());
+
+    for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 500u}) {
+        Sha256 h;
+        for (size_t off = 0; off < data.size(); off += chunk) {
+            h.update(data.data() + off,
+                     std::min(chunk, data.size() - off));
+        }
+        EXPECT_EQ(h.digest(), whole) << "chunk size " << chunk;
+    }
+}
+
+TEST(Sha256, MillionAs)
+{
+    // The classic FIPS long-message vector exercises many compression
+    // rounds and the length padding path.
+    Sha256 h;
+    const std::string block(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(block);
+    const auto d = h.digest();
+    EXPECT_EQ(toHex(d.data(), d.size()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+} // namespace
+} // namespace quest

@@ -330,6 +330,88 @@ TEST(ThreadPool, StressRepeatedConstructionAndShutdown)
     EXPECT_EQ(total.load(), 25 * 40);
 }
 
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    // A budget of one thread: no workers, the caller does everything.
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 0u);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<int> counter{0};
+    pool.parallelFor(20, [&](size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++counter;
+    });
+    EXPECT_EQ(counter.load(), 20);
+
+    // submit() still works; the destructor drains it inline.
+    auto f = pool.submit([]() { return 7; });
+}
+
+TEST(ThreadPool, NestedParallelForOnTheSamePoolCompletes)
+{
+    // The pipeline nests the synthesizer's parallelFor inside its own
+    // on one shared pool. Workers executing outer indices call
+    // parallelFor again; cooperative claiming must finish all work
+    // with no deadlock even when the pool is saturated.
+    ThreadPool pool(2);
+    std::atomic<int> inner_runs{0};
+    pool.parallelFor(8, [&](size_t) {
+        pool.parallelFor(16, [&](size_t) { ++inner_runs; });
+    });
+    EXPECT_EQ(inner_runs.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedExceptionsPropagateFromTheInnerLevel)
+{
+    ThreadPool pool(2);
+    std::string message;
+    try {
+        pool.parallelFor(4, [&](size_t outer) {
+            pool.parallelFor(4, [&](size_t inner) {
+                if (outer == 1 && inner == 2)
+                    throw std::runtime_error("inner failure");
+            });
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        message = e.what();
+    }
+    EXPECT_EQ(message, "inner failure");
+}
+
+TEST(ThreadPool, WorkerAccountingTracksLiveThreads)
+{
+    const unsigned baseline = ThreadPool::liveWorkers();
+    ThreadPool::resetPeakLiveWorkers();
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(ThreadPool::liveWorkers(), baseline + 3);
+        EXPECT_GE(ThreadPool::peakLiveWorkers(), baseline + 3);
+    }
+    EXPECT_EQ(ThreadPool::liveWorkers(), baseline);
+}
+
+TEST(ThreadPool, SharedPoolKeepsNestedWorkWithinTheThreadBudget)
+{
+    // One pool, nested use: the process must never hold more worker
+    // threads than the pool spawned, no matter how deeply parallelFor
+    // nests — the old design built a fresh pool per nesting level and
+    // oversubscribed multiplicatively.
+    const unsigned baseline = ThreadPool::liveWorkers();
+    ThreadPool::resetPeakLiveWorkers();
+    {
+        ThreadPool pool(3);
+        pool.parallelFor(8, [&](size_t) {
+            pool.parallelFor(8, [&](size_t) {
+                volatile double x = 0.0;
+                for (int i = 0; i < 1000; ++i)
+                    x = x + static_cast<double>(i);
+            });
+        });
+        EXPECT_LE(ThreadPool::peakLiveWorkers(), baseline + 3);
+    }
+}
+
 TEST(Logging, FatalExits)
 {
     EXPECT_DEATH(fatal("bad input"), "bad input");

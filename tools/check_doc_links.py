@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Scans every top-level *.md plus docs/*.md for [text](target) links and
+verifies each relative target exists (anchors and external URLs are
+skipped). Exits 1 listing every broken link. Run from anywhere:
+
+    python3 tools/check_doc_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — stops at the first ')' so "(see [x](y))" works;
+# images ![alt](img) match too, which is what we want.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# `code` spans can contain [i](j)-looking indexing; strip them first.
+CODE_SPAN = re.compile(r"`[^`]*`")
+CODE_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.M | re.S)
+
+
+def doc_files():
+    yield from sorted(REPO.glob("*.md"))
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def check(path):
+    text = CODE_SPAN.sub("", CODE_FENCE.sub("", path.read_text()))
+    broken = []
+    for target in LINK.findall(text):
+        if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        rel = target.split("#", 1)[0]
+        if not (path.parent / rel).exists():
+            broken.append(target)
+    return broken
+
+
+def main():
+    failures = 0
+    for path in doc_files():
+        for target in check(path):
+            print(f"{path.relative_to(REPO)}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"all links resolve in {len(list(doc_files()))} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

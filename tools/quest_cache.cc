@@ -1,0 +1,107 @@
+/**
+ * @file
+ * quest_cache — inspect and maintain a persistent synthesis cache
+ * directory (src/cache, format in docs/FORMATS.md).
+ *
+ * Usage:
+ *   quest_cache stats  <cache-dir>
+ *   quest_cache verify <cache-dir> [--remove]
+ *   quest_cache gc     <cache-dir> <target-bytes>
+ *   quest_cache clear  <cache-dir>
+ *
+ * `verify` fully parses every entry (header, checksum, payload) and
+ * structurally lints every stored candidate circuit; it exits
+ * non-zero if any entry fails, unless --remove deleted the failures.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cache/synthesis_cache.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+              << "  quest_cache stats  <cache-dir>\n"
+              << "  quest_cache verify <cache-dir> [--remove]\n"
+              << "  quest_cache gc     <cache-dir> <target-bytes>\n"
+              << "  quest_cache clear  <cache-dir>\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() < 2)
+        return usage();
+    const std::string &command = args[0];
+
+    quest::cache::CacheConfig config;
+    config.dir = args[1];
+    config.maxBytes = 0; // maintenance commands never auto-evict
+    quest::cache::SynthesisCache cache(config);
+
+    if (command == "stats") {
+        if (args.size() != 2)
+            return usage();
+        const auto s = cache.stats();
+        std::cout << "dir: " << config.dir << "\n"
+                  << "entries: " << s.entries << "\n"
+                  << "bytes: " << s.bytes << "\n";
+        return 0;
+    }
+
+    if (command == "verify") {
+        bool remove = false;
+        if (args.size() == 3 && args[2] == "--remove")
+            remove = true;
+        else if (args.size() != 2)
+            return usage();
+
+        const auto report = cache.verifyAll(remove);
+        std::cout << "ok entries: " << report.ok << "\n"
+                  << "corrupt entries: " << report.corrupt.size()
+                  << (remove && !report.corrupt.empty() ? " (removed)"
+                                                        : "")
+                  << "\n";
+        for (const std::string &line : report.corrupt)
+            std::cout << "  " << line << "\n";
+        return report.clean() || remove ? 0 : 1;
+    }
+
+    if (command == "gc") {
+        if (args.size() != 3)
+            return usage();
+        uint64_t target = 0;
+        try {
+            target = std::stoull(args[2]);
+        } catch (const std::exception &) {
+            std::cerr << "bad byte count: " << args[2] << "\n";
+            return usage();
+        }
+        const size_t removed = cache.gc(target);
+        const auto s = cache.stats();
+        std::cout << "evicted: " << removed << "\n"
+                  << "entries: " << s.entries << "\n"
+                  << "bytes: " << s.bytes << "\n";
+        return 0;
+    }
+
+    if (command == "clear") {
+        if (args.size() != 2)
+            return usage();
+        std::cout << "removed: " << cache.clear() << "\n";
+        return 0;
+    }
+
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+}

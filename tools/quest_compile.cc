@@ -24,10 +24,14 @@
  *   --block-size <k>   partition width (default 4)
  *   --seed <s>         master seed (default 99)
  *   --threads <n>      synthesis worker threads (default: all cores)
+ *   --cache-dir <dir>  persistent synthesis cache directory
+ *                      (default: $QUEST_CACHE_DIR if set)
+ *   --no-cache         disable the persistent cache entirely
  *   --trace <file>     write a Chrome-trace JSON of the run
  *   --stats            print span attribution + metrics tables
  */
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -69,6 +73,9 @@ usage()
               << "  --block-size k   partition width\n"
               << "  --seed s         master seed\n"
               << "  --threads n      synthesis worker threads\n"
+              << "  --cache-dir dir  persistent synthesis cache "
+                 "(default: $QUEST_CACHE_DIR)\n"
+              << "  --no-cache       disable the persistent cache\n"
               << "  --trace file     write Chrome-trace JSON\n"
               << "  --stats          print span/metrics tables\n";
     return 2;
@@ -87,6 +94,8 @@ main(int argc, char **argv)
 
     std::vector<std::string> positionals;
     std::string trace_path;
+    std::string cache_dir;
+    bool no_cache = false;
     bool print_stats = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -97,6 +106,10 @@ main(int argc, char **argv)
         }
         if (arg == "--stats") {
             print_stats = true;
+            continue;
+        }
+        if (arg == "--no-cache") {
+            no_cache = true;
             continue;
         }
         if (i + 1 >= argc) {
@@ -116,6 +129,8 @@ main(int argc, char **argv)
             config.seed = std::stoull(value);
         } else if (arg == "--threads") {
             config.threads = static_cast<unsigned>(std::stoul(value));
+        } else if (arg == "--cache-dir") {
+            cache_dir = value;
         } else if (arg == "--trace") {
             trace_path = value;
         } else {
@@ -126,6 +141,15 @@ main(int argc, char **argv)
 
     if (positionals.empty() || positionals.size() > 2)
         return usage();
+    if (no_cache) {
+        config.cacheDir.clear();
+    } else {
+        if (cache_dir.empty()) {
+            if (const char *env = std::getenv("QUEST_CACHE_DIR"))
+                cache_dir = env;
+        }
+        config.cacheDir = cache_dir;
+    }
     const std::string input_path = positionals[0];
     const bool have_out_dir = positionals.size() == 2;
     const std::filesystem::path out_dir =
@@ -200,7 +224,17 @@ main(int argc, char **argv)
                 << result.samples[s].cnotCount << " cnots, bound "
                 << result.samples[s].distanceBound << "\n";
     }
+    // Cache attribution for this run (the counters are process-wide,
+    // and quest_compile runs exactly one pipeline): misses are actual
+    // LEAP searches, hits are searches avoided via in-memory dedup or
+    // the persistent cache. CI greps the misses line on warm runs.
+    auto &registry = obs::MetricsRegistry::global();
     summary << "min sample cnots: " << result.minSampleCnots() << "\n"
+            << "synth cache hits: "
+            << registry.counter("quest.synth.cache_hits").value() << "\n"
+            << "synth cache misses: "
+            << registry.counter("quest.synth.cache_misses").value()
+            << "\n"
             << "partition seconds: " << result.partitionSeconds << "\n"
             << "synthesis seconds: " << result.synthesisSeconds << "\n"
             << "annealing seconds: " << result.annealSeconds << "\n";
