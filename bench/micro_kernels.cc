@@ -3,12 +3,21 @@
  * google-benchmark micro-benchmarks of the hot kernels behind the
  * QUEST pipeline: statevector gate application, HS distance,
  * gradient evaluation, instantiation and annealing steps.
+ *
+ * Besides the google-benchmark suite, main() measures instantiation
+ * throughput directly and archives it as BENCH_instantiation.json
+ * (via bench_common's writeBenchJson) so CI keeps machine-readable
+ * records of the hot-path numbers next to the figure harnesses.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
 #include "algos/algorithms.hh"
 #include "anneal/dual_annealing.hh"
+#include "bench_common.hh"
 #include "ir/lower.hh"
 #include "linalg/distance.hh"
 #include "sim/statevector.hh"
@@ -16,10 +25,22 @@
 #include "synth/hs_cost.hh"
 #include "synth/instantiater.hh"
 #include "util/rng.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
 using namespace quest;
+
+/** A ring-entangled test ansatz over n qubits. */
+Ansatz
+benchAnsatz(int n, int layers)
+{
+    Ansatz a = Ansatz::initialLayer(n);
+    for (int l = 0; l < layers; ++l)
+        a.addLayer(l % n, (l + 1) % n);
+    return a;
+}
 
 void
 BM_StateVectorCx(benchmark::State &state)
@@ -101,6 +122,39 @@ BM_CostGradient(benchmark::State &state)
 BENCHMARK(BM_CostGradient)->Arg(2)->Arg(6)->Arg(12);
 
 void
+BM_HsEval(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Ansatz a = benchAnsatz(n, 2 * n);
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(n, 2)));
+    HsCost cost(target, a);
+    Rng rng(2);
+    std::vector<double> x(a.paramCount());
+    for (double &v : x)
+        v = rng.uniform(-3.0, 3.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cost.evaluate(x, nullptr));
+}
+BENCHMARK(BM_HsEval)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_HsEvalGrad(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Ansatz a = benchAnsatz(n, 2 * n);
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(n, 2)));
+    HsCost cost(target, a);
+    Rng rng(3);
+    std::vector<double> x(a.paramCount());
+    for (double &v : x)
+        v = rng.uniform(-3.0, 3.0);
+    std::vector<double> grad;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cost.evaluate(x, &grad));
+}
+BENCHMARK(BM_HsEvalGrad)->Arg(2)->Arg(3)->Arg(4);
+
+void
 BM_Instantiation(benchmark::State &state)
 {
     Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
@@ -115,6 +169,25 @@ BM_Instantiation(benchmark::State &state)
         benchmark::DoNotOptimize(instantiate(target, a, rng, opts));
 }
 BENCHMARK(BM_Instantiation);
+
+void
+BM_InstantiationParallel(benchmark::State &state)
+{
+    const unsigned workers = static_cast<unsigned>(state.range(0));
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
+    Ansatz a = Ansatz::initialLayer(3);
+    a.addLayer(0, 1);
+    a.addLayer(1, 2);
+    ThreadPool pool(workers);
+    InstantiaterOptions opts;
+    opts.multistarts = 4;
+    opts.lbfgs.maxIterations = 100;
+    opts.pool = workers > 0 ? &pool : nullptr;
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(instantiate(target, a, rng, opts));
+}
+BENCHMARK(BM_InstantiationParallel)->Arg(0)->Arg(3);
 
 void
 BM_DualAnnealingStep(benchmark::State &state)
@@ -134,6 +207,90 @@ BM_DualAnnealingStep(benchmark::State &state)
 }
 BENCHMARK(BM_DualAnnealingStep);
 
+/** Mean milliseconds per call of @p fn over @p iters calls. */
+double
+msPerCall(int iters, const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() /
+           static_cast<double>(iters);
+}
+
+/**
+ * Instantiation-engine throughput table archived as
+ * BENCH_instantiation.json: cost evaluations per second with and
+ * without gradient for 2-4 qubit ansaetze, and multistart
+ * instantiation latency serial vs on a worker pool.
+ */
+Table
+instantiationTable()
+{
+    const int evals = quest::bench::smokeMode() ? 200 : 5000;
+    const int insts = quest::bench::smokeMode() ? 2 : 20;
+
+    Table table({"case", "metric", "value"});
+    for (int n = 2; n <= 4; ++n) {
+        Ansatz a = benchAnsatz(n, 2 * n);
+        Matrix target = buildUnitary(lowerToNative(algos::tfim(n, 2)));
+        HsCost cost(target, a);
+        Rng rng(5);
+        std::vector<double> x(a.paramCount());
+        for (double &v : x)
+            v = rng.uniform(-3.0, 3.0);
+        std::vector<double> grad;
+        cost.evaluate(x, &grad);  // warm the workspace
+
+        double ms = msPerCall(
+            evals, [&] { benchmark::DoNotOptimize(
+                             cost.evaluate(x, nullptr)); });
+        table.addRow({"hs_eval_n" + std::to_string(n), "evals_per_s",
+                      Table::num(1000.0 / ms, 1)});
+        ms = msPerCall(
+            evals, [&] { benchmark::DoNotOptimize(
+                             cost.evaluate(x, &grad)); });
+        table.addRow({"hs_eval_grad_n" + std::to_string(n),
+                      "evals_per_s", Table::num(1000.0 / ms, 1)});
+    }
+
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
+    Ansatz a = Ansatz::initialLayer(3);
+    a.addLayer(0, 1);
+    a.addLayer(1, 2);
+    InstantiaterOptions opts;
+    opts.multistarts = 4;
+    opts.lbfgs.maxIterations = quest::bench::smokeMode() ? 40 : 100;
+    Rng rng(7);
+    table.addRow({"instantiate_serial", "ms_per_call",
+                  Table::num(msPerCall(insts, [&] {
+                                 benchmark::DoNotOptimize(
+                                     instantiate(target, a, rng, opts));
+                             }),
+                             3)});
+    ThreadPool pool(3);
+    opts.pool = &pool;
+    table.addRow({"instantiate_pool4", "ms_per_call",
+                  Table::num(msPerCall(insts, [&] {
+                                 benchmark::DoNotOptimize(
+                                     instantiate(target, a, rng, opts));
+                             }),
+                             3)});
+    return table;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    quest::bench::finishBench("instantiation", instantiationTable());
+    return 0;
+}

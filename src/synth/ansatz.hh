@@ -23,6 +23,22 @@ namespace quest {
  */
 Matrix u3Derivative(double theta, double phi, double lambda, int which);
 
+/**
+ * The 2x2 U3 entries written row-major into @p g — the
+ * allocation-free counterpart of makeU3 used by the instantiation
+ * hot path.
+ */
+void makeU3Entries(double theta, double phi, double lambda, Complex g[4]);
+
+/**
+ * The U3 entries together with all three parameter derivatives
+ * (row-major 2x2 each), sharing a single cos/sin/polar evaluation.
+ * The cost function's backward pass calls this once per op instead
+ * of one makeU3 plus three u3Derivative, each redoing the trig.
+ */
+void u3WithDerivatives(double theta, double phi, double lambda,
+                       Complex g[4], Complex dg[3][4]);
+
 /** One ansatz operation: a parameterized U3 or a fixed CX. */
 struct AnsatzOp
 {
@@ -81,12 +97,15 @@ class Ansatz
     /** The op sequence (for the fast cost-function path). */
     const std::vector<AnsatzOp> &operations() const { return ops; }
 
+    /** Basis-index bit of wire q (qubit 0 is the most significant). */
+    size_t
+    wireBit(int q) const
+    {
+        return size_t{1} << (nQubits - 1 - q);
+    }
+
   private:
     using Op = AnsatzOp;
-
-    /** Dense op matrix embedded on all nQubits wires. */
-    Matrix opMatrix(const Op &op, const std::vector<double> &params,
-                    int param_base) const;
 
     int nQubits;
     int u3Count = 0;

@@ -1,121 +1,57 @@
 #include "synth/hs_cost.hh"
 
+#include <algorithm>
 #include <cmath>
 
-#include "linalg/decompose.hh"
-#include "linalg/distance.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace quest {
 
 namespace {
 
-/** In-place left multiplication by a 2x2 gate on wire q: row mixing. */
+using kern::cmul;
+
 void
-leftApplyU3(Matrix &m, const Matrix &g, int q, int n)
+setIdentity(Complex *QUEST_RESTRICT m, size_t dim)
 {
-    const size_t dim = m.rows();
-    const size_t bit = size_t{1} << (n - 1 - q);
-    const Complex g00 = g(0, 0), g01 = g(0, 1);
-    const Complex g10 = g(1, 0), g11 = g(1, 1);
-    for (size_t r = 0; r < dim; ++r) {
-        if (r & bit)
-            continue;
-        Complex *row0 = &m.data()[r * dim];
-        Complex *row1 = &m.data()[(r | bit) * dim];
-        for (size_t c = 0; c < dim; ++c) {
-            Complex a = row0[c], b = row1[c];
-            row0[c] = g00 * a + g01 * b;
-            row1[c] = g10 * a + g11 * b;
-        }
-    }
+    std::fill(m, m + dim * dim, Complex(0.0, 0.0));
+    for (size_t i = 0; i < dim; ++i)
+        m[i * dim + i] = Complex(1.0, 0.0);
 }
 
-/** In-place left multiplication by CX(control, target): row swaps. */
-void
-leftApplyCx(Matrix &m, int control, int target, int n)
+/** Evaluate calls that reused the workspace without allocating. */
+obs::Counter &
+workspaceReuseCounter()
 {
-    const size_t dim = m.rows();
-    const size_t bc = size_t{1} << (n - 1 - control);
-    const size_t bt = size_t{1} << (n - 1 - target);
-    for (size_t r = 0; r < dim; ++r) {
-        if ((r & bc) && !(r & bt)) {
-            Complex *row0 = &m.data()[r * dim];
-            Complex *row1 = &m.data()[(r | bt) * dim];
-            for (size_t c = 0; c < dim; ++c)
-                std::swap(row0[c], row1[c]);
-        }
-    }
-}
-
-/** In-place right multiplication by a 2x2 gate: column mixing. */
-void
-rightApplyU3(Matrix &m, const Matrix &g, int q, int n)
-{
-    const size_t dim = m.rows();
-    const size_t bit = size_t{1} << (n - 1 - q);
-    const Complex g00 = g(0, 0), g01 = g(0, 1);
-    const Complex g10 = g(1, 0), g11 = g(1, 1);
-    for (size_t r = 0; r < dim; ++r) {
-        Complex *row = &m.data()[r * dim];
-        for (size_t c = 0; c < dim; ++c) {
-            if (c & bit)
-                continue;
-            Complex a = row[c], b = row[c | bit];
-            row[c] = a * g00 + b * g10;
-            row[c | bit] = a * g01 + b * g11;
-        }
-    }
-}
-
-/** In-place right multiplication by CX: column swaps. */
-void
-rightApplyCx(Matrix &m, int control, int target, int n)
-{
-    const size_t dim = m.rows();
-    const size_t bc = size_t{1} << (n - 1 - control);
-    const size_t bt = size_t{1} << (n - 1 - target);
-    for (size_t r = 0; r < dim; ++r) {
-        Complex *row = &m.data()[r * dim];
-        for (size_t c = 0; c < dim; ++c) {
-            if ((c & bc) && !(c & bt))
-                std::swap(row[c], row[c | bt]);
-        }
-    }
-}
-
-/**
- * Reduce W = P * B to the 2x2 contraction on wire q:
- * w2(a, b) = sum_rest W(idx(rest, a), idx(rest, b)), so that
- * Tr(W * embed(d)) = sum_ab w2(a, b) d(b, a).
- */
-void
-reduceTrace(const Matrix &p, const Matrix &b, int q, int n,
-            Complex w2[2][2])
-{
-    const size_t dim = p.rows();
-    const size_t bit = size_t{1} << (n - 1 - q);
-    for (int a = 0; a < 2; ++a)
-        for (int c = 0; c < 2; ++c)
-            w2[a][c] = Complex(0.0, 0.0);
-    for (size_t rest = 0; rest < dim; ++rest) {
-        if (rest & bit)
-            continue;
-        for (int a = 0; a < 2; ++a) {
-            const size_t r = a ? (rest | bit) : rest;
-            const Complex *prow = &p.data()[r * dim];
-            for (int c = 0; c < 2; ++c) {
-                const size_t col = c ? (rest | bit) : rest;
-                Complex sum(0.0, 0.0);
-                for (size_t m = 0; m < dim; ++m)
-                    sum += prow[m] * b(m, col);
-                w2[a][c] += sum;
-            }
-        }
-    }
+    static auto &c = obs::MetricsRegistry::global().counter(
+        "synth.workspace_reuses");
+    return c;
 }
 
 } // namespace
+
+bool
+HsWorkspace::ensure(size_t dim, size_t opCount, size_t u3Count)
+{
+    const size_t dd = dim * dim;
+    bool grew = false;
+    auto fit = [&grew](std::vector<Complex> &v, size_t n) {
+        if (v.size() < n) {
+            v.resize(n);
+            grew = true;
+        }
+    };
+    fit(prefix, (opCount + 1) * dd);
+    fit(backward, dd);
+    fit(scratch, dd);
+    fit(u3Terms, u3Count * 16);
+    if (grew)
+        ++allocations;
+    else
+        ++reuses;
+    return grew;
+}
 
 HsCost::HsCost(const Matrix &target, const Ansatz &ansatz)
     : target(target), ansatz(ansatz)
@@ -123,82 +59,139 @@ HsCost::HsCost(const Matrix &target, const Ansatz &ansatz)
     QUEST_ASSERT(target.isSquare(), "target must be square");
     QUEST_ASSERT(target.rows() == (size_t{1} << ansatz.numQubits()),
                  "target dimension does not match ansatz width");
-    const double n = static_cast<double>(target.rows());
+    dim = target.rows();
+    const double n = static_cast<double>(dim);
     dimSquared = n * n;
+    kernels = &kern::kernelsForDim(dim);
+
+    // Precompile the op sequence: wire bits and parameter bases are
+    // structural, so resolve them once instead of per evaluation.
+    const auto &ops = ansatz.operations();
+    plan.reserve(ops.size());
+    u3Count = 0;
+    int p = 0;
+    for (const AnsatzOp &op : ops) {
+        OpPlan e;
+        e.isCx = op.isCx;
+        e.bit = ansatz.wireBit(op.a);
+        e.bit2 = op.isCx ? ansatz.wireBit(op.b) : 0;
+        e.base = op.isCx ? -1 : p;
+        if (!op.isCx) {
+            p += 3;
+            ++u3Count;
+        }
+        plan.push_back(e);
+    }
+    nParams = p;
+
+    targetConj.resize(dim * dim);
+    const Complex *t = target.data().data();
+    for (size_t i = 0; i < dim * dim; ++i)
+        targetConj[i] = std::conj(t[i]);
+
+    // Warm the arena now so every evaluate() is allocation-free.
+    ws.ensure(dim, plan.size(), u3Count);
+}
+
+Complex
+HsCost::traceAgainstTarget(const Complex *QUEST_RESTRICT u) const
+{
+    // Tr(target^dagger U) = sum_i conj(target_i) * u_i elementwise.
+    const Complex *QUEST_RESTRICT tc = targetConj.data();
+    Complex tr(0.0, 0.0);
+    const size_t dd = dim * dim;
+    for (size_t i = 0; i < dd; ++i)
+        tr += cmul(tc[i], u[i]);
+    return tr;
 }
 
 double
 HsCost::evaluate(const std::vector<double> &params,
                  std::vector<double> *grad) const
 {
-    const auto &ops = ansatz.operations();
-    const int n = ansatz.numQubits();
-    const size_t dim = size_t{1} << n;
-    const size_t count = ops.size();
+    QUEST_ASSERT(static_cast<int>(params.size()) == nParams,
+                 "parameter count mismatch");
+    const size_t count = plan.size();
+    const size_t dd = dim * dim;
+    const kern::KernelSet &k = *kernels;
+
+    if (!ws.ensure(dim, count, u3Count))
+        workspaceReuseCounter().increment();
 
     if (!grad) {
-        Matrix u = Matrix::identity(dim);
-        size_t p = 0;
-        for (const AnsatzOp &op : ops) {
+        Complex *QUEST_RESTRICT u = ws.scratch.data();
+        setIdentity(u, dim);
+        Complex g[4];
+        for (const OpPlan &op : plan) {
             if (op.isCx) {
-                leftApplyCx(u, op.a, op.b, n);
+                k.leftCx(dim, u, op.bit, op.bit2);
             } else {
-                leftApplyU3(u, makeU3(params[p], params[p + 1],
-                                      params[p + 2]),
-                            op.a, n);
-                p += 3;
+                makeU3Entries(params[op.base], params[op.base + 1],
+                              params[op.base + 2], g);
+                k.leftU3(dim, u, g, op.bit);
             }
         }
-        Complex tr = hsInnerProduct(target, u);
-        return 1.0 - std::norm(tr) / dimSquared;
+        return 1.0 - std::norm(traceAgainstTarget(u)) / dimSquared;
     }
 
-    // Forward pass: prefix[j] = op_{j-1} ... op_0 (prefix[0] = I).
-    std::vector<Matrix> prefix(count + 1);
-    std::vector<int> param_base(count, -1);
-    prefix[0] = Matrix::identity(dim);
+    // Forward pass: prefix slice j holds op_{j-1} ... op_0 (slice 0 is
+    // the identity). Each U3's entries and all three derivatives are
+    // cached from one shared trig evaluation for the backward pass.
+    Complex *QUEST_RESTRICT pre = ws.prefix.data();
+    Complex *QUEST_RESTRICT terms = ws.u3Terms.data();
+    setIdentity(pre, dim);
     {
-        size_t p = 0;
+        size_t ui = 0;
         for (size_t j = 0; j < count; ++j) {
-            param_base[j] = static_cast<int>(p);
-            prefix[j + 1] = prefix[j];
-            if (ops[j].isCx) {
-                leftApplyCx(prefix[j + 1], ops[j].a, ops[j].b, n);
+            const OpPlan &op = plan[j];
+            Complex *cur = pre + j * dd;
+            Complex *nxt = cur + dd;
+            std::copy(cur, cur + dd, nxt);
+            if (op.isCx) {
+                k.leftCx(dim, nxt, op.bit, op.bit2);
             } else {
-                leftApplyU3(prefix[j + 1],
-                            makeU3(params[p], params[p + 1],
-                                   params[p + 2]),
-                            ops[j].a, n);
-                p += 3;
+                Complex *slot = terms + ui * 16;
+                u3WithDerivatives(params[op.base], params[op.base + 1],
+                                  params[op.base + 2], slot,
+                                  reinterpret_cast<Complex(*)[4]>(slot + 4));
+                k.leftU3(dim, nxt, slot, op.bit);
+                ++ui;
             }
         }
     }
-    Complex tr = hsInnerProduct(target, prefix[count]);
+    const Complex tr = traceAgainstTarget(pre + count * dd);
 
-    // Backward pass: b = target^dagger * op_{L-1} ... op_{j+1}. At a
-    // parameterized op, contract prefix[j] * b down to a 2x2 and dot
-    // it with the three analytic U3 derivatives.
-    grad->assign(params.size(), 0.0);
-    Matrix b = target.adjoint();
-    Complex w2[2][2];
+    // Backward pass, transposed: bt = B^T with
+    // B = target^dagger * op_{L-1} ... op_{j+1}, so B's strided
+    // columns become bt's contiguous rows and every update is a
+    // row-mixing kernel. Initially bt = (target^dagger)^T =
+    // conj(target); appending op j on B's right (B <- B * embed(g))
+    // is bt <- embed(g)^T * bt, i.e. leftU3 with the transposed gate.
+    grad->resize(static_cast<size_t>(nParams));
+    Complex *QUEST_RESTRICT bt = ws.backward.data();
+    std::copy(targetConj.begin(), targetConj.end(), bt);
+    const Complex trc = std::conj(tr);
+    Complex w2[4];
+    size_t ui = u3Count;
     for (size_t j = count; j-- > 0;) {
-        if (!ops[j].isCx) {
-            const int base = param_base[j];
-            reduceTrace(prefix[j], b, ops[j].a, n, w2);
-            for (int which = 0; which < 3; ++which) {
-                Matrix d = u3Derivative(params[base], params[base + 1],
-                                        params[base + 2], which);
-                Complex dtr = w2[0][0] * d(0, 0) + w2[0][1] * d(1, 0) +
-                              w2[1][0] * d(0, 1) + w2[1][1] * d(1, 1);
-                (*grad)[base + which] =
-                    -2.0 * (std::conj(tr) * dtr).real() / dimSquared;
-            }
-            rightApplyU3(b, makeU3(params[base], params[base + 1],
-                                   params[base + 2]),
-                         ops[j].a, n);
-        } else {
-            rightApplyCx(b, ops[j].a, ops[j].b, n);
+        const OpPlan &op = plan[j];
+        if (op.isCx) {
+            // embed(CX)^T = embed(CX): the same row-swap kernel.
+            k.leftCx(dim, bt, op.bit, op.bit2);
+            continue;
         }
+        const Complex *slot = terms + --ui * 16;
+        k.reduceTraceT(dim, pre + j * dd, bt, op.bit, w2);
+        for (int which = 0; which < 3; ++which) {
+            const Complex *d = slot + 4 + which * 4;
+            // Tr(W * embed(d)) = sum_ac w2[a][c] d(c, a).
+            const Complex dtr = cmul(w2[0], d[0]) + cmul(w2[1], d[2]) +
+                                cmul(w2[2], d[1]) + cmul(w2[3], d[3]);
+            (*grad)[op.base + which] =
+                -2.0 * cmul(trc, dtr).real() / dimSquared;
+        }
+        const Complex gT[4] = {slot[0], slot[2], slot[1], slot[3]};
+        k.leftU3(dim, bt, gT, op.bit);
     }
 
     return 1.0 - std::norm(tr) / dimSquared;

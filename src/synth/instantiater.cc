@@ -1,12 +1,15 @@
 #include "synth/instantiater.hh"
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "synth/hs_cost.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace quest {
 
@@ -20,44 +23,102 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
         obs::MetricsRegistry::global().counter("synth.instantiations");
     static auto &starts_counter =
         obs::MetricsRegistry::global().counter("synth.multistarts");
+    static auto &parallel_counter =
+        obs::MetricsRegistry::global().counter("synth.parallel_starts");
+    static auto &early_counter =
+        obs::MetricsRegistry::global().counter("synth.early_stops");
     calls.increment();
 
     constexpr double pi = std::numbers::pi;
-    HsCost cost(target, ansatz);
     const int n_params = ansatz.paramCount();
+    const int n_starts = std::max(1, options.multistarts);
 
-    GradObjective objective = [&](const std::vector<double> &x,
-                                  std::vector<double> *grad) {
-        return cost.evaluate(x, grad);
-    };
+    // Per-start RNG streams, split serially up front: stream i is the
+    // same whether start i later runs on the caller or on any worker.
+    std::vector<Rng> streams = rng.splitN(static_cast<size_t>(n_starts));
 
-    InstantiationResult best;
-    best.distance = 1.0;
-    double best_value = 2.0;
+    std::vector<LbfgsResult> results(static_cast<size_t>(n_starts));
+    std::vector<uint8_t> computed(static_cast<size_t>(n_starts), 0);
 
-    for (int start = 0; start < std::max(1, options.multistarts);
-         ++start) {
+    // Lowest start index that reached the goal. Starts beyond it are
+    // skippable: the serial-order reduction below never reads past the
+    // earliest goal index, so dropping them cannot change the result.
+    std::atomic<int> stop_at{n_starts};
+
+    auto run_start = [&](size_t i) {
+        const int idx = static_cast<int>(i);
+        if (idx > stop_at.load(std::memory_order_acquire))
+            return;
         starts_counter.increment();
-        std::vector<double> x0(n_params);
-        if (start == 0 && warm_start) {
+
+        // One cost object (and so one workspace) per start: evaluate
+        // reuses it allocation-free across every L-BFGS iteration.
+        HsCost cost(target, ansatz);
+        GradObjective objective = [&cost](const std::vector<double> &x,
+                                          std::vector<double> *grad) {
+            return cost.evaluate(x, grad);
+        };
+
+        std::vector<double> x0(static_cast<size_t>(n_params));
+        if (idx == 0 && warm_start) {
             QUEST_ASSERT(warm_start->size() <= x0.size(),
                          "warm start larger than parameter vector");
             std::copy(warm_start->begin(), warm_start->end(), x0.begin());
             // Trailing new parameters remain zero (identity-ish U3s).
         } else {
             for (double &v : x0)
-                v = rng.uniform(-pi, pi);
+                v = streams[i].uniform(-pi, pi);
         }
 
-        LbfgsResult r = lbfgsMinimize(objective, std::move(x0),
-                                      options.lbfgs);
+        LbfgsResult r =
+            lbfgsMinimize(objective, std::move(x0), options.lbfgs);
+        const bool reached = r.value <= options.goal;
+        results[i] = std::move(r);
+        computed[i] = 1;
+        if (reached) {
+            int cur = stop_at.load(std::memory_order_relaxed);
+            while (idx < cur &&
+                   !stop_at.compare_exchange_weak(
+                       cur, idx, std::memory_order_release,
+                       std::memory_order_relaxed)) {
+            }
+        }
+    };
+
+    if (options.pool && n_starts > 1) {
+        parallel_counter.add(static_cast<uint64_t>(n_starts));
+        options.pool->parallelFor(static_cast<size_t>(n_starts),
+                                  run_start);
+    } else {
+        for (int i = 0; i < n_starts; ++i) {
+            run_start(static_cast<size_t>(i));
+            if (stop_at.load(std::memory_order_relaxed) <= i)
+                break;
+        }
+    }
+
+    // Serial-order best-of reduction: walk starts in index order,
+    // keep the first strict improvement, stop at the first start that
+    // reached the goal — exactly the serial loop's selection, so the
+    // outcome is independent of which starts ran where (or whether
+    // extra starts past the goal were computed and discarded).
+    InstantiationResult best;
+    best.distance = 1.0;
+    double best_value = 2.0;
+    for (int i = 0; i < n_starts; ++i) {
+        LbfgsResult &r = results[static_cast<size_t>(i)];
+        if (!computed[static_cast<size_t>(i)])
+            break;  // only reachable past the earliest goal index
         if (r.value < best_value) {
             best_value = r.value;
-            best.params = r.x;
-            best.distance = std::sqrt(std::max(0.0, r.value));
+            best.params = std::move(r.x);
+            best.distance = std::sqrt(std::max(0.0, best_value));
         }
-        if (best_value <= options.goal)
+        if (best_value <= options.goal) {
+            if (i + 1 < n_starts)
+                early_counter.increment();
             break;
+        }
     }
     return best;
 }

@@ -2,6 +2,13 @@
  * @file
  * Multi-start instantiation: optimize an ansatz's angles against a
  * target unitary from several starting points and keep the best.
+ *
+ * Multistarts are independent, so they can run in parallel on a
+ * cooperative ThreadPool (InstantiaterOptions::pool). Determinism is
+ * preserved by construction: every start gets its own RNG stream,
+ * split serially before any task runs, and the best-of reduction
+ * replays the serial order's selection (including the first-to-goal
+ * early stop), so the result is bit-identical at any thread count.
  */
 
 #ifndef QUEST_SYNTH_INSTANTIATER_HH
@@ -17,12 +24,24 @@
 
 namespace quest {
 
+class ThreadPool;
+
 /** Instantiation settings. */
 struct InstantiaterOptions
 {
     int multistarts = 4;        //!< random restarts per call
     LbfgsOptions lbfgs;
     double goal = 0.0;          //!< stop restarts early below this cost
+
+    /**
+     * Worker pool for parallel multistarts (not owned; nullptr runs
+     * them serially). The pool's parallelFor is cooperative, so the
+     * synthesizer can hand its own shared pool down here even while
+     * calling instantiate() from inside that pool's tasks. Results
+     * are bit-identical to the serial order regardless of the thread
+     * count.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Best parameters found for an ansatz against a target. */

@@ -1,0 +1,191 @@
+#include "synth/kernels.hh"
+
+#include "util/logging.hh"
+
+namespace quest::kern {
+
+namespace {
+
+/**
+ * Core loop bodies, written once over a runtime dimension. The
+ * specialized entry points below call them with a compile-time
+ * constant, which the inliner propagates so the dim-2/4 loops unroll
+ * completely and the dim-8/16 loops vectorize with known trip counts.
+ *
+ * Half-index enumeration: for h in [0, dim/2), the row (column) index
+ * with the wire bit clear is r0 = ((h & ~(bit-1)) << 1) | (h & (bit-1))
+ * and its partner is r0 | bit — no per-iteration skip branch.
+ */
+
+inline void
+leftU3Body(size_t dim, Complex *QUEST_RESTRICT m,
+           const Complex *QUEST_RESTRICT g, size_t bit)
+{
+    const Complex g00 = g[0], g01 = g[1], g10 = g[2], g11 = g[3];
+    const size_t lo = bit - 1;
+    for (size_t h = 0; h < dim / 2; ++h) {
+        const size_t r0 = ((h & ~lo) << 1) | (h & lo);
+        Complex *QUEST_RESTRICT row0 = m + r0 * dim;
+        Complex *QUEST_RESTRICT row1 = m + (r0 | bit) * dim;
+        for (size_t c = 0; c < dim; ++c) {
+            const Complex a = row0[c], b = row1[c];
+            row0[c] = cmul(g00, a) + cmul(g01, b);
+            row1[c] = cmul(g10, a) + cmul(g11, b);
+        }
+    }
+}
+
+inline void
+rightU3Body(size_t dim, Complex *QUEST_RESTRICT m,
+            const Complex *QUEST_RESTRICT g, size_t bit)
+{
+    const Complex g00 = g[0], g01 = g[1], g10 = g[2], g11 = g[3];
+    const size_t lo = bit - 1;
+    for (size_t r = 0; r < dim; ++r) {
+        Complex *QUEST_RESTRICT row = m + r * dim;
+        for (size_t h = 0; h < dim / 2; ++h) {
+            const size_t c0 = ((h & ~lo) << 1) | (h & lo);
+            const Complex a = row[c0], b = row[c0 | bit];
+            row[c0] = cmul(a, g00) + cmul(b, g10);
+            row[c0 | bit] = cmul(a, g01) + cmul(b, g11);
+        }
+    }
+}
+
+inline void
+leftCxBody(size_t dim, Complex *QUEST_RESTRICT m, size_t bc, size_t bt)
+{
+    for (size_t r = 0; r < dim; ++r) {
+        if ((r & bc) && !(r & bt)) {
+            Complex *QUEST_RESTRICT row0 = m + r * dim;
+            Complex *QUEST_RESTRICT row1 = m + (r | bt) * dim;
+            for (size_t c = 0; c < dim; ++c) {
+                const Complex tmp = row0[c];
+                row0[c] = row1[c];
+                row1[c] = tmp;
+            }
+        }
+    }
+}
+
+inline void
+rightCxBody(size_t dim, Complex *QUEST_RESTRICT m, size_t bc, size_t bt)
+{
+    for (size_t r = 0; r < dim; ++r) {
+        Complex *QUEST_RESTRICT row = m + r * dim;
+        for (size_t c = 0; c < dim; ++c) {
+            if ((c & bc) && !(c & bt)) {
+                const Complex tmp = row[c];
+                row[c] = row[c | bt];
+                row[c | bt] = tmp;
+            }
+        }
+    }
+}
+
+inline void
+reduceTraceTBody(size_t dim, const Complex *QUEST_RESTRICT p,
+                 const Complex *QUEST_RESTRICT bt, size_t bit,
+                 Complex *QUEST_RESTRICT w2)
+{
+    Complex w00(0.0, 0.0), w01(0.0, 0.0), w10(0.0, 0.0), w11(0.0, 0.0);
+    const size_t lo = bit - 1;
+    for (size_t h = 0; h < dim / 2; ++h) {
+        const size_t r0 = ((h & ~lo) << 1) | (h & lo);
+        const Complex *QUEST_RESTRICT p0 = p + r0 * dim;
+        const Complex *QUEST_RESTRICT p1 = p + (r0 | bit) * dim;
+        const Complex *QUEST_RESTRICT b0 = bt + r0 * dim;
+        const Complex *QUEST_RESTRICT b1 = bt + (r0 | bit) * dim;
+        // Four dot products in one pass so every load feeds two
+        // mul-adds.
+        for (size_t c = 0; c < dim; ++c) {
+            const Complex pa = p0[c], pb = p1[c];
+            const Complex ba = b0[c], bb = b1[c];
+            w00 += cmul(pa, ba);
+            w01 += cmul(pa, bb);
+            w10 += cmul(pb, ba);
+            w11 += cmul(pb, bb);
+        }
+    }
+    w2[0] = w00;
+    w2[1] = w01;
+    w2[2] = w10;
+    w2[3] = w11;
+}
+
+/** Compile-time-dimension entry points (D propagates into the body). */
+template <size_t D>
+void
+leftU3Fixed(size_t, Complex *m, const Complex *g, size_t bit)
+{
+    leftU3Body(D, m, g, bit);
+}
+
+template <size_t D>
+void
+rightU3Fixed(size_t, Complex *m, const Complex *g, size_t bit)
+{
+    rightU3Body(D, m, g, bit);
+}
+
+template <size_t D>
+void
+leftCxFixed(size_t, Complex *m, size_t bc, size_t bt)
+{
+    leftCxBody(D, m, bc, bt);
+}
+
+template <size_t D>
+void
+rightCxFixed(size_t, Complex *m, size_t bc, size_t bt)
+{
+    rightCxBody(D, m, bc, bt);
+}
+
+template <size_t D>
+void
+reduceTraceTFixed(size_t, const Complex *p, const Complex *bt, size_t bit,
+                  Complex *w2)
+{
+    reduceTraceTBody(D, p, bt, bit, w2);
+}
+
+template <size_t D>
+constexpr KernelSet
+makeFixedSet()
+{
+    return {&leftU3Fixed<D>, &rightU3Fixed<D>, &leftCxFixed<D>,
+            &rightCxFixed<D>, &reduceTraceTFixed<D>};
+}
+
+constexpr KernelSet kGenericSet = {&leftU3Body, &rightU3Body, &leftCxBody,
+                                   &rightCxBody, &reduceTraceTBody};
+
+constexpr KernelSet kSet2 = makeFixedSet<2>();
+constexpr KernelSet kSet4 = makeFixedSet<4>();
+constexpr KernelSet kSet8 = makeFixedSet<8>();
+constexpr KernelSet kSet16 = makeFixedSet<16>();
+
+} // namespace
+
+const KernelSet &
+kernelsForDim(size_t dim)
+{
+    QUEST_ASSERT(dim >= 2 && (dim & (dim - 1)) == 0,
+                 "kernel dimension must be a power of two >= 2, got ",
+                 dim);
+    switch (dim) {
+      case 2:
+        return kSet2;
+      case 4:
+        return kSet4;
+      case 8:
+        return kSet8;
+      case 16:
+        return kSet16;
+      default:
+        return kGenericSet;
+    }
+}
+
+} // namespace quest::kern

@@ -205,8 +205,25 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     }
 
     Rng rng(cfg.seed);
+
+    // Worker threads for the per-level instantiations: a shared pool
+    // when the caller provides one (cooperative parallelFor, so this
+    // is safe even from inside the caller's own parallelFor), else a
+    // private pool of cfg.threads - 1 workers — the calling thread
+    // participates, so cfg.threads is the total busy-thread count.
+    // The same pool is handed down to instantiate() so multistarts
+    // parallelize too; nested parallelFor on a cooperative pool keeps
+    // the thread budget intact.
+    ThreadPool *pool = cfg.pool;
+    std::optional<ThreadPool> local_pool;
+    if (!pool && cfg.threads > 1) {
+        local_pool.emplace(cfg.threads - 1);
+        pool = &*local_pool;
+    }
+
     InstantiaterOptions inst = cfg.inst;
     inst.goal = cfg.exactEpsilon * cfg.exactEpsilon;
+    inst.pool = pool;
 
     // The brickwork lineage is one task out of ~pairs-per-level, so
     // giving it a stronger optimization budget is cheap and makes the
@@ -272,18 +289,6 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             duplicate |= l.schedule == sched;
         if (!duplicate)
             lineages.push_back({frontier.front(), std::move(sched)});
-    }
-
-    // Worker threads for the per-level instantiations: a shared pool
-    // when the caller provides one (cooperative parallelFor, so this
-    // is safe even from inside the caller's own parallelFor), else a
-    // private pool of cfg.threads - 1 workers — the calling thread
-    // participates, so cfg.threads is the total busy-thread count.
-    ThreadPool *pool = cfg.pool;
-    std::optional<ThreadPool> local_pool;
-    if (!pool && cfg.threads > 1) {
-        local_pool.emplace(cfg.threads - 1);
-        pool = &*local_pool;
     }
 
     const int budget = std::min(max_cnots, cfg.maxLayers);
@@ -394,13 +399,26 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
                              return x.cnotCount < y.cnotCount;
                          return x.distance < y.distance;
                      });
+    // Preferred candidate: the first (shortest, candidates being
+    // CNOT-sorted) one that counts as exact, matching the selection
+    // synthesizeExact makes; with no exact candidate, fall back to
+    // the global minimum distance.
     out.bestIndex = 0;
-    for (size_t i = 1; i < out.candidates.size(); ++i) {
+    size_t argmin = 0;
+    bool have_exact = false;
+    for (size_t i = 0; i < out.candidates.size(); ++i) {
         if (out.candidates[i].distance <
-            out.candidates[out.bestIndex].distance) {
+            out.candidates[argmin].distance) {
+            argmin = i;
+        }
+        if (!have_exact &&
+            out.candidates[i].distance < cfg.exactEpsilon) {
+            have_exact = true;
             out.bestIndex = i;
         }
     }
+    if (!have_exact)
+        out.bestIndex = argmin;
     static auto &candidates_counter =
         obs::MetricsRegistry::global().counter("synth.candidates");
     candidates_counter.add(out.candidates.size());

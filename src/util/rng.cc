@@ -113,4 +113,14 @@ Rng::split()
     return Rng(seed, stream);
 }
 
+std::vector<Rng>
+Rng::splitN(size_t n)
+{
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        streams.push_back(split());
+    return streams;
+}
+
 } // namespace quest

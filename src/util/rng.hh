@@ -66,6 +66,14 @@ class Rng
     /** Split off an independent generator (for worker threads). */
     Rng split();
 
+    /**
+     * Split @p n independent child streams in one deterministic
+     * serial pass — the scheme behind schedule-independent parallel
+     * work: the children are drawn before any task runs, so stream i
+     * is the same no matter which thread later consumes it.
+     */
+    std::vector<Rng> splitN(size_t n);
+
   private:
     uint64_t state;
     uint64_t inc;

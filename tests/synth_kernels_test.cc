@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Property tests for the instantiation hot path: every in-place
+ * kernel (synth/kernels.hh) is checked against the naive dense
+ * embedUnitary reference across all supported dimensions and wires,
+ * the fused U3+derivative evaluation against the reference factories,
+ * and the HsCost workspace gradient against finite differences and
+ * the dense unitaryAndGradient path. A global operator-new probe
+ * asserts the zero-allocation contract of evaluate() after warm-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <numbers>
+#include <vector>
+
+#include "linalg/decompose.hh"
+#include "linalg/embed.hh"
+#include "linalg/matrix.hh"
+#include "synth/ansatz.hh"
+#include "synth/hs_cost.hh"
+#include "synth/kernels.hh"
+#include "util/rng.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation probe: counts every operator-new in this test
+// binary. Assertions snapshot the counter around a measured region;
+// the replacement itself never allocates.
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+}
+
+void *
+operator new(std::size_t n)
+{
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+// ---------------------------------------------------------------------
+
+namespace quest {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+Matrix
+randomMatrix(size_t dim, Rng &rng)
+{
+    // Deliberately non-unitary entries: the kernels must be exact
+    // linear-algebra primitives, not just unitary-preserving maps.
+    Matrix m(dim, dim);
+    for (Complex &v : m.data())
+        v = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    return m;
+}
+
+Matrix
+cxMatrix()
+{
+    // Control = most significant qubit, matching embedUnitary's
+    // qubit-list convention.
+    return Matrix{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}};
+}
+
+/** A few entangling layers on top of the initial U3 layer. */
+Ansatz
+testAnsatz(int n)
+{
+    Ansatz a = Ansatz::initialLayer(n);
+    for (int q = 0; q + 1 < n; ++q)
+        a.addLayer(q, q + 1);
+    if (n >= 2)
+        a.addLayer(n - 1, 0);
+    return a;
+}
+
+TEST(Kernels, LeftU3MatchesEmbedReference)
+{
+    Rng rng(11);
+    for (int n = 1; n <= 5; ++n) {
+        const size_t dim = size_t{1} << n;
+        const kern::KernelSet &k = kern::kernelsForDim(dim);
+        for (int q = 0; q < n; ++q) {
+            Matrix g2 = randomMatrix(2, rng);
+            Matrix m = randomMatrix(dim, rng);
+            Matrix expect = embedUnitary(g2, {q}, n) * m;
+            const Complex g[4] = {g2(0, 0), g2(0, 1), g2(1, 0), g2(1, 1)};
+            k.leftU3(dim, m.data().data(), g, size_t{1} << (n - 1 - q));
+            EXPECT_LT(m.maxAbsDiff(expect), 1e-12)
+                << "n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Kernels, RightU3MatchesEmbedReference)
+{
+    Rng rng(12);
+    for (int n = 1; n <= 5; ++n) {
+        const size_t dim = size_t{1} << n;
+        const kern::KernelSet &k = kern::kernelsForDim(dim);
+        for (int q = 0; q < n; ++q) {
+            Matrix g2 = randomMatrix(2, rng);
+            Matrix m = randomMatrix(dim, rng);
+            Matrix expect = m * embedUnitary(g2, {q}, n);
+            const Complex g[4] = {g2(0, 0), g2(0, 1), g2(1, 0), g2(1, 1)};
+            k.rightU3(dim, m.data().data(), g, size_t{1} << (n - 1 - q));
+            EXPECT_LT(m.maxAbsDiff(expect), 1e-12)
+                << "n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Kernels, LeftCxMatchesEmbedReference)
+{
+    Rng rng(13);
+    for (int n = 2; n <= 5; ++n) {
+        const size_t dim = size_t{1} << n;
+        const kern::KernelSet &k = kern::kernelsForDim(dim);
+        for (int c = 0; c < n; ++c) {
+            for (int t = 0; t < n; ++t) {
+                if (c == t)
+                    continue;
+                Matrix m = randomMatrix(dim, rng);
+                Matrix expect = embedUnitary(cxMatrix(), {c, t}, n) * m;
+                k.leftCx(dim, m.data().data(),
+                         size_t{1} << (n - 1 - c),
+                         size_t{1} << (n - 1 - t));
+                EXPECT_LT(m.maxAbsDiff(expect), 1e-12)
+                    << "n=" << n << " c=" << c << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(Kernels, RightCxMatchesEmbedReference)
+{
+    Rng rng(14);
+    for (int n = 2; n <= 5; ++n) {
+        const size_t dim = size_t{1} << n;
+        const kern::KernelSet &k = kern::kernelsForDim(dim);
+        for (int c = 0; c < n; ++c) {
+            for (int t = 0; t < n; ++t) {
+                if (c == t)
+                    continue;
+                Matrix m = randomMatrix(dim, rng);
+                Matrix expect = m * embedUnitary(cxMatrix(), {c, t}, n);
+                k.rightCx(dim, m.data().data(),
+                          size_t{1} << (n - 1 - c),
+                          size_t{1} << (n - 1 - t));
+                EXPECT_LT(m.maxAbsDiff(expect), 1e-12)
+                    << "n=" << n << " c=" << c << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(Kernels, ReduceTraceTMatchesDenseTrace)
+{
+    Rng rng(15);
+    for (int n = 1; n <= 5; ++n) {
+        const size_t dim = size_t{1} << n;
+        const kern::KernelSet &k = kern::kernelsForDim(dim);
+        for (int q = 0; q < n; ++q) {
+            Matrix p = randomMatrix(dim, rng);
+            Matrix b = randomMatrix(dim, rng);
+            Matrix bt = b.transpose();
+            Complex w2[4];
+            k.reduceTraceT(dim, p.data().data(), bt.data().data(),
+                           size_t{1} << (n - 1 - q), w2);
+            // Tr(P * B * embed(d)) = sum_{a,c} w2[a*2+c] * d(c, a)
+            // for ANY 2x2 d, so the contraction must match the dense
+            // trace for a random one.
+            Matrix d = randomMatrix(2, rng);
+            const Complex expect =
+                (p * b * embedUnitary(d, {q}, n)).trace();
+            const Complex got =
+                kern::cmul(w2[0], d(0, 0)) + kern::cmul(w2[1], d(1, 0)) +
+                kern::cmul(w2[2], d(0, 1)) + kern::cmul(w2[3], d(1, 1));
+            EXPECT_LT(std::abs(got - expect), 1e-10)
+                << "n=" << n << " q=" << q;
+        }
+    }
+}
+
+TEST(Kernels, U3EntriesAndDerivativesMatchReference)
+{
+    Rng rng(16);
+    for (int trial = 0; trial < 25; ++trial) {
+        const double th = rng.uniform(-2.0 * pi, 2.0 * pi);
+        const double ph = rng.uniform(-2.0 * pi, 2.0 * pi);
+        const double la = rng.uniform(-2.0 * pi, 2.0 * pi);
+
+        Complex entries[4];
+        makeU3Entries(th, ph, la, entries);
+        Complex g[4];
+        Complex dg[3][4];
+        u3WithDerivatives(th, ph, la, g, dg);
+
+        const Matrix ref = makeU3(th, ph, la);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_LT(std::abs(entries[i] - ref.data()[i]), 1e-14);
+            EXPECT_LT(std::abs(g[i] - ref.data()[i]), 1e-14);
+        }
+        for (int which = 0; which < 3; ++which) {
+            const Matrix dref = u3Derivative(th, ph, la, which);
+            for (int i = 0; i < 4; ++i)
+                EXPECT_LT(std::abs(dg[which][i] - dref.data()[i]), 1e-14)
+                    << "which=" << which << " i=" << i;
+        }
+    }
+}
+
+TEST(HsCostWorkspace, GradientMatchesFiniteDifference)
+{
+    for (int n = 2; n <= 4; ++n) {
+        Rng rng(100 + static_cast<uint64_t>(n));
+        Ansatz a = testAnsatz(n);
+        std::vector<double> truth(a.paramCount());
+        for (double &v : truth)
+            v = rng.uniform(-pi, pi);
+        const Matrix target = a.unitary(truth);
+
+        std::vector<double> x(a.paramCount());
+        for (double &v : x)
+            v = rng.uniform(-pi, pi);
+        HsCost cost(target, a);
+        std::vector<double> grad;
+        cost.evaluate(x, &grad);
+        ASSERT_EQ(grad.size(), x.size());
+
+        const double h = 1e-6;
+        for (size_t i = 0; i < x.size(); ++i) {
+            std::vector<double> xp = x, xm = x;
+            xp[i] += h;
+            xm[i] -= h;
+            const double fd = (cost.evaluate(xp, nullptr) -
+                               cost.evaluate(xm, nullptr)) /
+                              (2.0 * h);
+            EXPECT_NEAR(grad[i], fd, 1e-5) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(HsCostWorkspace, MatchesDenseReferencePath)
+{
+    Rng rng(200);
+    Ansatz a = testAnsatz(3);
+    std::vector<double> truth(a.paramCount());
+    for (double &v : truth)
+        v = rng.uniform(-pi, pi);
+    const Matrix target = a.unitary(truth);
+
+    std::vector<double> x(a.paramCount());
+    for (double &v : x)
+        v = rng.uniform(-pi, pi);
+    HsCost cost(target, a);
+    std::vector<double> grad;
+    const double f = cost.evaluate(x, &grad);
+
+    // Dense reference: the slow unitaryAndGradient path plus the
+    // textbook f = 1 - |Tr(T^dagger A)|^2 / N^2 and its chain rule.
+    Matrix u;
+    std::vector<Matrix> grads;
+    a.unitaryAndGradient(x, u, grads);
+    const double n2 = static_cast<double>(target.rows()) *
+                      static_cast<double>(target.rows());
+    const Complex tr = (target.adjoint() * u).trace();
+    EXPECT_NEAR(f, 1.0 - std::norm(tr) / n2, 1e-12);
+    ASSERT_EQ(grads.size(), grad.size());
+    for (size_t i = 0; i < grad.size(); ++i) {
+        const Complex dtr = (target.adjoint() * grads[i]).trace();
+        const double ref = -2.0 * (std::conj(tr) * dtr).real() / n2;
+        EXPECT_NEAR(grad[i], ref, 1e-10) << "param " << i;
+    }
+}
+
+TEST(HsCostWorkspace, EvaluateIsAllocationFreeAfterWarmup)
+{
+    Rng rng(300);
+    Ansatz a = testAnsatz(3);
+    std::vector<double> truth(a.paramCount());
+    for (double &v : truth)
+        v = rng.uniform(-pi, pi);
+    const Matrix target = a.unitary(truth);
+
+    HsCost cost(target, a);
+    std::vector<double> x(a.paramCount());
+    for (double &v : x)
+        v = rng.uniform(-pi, pi);
+    std::vector<double> grad;
+    // Warm-up: sizes the gradient vector and touches every lazily
+    // initialized static (metric counters) once.
+    cost.evaluate(x, &grad);
+    cost.evaluate(x, nullptr);
+
+    const uint64_t ws_allocs = cost.workspace().allocations;
+    const uint64_t ws_reuses = cost.workspace().reuses;
+    double sink = 0.0;
+    const uint64_t before =
+        g_allocation_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 50; ++i) {
+        x[static_cast<size_t>(i) % x.size()] = std::sin(0.7 * i);
+        sink += cost.evaluate(x, &grad);
+        sink += cost.evaluate(x, nullptr);
+    }
+    const uint64_t after =
+        g_allocation_count.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "evaluate() allocated in steady state (sink=" << sink << ")";
+    EXPECT_EQ(cost.workspace().allocations, ws_allocs)
+        << "workspace grew after construction";
+    EXPECT_EQ(cost.workspace().reuses, ws_reuses + 100);
+}
+
+TEST(HsCostWorkspace, ConstructorWarmsTheArena)
+{
+    Rng rng(301);
+    Ansatz a = testAnsatz(2);
+    std::vector<double> truth(a.paramCount());
+    for (double &v : truth)
+        v = rng.uniform(-pi, pi);
+    const Matrix target = a.unitary(truth);
+
+    HsCost cost(target, a);
+    // The constructor's single ensure() is the only growth; every
+    // evaluate() afterwards is a pure reuse.
+    EXPECT_EQ(cost.workspace().allocations, 1u);
+    EXPECT_EQ(cost.workspace().reuses, 0u);
+    std::vector<double> x(a.paramCount(), 0.25);
+    cost.evaluate(x, nullptr);
+    EXPECT_EQ(cost.workspace().allocations, 1u);
+    EXPECT_EQ(cost.workspace().reuses, 1u);
+}
+
+} // namespace
+} // namespace quest

@@ -134,9 +134,17 @@ TEST(Leap, CandidateMetadataIsConsistent)
         EXPECT_NEAR(hsDistance(circuitUnitary(cand.circuit), target),
                     cand.distance, 1e-6);
     }
-    // bestIndex points at the minimum distance.
-    for (const SynthCandidate &cand : out.candidates)
-        EXPECT_GE(cand.distance, out.best().distance - 1e-12);
+    // bestIndex points at the shortest exact candidate, or at the
+    // minimum distance when nothing is exact.
+    const SynthCandidate &best = out.best();
+    if (best.distance < synth.config().exactEpsilon) {
+        for (const SynthCandidate &cand : out.candidates)
+            if (cand.distance < synth.config().exactEpsilon)
+                EXPECT_LE(best.cnotCount, cand.cnotCount);
+    } else {
+        for (const SynthCandidate &cand : out.candidates)
+            EXPECT_GE(cand.distance, best.distance - 1e-12);
+    }
 }
 
 TEST(Leap, RespectsCnotBudget)
