@@ -26,7 +26,7 @@
 #include "synth/instantiater.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 namespace {
 
@@ -169,6 +169,46 @@ BM_Instantiation(benchmark::State &state)
         benchmark::DoNotOptimize(instantiate(target, a, rng, opts));
 }
 BENCHMARK(BM_Instantiation);
+
+/**
+ * The instantiation hot loop with a deadline armed but never firing —
+ * against BM_Instantiation, the cost of the resilience plumbing on
+ * bounded runs (the unbounded case adds only two branches per L-BFGS
+ * iteration; the acceptance bar is <1% either way).
+ */
+void
+BM_InstantiationArmedBudget(benchmark::State &state)
+{
+    Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
+    Ansatz a = Ansatz::initialLayer(3);
+    a.addLayer(0, 1);
+    a.addLayer(1, 2);
+    resilience::CancelToken token;
+    InstantiaterOptions opts;
+    opts.multistarts = 1;
+    opts.lbfgs.maxIterations = 100;
+    opts.budget = resilience::Budget(
+        resilience::Deadline::after(86400.0), &token);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(instantiate(target, a, rng, opts));
+}
+BENCHMARK(BM_InstantiationArmedBudget);
+
+/** The raw cost of one budget poll, unbounded vs armed. */
+void
+BM_BudgetPoll(benchmark::State &state)
+{
+    resilience::CancelToken token;
+    const resilience::Budget budget =
+        state.range(0) == 0
+            ? resilience::Budget()
+            : resilience::Budget(resilience::Deadline::after(86400.0),
+                                 &token);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(budget.exhausted());
+}
+BENCHMARK(BM_BudgetPoll)->Arg(0)->Arg(1);
 
 void
 BM_InstantiationParallel(benchmark::State &state)

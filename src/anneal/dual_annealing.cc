@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "obs/metrics.hh"
@@ -97,9 +98,19 @@ dualAnnealing(const AnnealObjective &objective,
     AnnealResult result;
     result.evaluations = 0;
 
+    // Non-finite objective values would poison the acceptance math
+    // (inf - inf = NaN probabilities) and, worse, could be adopted as
+    // the incumbent best; treat them as "infinitely bad" instead.
     auto eval = [&](const std::vector<double> &x) {
         ++result.evaluations;
-        return objective(x);
+        double v = objective(x);
+        if (!std::isfinite(v)) {
+            static auto &nans = obs::MetricsRegistry::global().counter(
+                "anneal.nan_objectives");
+            nans.increment();
+            return std::numeric_limits<double>::infinity();
+        }
+        return v;
     };
 
     std::vector<double> current(dim);
@@ -125,6 +136,12 @@ dualAnnealing(const AnnealObjective &objective,
     int step_index = 1;
     std::vector<double> candidate(dim);
     for (int iter = 1; iter <= options.maxIterations; ++iter, ++step_index) {
+        const auto stop = options.budget.stop();
+        if (stop != resilience::StopReason::None) {
+            result.stopped = stop;
+            break;
+        }
+
         double t2 = std::exp((qv - 1.0) *
                              std::log(static_cast<double>(step_index) +
                                       1.0)) -
@@ -185,7 +202,8 @@ dualAnnealing(const AnnealObjective &objective,
         }
     }
 
-    if (options.localSearch) {
+    if (options.localSearch &&
+        result.stopped == resilience::StopReason::None) {
         // Greedy coordinate polish around the best point. The QUEST
         // objective is piecewise constant (it maps coordinates to
         // discrete approximation choices), so a gradient-based local
@@ -196,6 +214,12 @@ dualAnnealing(const AnnealObjective &objective,
         for (int round = 0; round < 4 && improved; ++round) {
             improved = false;
             for (size_t i = 0; i < dim; ++i) {
+                const auto stop = options.budget.stop();
+                if (stop != resilience::StopReason::None) {
+                    result.stopped = stop;
+                    improved = false;
+                    break;
+                }
                 std::vector<double> probe = result.x;
                 for (int g = 0; g < grid; ++g) {
                     probe[i] = lo[i] + (hi[i] - lo[i]) *

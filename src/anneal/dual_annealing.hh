@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "resilience/budget.hh"
 #include "util/rng.hh"
 
 namespace quest {
@@ -38,6 +39,14 @@ struct AnnealOptions
 
     /** Optional start point (defaults to a uniform random draw). */
     std::optional<std::vector<double>> initial;
+
+    /**
+     * Hard wall-clock/cancellation cutoff, polled once per sweep and
+     * once per local-search coordinate, so a pathological objective
+     * cannot spin forever (the loop is otherwise only
+     * iteration-bounded). The best point so far is still returned.
+     */
+    resilience::Budget budget;
 };
 
 /** Minimization outcome. */
@@ -46,6 +55,9 @@ struct AnnealResult
     std::vector<double> x;
     double value = 0.0;
     int evaluations = 0;
+
+    /** Set when the budget cut the run short. */
+    resilience::StopReason stopped = resilience::StopReason::None;
 };
 
 /**

@@ -12,6 +12,7 @@
 
 #include "cache/codec.hh"
 #include "obs/metrics.hh"
+#include "resilience/fault.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
 #include "util/sha256.hh"
@@ -58,6 +59,14 @@ evictCounter()
 {
     static auto &c =
         obs::MetricsRegistry::global().counter("quest.cache.evict");
+    return c;
+}
+
+obs::Counter &
+storeFailedCounter()
+{
+    static auto &c =
+        obs::MetricsRegistry::global().counter("quest.cache.store_failed");
     return c;
 }
 
@@ -177,13 +186,14 @@ std::optional<SynthOutput>
 SynthesisCache::parseEntry(const fs::path &path,
                            const std::string &expected_key, std::string *why)
 {
-    std::vector<uint8_t> raw;
-    if (!readFile(path, raw)) {
-        *why = "unreadable";
-        return std::nullopt;
-    }
-
     try {
+        std::vector<uint8_t> raw;
+        if (QUEST_FAULT_POINT("cache.load.read") ||
+            !readFile(path, raw)) {
+            *why = "unreadable";
+            return std::nullopt;
+        }
+
         ByteReader r(raw);
         uint8_t magic[4];
         r.bytes(magic, sizeof(magic));
@@ -295,7 +305,10 @@ SynthesisCache::store(const std::string &key, const SynthOutput &out)
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
     fs::create_directories(tmp_dir, ec);
+    if (QUEST_FAULT_POINT("cache.store.enospc"))
+        ec = std::make_error_code(std::errc::no_space_on_device);
     if (ec) {
+        storeFailedCounter().increment();
         warn("synthesis cache: cannot create ", tmp_dir.string(), ": ",
              ec.message());
         return;
@@ -312,15 +325,22 @@ SynthesisCache::store(const std::string &key, const SynthOutput &out)
         std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
         f.write(reinterpret_cast<const char *>(w.buffer().data()),
                 static_cast<std::streamsize>(w.size()));
+        if (QUEST_FAULT_POINT("cache.store.short_write"))
+            f.setstate(std::ios::failbit);
         if (!f) {
+            storeFailedCounter().increment();
             warn("synthesis cache: short write to ", tmp.string());
             f.close();
             fs::remove(tmp, ec);
             return;
         }
     }
-    fs::rename(tmp, path, ec);
+    if (QUEST_FAULT_POINT("cache.store.rename"))
+        ec = std::make_error_code(std::errc::io_error);
+    else
+        fs::rename(tmp, path, ec);
     if (ec) {
+        storeFailedCounter().increment();
         warn("synthesis cache: cannot publish ", path.string(), ": ",
              ec.message());
         fs::remove(tmp, ec);

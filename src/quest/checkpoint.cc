@@ -1,0 +1,295 @@
+#include "quest/checkpoint.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "cache/codec.hh"
+#include "obs/metrics.hh"
+#include "resilience/error.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace fs = std::filesystem;
+
+namespace quest {
+
+namespace {
+
+/** QRJ1 record types used by the run journal (docs/FORMATS.md). */
+enum : uint32_t {
+    kRecFingerprint = 1,
+    kRecBlock = 2,
+    kRecInvalidate = 3,
+    kRecSample = 4,
+    kRecStep3Done = 5,
+};
+
+std::string
+journalFileFor(const std::string &dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        throw resilience::QuestError(
+            resilience::ErrorCategory::Io,
+            "cannot create checkpoint directory '" + dir +
+                "': " + ec.message());
+    }
+    return (fs::path(dir) / "journal.qrj").string();
+}
+
+obs::Counter &
+replayedBlocksCounter()
+{
+    static auto &c = obs::MetricsRegistry::global().counter(
+        "resilience.checkpoint_blocks_replayed");
+    return c;
+}
+
+} // namespace
+
+std::array<uint8_t, Sha256::kDigestSize>
+runFingerprint(const Circuit &original, const QuestConfig &cfg)
+{
+    ByteWriter w;
+    w.str("quest-checkpoint-v1");
+    cache::encodeCircuit(w, original);
+
+    w.i32(cfg.maxBlockSize);
+    w.f64(cfg.thresholdPerBlock);
+    w.f64(cfg.thresholdCap);
+    w.i32(cfg.maxSamples);
+    w.f64(cfg.cnotWeight);
+    w.i32(cfg.maxApproxPerBlock);
+    w.u64(cfg.seed);
+
+    const SynthConfig &s = cfg.synth;
+    w.f64(s.exactEpsilon);
+    w.i32(s.beamWidth);
+    w.i32(s.reseedInterval);
+    w.i32(s.candidatesPerLevel);
+    w.i32(s.extraLevels);
+    w.i32(s.maxLayers);
+    w.i32(s.stallLevels);
+    w.u64(s.seed);
+    w.u32(static_cast<uint32_t>(s.couplings.size()));
+    for (auto [a, b] : s.couplings) {
+        w.i32(a);
+        w.i32(b);
+    }
+    w.i32(s.inst.multistarts);
+    w.f64(s.inst.goal);
+    w.i32(s.inst.lbfgs.maxIterations);
+    w.i32(s.inst.lbfgs.historySize);
+    w.f64(s.inst.lbfgs.gradTolerance);
+    w.f64(s.inst.lbfgs.valueTolerance);
+
+    const AnnealOptions &a = cfg.anneal;
+    w.i32(a.maxIterations);
+    w.f64(a.initialTemp);
+    w.f64(a.restartTempRatio);
+    w.f64(a.visitParam);
+    w.f64(a.acceptParam);
+    w.u8(a.localSearch ? 1 : 0);
+    w.u64(a.seed);
+
+    return Sha256::hash(w.buffer().data(), w.size());
+}
+
+CheckpointJournal::CheckpointJournal(
+    const std::string &dir,
+    const std::array<uint8_t, Sha256::kDigestSize> &fingerprint,
+    bool resume)
+    : journal(journalFileFor(dir))
+{
+    bool keep = false;
+    if (resume && !journal.records().empty()) {
+        const resilience::JournalRecord &first = journal.records().front();
+        keep = first.type == kRecFingerprint &&
+               first.payload.size() == fingerprint.size() &&
+               std::memcmp(first.payload.data(), fingerprint.data(),
+                           fingerprint.size()) == 0;
+        if (!keep) {
+            warn("checkpoint journal '", journal.path(),
+                 "': fingerprint mismatch (different circuit or "
+                 "config); discarding recorded progress");
+        }
+    }
+
+    if (keep) {
+        wasResumed = true;
+        replay();
+    } else {
+        journal.reset();
+        journal.append(kRecFingerprint,
+                       std::vector<uint8_t>(fingerprint.begin(),
+                                            fingerprint.end()));
+    }
+}
+
+void
+CheckpointJournal::replay()
+{
+    const auto &records = journal.records();
+    for (size_t i = 1; i < records.size(); ++i) {
+        const resilience::JournalRecord &rec = records[i];
+        try {
+            ByteReader r(rec.payload);
+            switch (rec.type) {
+              case kRecBlock: {
+                std::string key = r.str();
+                SynthOutput out = cache::decodeSynthOutput(r);
+                blocks.insert_or_assign(std::move(key),
+                                        std::move(out));
+                break;
+              }
+              case kRecInvalidate:
+                blocks.erase(r.str());
+                break;
+              case kRecSample: {
+                const uint32_t count = r.u32();
+                std::vector<int> choice;
+                choice.reserve(count);
+                for (uint32_t c = 0; c < count; ++c)
+                    choice.push_back(r.i32());
+                samples.push_back(std::move(choice));
+                break;
+              }
+              case kRecStep3Done:
+                done = true;
+                break;
+              default:
+                // Record from a newer writer: ignorable by design.
+                break;
+            }
+        } catch (const SerializeError &e) {
+            // The frame checksum held but the payload does not parse
+            // (codec drift): skip it — resume re-computes anything
+            // not replayed.
+            warn("checkpoint journal '", journal.path(),
+                 "': skipping undecodable record ", i, ": ", e.what());
+        }
+    }
+}
+
+std::optional<SynthOutput>
+CheckpointJournal::load(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto it = blocks.find(key);
+    if (it == blocks.end())
+        return std::nullopt;
+    replayedBlocksCounter().increment();
+    return it->second;
+}
+
+void
+CheckpointJournal::store(const std::string &key, const SynthOutput &out)
+{
+    try {
+        ByteWriter w;
+        w.str(key);
+        cache::encodeSynthOutput(w, out);
+        std::lock_guard<std::mutex> lock(m);
+        if (blocks.find(key) != blocks.end())
+            return;
+        journal.append(kRecBlock, w.buffer());
+        blocks.emplace(key, out);
+    } catch (...) {
+        // Hook contract: checkpointing is best-effort, never fatal.
+    }
+}
+
+void
+CheckpointJournal::invalidate(const std::string &key)
+{
+    try {
+        ByteWriter w;
+        w.str(key);
+        std::lock_guard<std::mutex> lock(m);
+        if (blocks.erase(key) > 0)
+            journal.append(kRecInvalidate, w.buffer());
+    } catch (...) {
+    }
+}
+
+size_t
+CheckpointJournal::blockCount() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return blocks.size();
+}
+
+std::vector<std::vector<int>>
+CheckpointJournal::sampleChoices() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return samples;
+}
+
+bool
+CheckpointJournal::step3Done() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return done;
+}
+
+void
+CheckpointJournal::appendSample(const std::vector<int> &choice)
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(choice.size()));
+    for (int c : choice)
+        w.i32(c);
+    std::lock_guard<std::mutex> lock(m);
+    journal.append(kRecSample, w.buffer());
+    samples.push_back(choice);
+}
+
+void
+CheckpointJournal::markStep3Done()
+{
+    std::lock_guard<std::mutex> lock(m);
+    journal.append(kRecStep3Done, {});
+    done = true;
+}
+
+std::optional<SynthOutput>
+ChainedSynthCache::load(const std::string &key)
+{
+    if (journal) {
+        if (auto out = journal->load(key))
+            return out;
+    }
+    if (disk) {
+        if (auto out = disk->load(key)) {
+            // Write-through: a resume must be able to replay this
+            // block even if the disk cache later evicts it.
+            if (journal)
+                journal->store(key, *out);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+ChainedSynthCache::store(const std::string &key, const SynthOutput &out)
+{
+    if (journal)
+        journal->store(key, out);
+    if (disk)
+        disk->store(key, out);
+}
+
+void
+ChainedSynthCache::invalidate(const std::string &key)
+{
+    if (journal)
+        journal->invalidate(key);
+    if (disk)
+        disk->invalidate(key);
+}
+
+} // namespace quest

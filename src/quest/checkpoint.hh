@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Checkpoint/resume for pipeline runs, built on the generic QRJ1
+ * journal (src/resilience/journal.hh) and the PR-3 codecs.
+ *
+ * A multi-hour compile must survive a crash without redoing finished
+ * work. The journal records, in completion order: a run fingerprint
+ * (digest of the lowered circuit plus every result-affecting config
+ * field), each completed block synthesis (keyed by its
+ * content-addressed synthesis cache key), each selected STEP-3
+ * sample choice, and a STEP-3-done marker. Resuming replays block
+ * records through the synthesizer's normal cache-consult path — the
+ * journal IS a SynthCacheHook — and replays sample choices before
+ * re-entering the annealer, so an interrupted run continues exactly
+ * where it stopped and reproduces the uninterrupted run's artifacts
+ * byte for byte (block outputs are bit-exact decoded bytes; STEP 3
+ * is deterministic given the blocks and the replayed prefix).
+ *
+ * A fingerprint mismatch (different circuit or config) makes every
+ * recorded decision invalid, so the journal is reset rather than
+ * trusted. Append failures degrade to "no checkpoint" (see
+ * resilience::Journal); they never fail the compile.
+ */
+
+#ifndef QUEST_QUEST_CHECKPOINT_HH
+#define QUEST_QUEST_CHECKPOINT_HH
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hh"
+#include "quest/config.hh"
+#include "resilience/journal.hh"
+#include "synth/synth_cache.hh"
+#include "util/sha256.hh"
+
+namespace quest {
+
+/**
+ * Digest of everything that determines a run's output: the lowered
+ * circuit and each result-affecting config field (thread counts,
+ * cache paths and verification flags are excluded — they cannot
+ * change artifacts). Two runs with equal fingerprints make identical
+ * decisions, which is what lets a resume trust recorded ones.
+ */
+std::array<uint8_t, Sha256::kDigestSize>
+runFingerprint(const Circuit &original, const QuestConfig &cfg);
+
+/**
+ * The append-only run journal, usable directly as the synthesizer's
+ * cache hook. Thread-safe: block syntheses store concurrently from
+ * the pipeline's worker pool.
+ */
+class CheckpointJournal : public SynthCacheHook
+{
+  public:
+    /**
+     * Open (creating @p dir if needed) the journal at
+     * "<dir>/journal.qrj". With @p resume set and a matching
+     * fingerprint, recovered records are kept and served; otherwise
+     * the journal is reset to just the fingerprint. Throws
+     * QuestError(Io) when the directory or file cannot be created.
+     */
+    CheckpointJournal(const std::string &dir,
+                      const std::array<uint8_t, Sha256::kDigestSize>
+                          &fingerprint,
+                      bool resume);
+
+    /** @name SynthCacheHook (never throws; damage degrades to miss) */
+    /// @{
+    std::optional<SynthOutput> load(const std::string &key) override;
+    void store(const std::string &key, const SynthOutput &out) override;
+    void invalidate(const std::string &key) override;
+    /// @}
+
+    /** True when prior records were recovered and kept. */
+    bool resumed() const { return wasResumed; }
+
+    /** Completed block syntheses currently replayable. */
+    size_t blockCount() const;
+
+    /** Recorded STEP-3 sample choices, in selection order. */
+    std::vector<std::vector<int>> sampleChoices() const;
+
+    /** True when the recovered journal recorded STEP 3 finishing. */
+    bool step3Done() const;
+
+    /** Record one selected sample choice / the end of STEP 3. */
+    void appendSample(const std::vector<int> &choice);
+    void markStep3Done();
+
+    const std::string &journalPath() const { return journal.path(); }
+
+  private:
+    void replay();
+
+    mutable std::mutex m;
+    resilience::Journal journal;
+    std::map<std::string, SynthOutput> blocks;
+    std::vector<std::vector<int>> samples;
+    bool done = false;
+    bool wasResumed = false;
+};
+
+/**
+ * Journal-first, disk-cache-second hook chain for STEP 2. Disk hits
+ * are written through to the journal so a resume can replay them
+ * without the disk cache (whose entries another process may evict).
+ * Either side may be null.
+ */
+class ChainedSynthCache : public SynthCacheHook
+{
+  public:
+    ChainedSynthCache(CheckpointJournal *journal, SynthCacheHook *disk)
+        : journal(journal), disk(disk)
+    {}
+
+    std::optional<SynthOutput> load(const std::string &key) override;
+    void store(const std::string &key, const SynthOutput &out) override;
+    void invalidate(const std::string &key) override;
+
+  private:
+    CheckpointJournal *journal;
+    SynthCacheHook *disk;
+};
+
+} // namespace quest
+
+#endif // QUEST_QUEST_CHECKPOINT_HH

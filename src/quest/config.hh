@@ -10,9 +10,26 @@
 #include <string>
 
 #include "anneal/dual_annealing.hh"
+#include "resilience/budget.hh"
 #include "synth/leap_synthesizer.hh"
 
 namespace quest {
+
+/** What a fired run-level deadline does to the pipeline. */
+enum class DeadlinePolicy {
+    /**
+     * Always produce a valid (possibly degraded) ensemble: blocks
+     * whose synthesis did not finish fall back to the original block
+     * circuit (distance 0 — safe under the Theorem-1 additive
+     * bound), and STEP 3 keeps whatever samples it selected in time,
+     * falling back to the all-original sample if none.
+     */
+    Degrade,
+
+    /** Abort with QuestError(Timeout/Cancelled) at the next safe
+     *  point instead of degrading. */
+    Fail,
+};
 
 /** End-to-end pipeline settings. */
 struct QuestConfig
@@ -88,6 +105,43 @@ struct QuestConfig
 
     /** Master seed (annealer seeds derive from it per sample). */
     uint64_t seed = 99;
+
+    /**
+     * Wall-clock ceiling for the whole run in seconds (0 = none),
+     * armed when run() starts. What happens when it fires is
+     * @ref deadlinePolicy's call. A bounded run trades determinism
+     * for liveness; the synthesis cache stays byte-exact regardless
+     * (truncated block searches are never cached).
+     */
+    double runTimeoutSeconds = 0.0;
+
+    /** Wall-clock ceiling per block synthesis in seconds (0 = none);
+     *  a block that exceeds it falls back to its original circuit. */
+    double blockTimeoutSeconds = 0.0;
+
+    /** Degrade (default) or fail when the run deadline fires. */
+    DeadlinePolicy deadlinePolicy = DeadlinePolicy::Degrade;
+
+    /**
+     * Optional cooperative cancellation for the run (not owned; must
+     * outlive run()). Cancelling it stops workers at their next safe
+     * point; under Degrade the partial result is still a valid
+     * ensemble.
+     */
+    const resilience::CancelToken *cancel = nullptr;
+
+    /**
+     * Directory for the crash-safe run journal (quest/checkpoint.hh);
+     * empty disables checkpointing. With @ref resume set, completed
+     * block syntheses and sample selections recorded by an earlier
+     * (killed) run of the same circuit + config are replayed
+     * bit-identically instead of recomputed; without it the journal
+     * is reset at run start.
+     */
+    std::string checkpointDir;
+
+    /** Trust and replay an existing matching journal. */
+    bool resume = false;
 };
 
 } // namespace quest

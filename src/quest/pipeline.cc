@@ -10,9 +10,11 @@
 #include "linalg/distance.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "quest/checkpoint.hh"
 #include "quest/objective.hh"
+#include "resilience/error.hh"
+#include "resilience/thread_pool.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
 #include "util/timer.hh"
 #include "verify/verifier.hh"
 
@@ -30,7 +32,118 @@ matrixKey(const Matrix &m)
     return key;
 }
 
+/** Map one failed block synthesis to its structured outcome and
+ *  count it (`resilience.*` counters). */
+BlockOutcome
+outcomeForError(const resilience::QuestError &e)
+{
+    using resilience::ErrorCategory;
+    BlockOutcome outcome;
+    switch (e.category()) {
+      case ErrorCategory::Timeout:
+        outcome.status = BlockStatus::Timeout;
+        break;
+      case ErrorCategory::Cancelled:
+        outcome.status = BlockStatus::Fallback;
+        break;
+      case ErrorCategory::Diverged:
+        outcome.status = BlockStatus::Diverged;
+        break;
+      default:
+        outcome.status = BlockStatus::Faulted;
+        break;
+    }
+    outcome.detail = e.describe();
+    return outcome;
+}
+
+void
+countOutcomes(const std::vector<BlockOutcome> &outcomes)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &fallbacks = registry.counter("resilience.fallbacks");
+    static auto &timeouts = registry.counter("resilience.timeouts");
+    static auto &divergences =
+        registry.counter("resilience.divergences");
+    static auto &faults = registry.counter("resilience.faults");
+    for (const BlockOutcome &o : outcomes) {
+        switch (o.status) {
+          case BlockStatus::Ok:
+            break;
+          case BlockStatus::Timeout:
+            fallbacks.increment();
+            timeouts.increment();
+            break;
+          case BlockStatus::Diverged:
+            fallbacks.increment();
+            divergences.increment();
+            break;
+          case BlockStatus::Faulted:
+            fallbacks.increment();
+            faults.increment();
+            break;
+          case BlockStatus::Fallback:
+            fallbacks.increment();
+            break;
+        }
+    }
+}
+
+/** Under DeadlinePolicy::Fail, abort at a step boundary once the run
+ *  budget fires. */
+void
+checkRunBudget(const QuestConfig &cfg, const resilience::Budget &budget,
+               const char *step)
+{
+    if (cfg.deadlinePolicy != DeadlinePolicy::Fail)
+        return;
+    const auto stop = budget.stop();
+    if (stop == resilience::StopReason::None)
+        return;
+    using resilience::ErrorCategory;
+    const auto category = stop == resilience::StopReason::Cancelled
+                              ? ErrorCategory::Cancelled
+                              : ErrorCategory::Timeout;
+    throw resilience::QuestError(
+        category, std::string("run budget exhausted (") +
+                      resilience::stopReasonName(stop) + ")")
+        .withContext(step);
+}
+
 } // namespace
+
+const char *
+blockStatusName(BlockStatus status)
+{
+    switch (status) {
+      case BlockStatus::Ok:
+        return "ok";
+      case BlockStatus::Timeout:
+        return "timeout";
+      case BlockStatus::Diverged:
+        return "diverged";
+      case BlockStatus::Faulted:
+        return "faulted";
+      case BlockStatus::Fallback:
+        return "fallback";
+    }
+    return "unknown";
+}
+
+size_t
+QuestResult::okBlocks() const
+{
+    size_t n = 0;
+    for (const BlockOutcome &o : blockOutcomes)
+        n += o.ok() ? 1 : 0;
+    return n;
+}
+
+size_t
+QuestResult::fallbackBlocks() const
+{
+    return blockOutcomes.size() - okBlocks();
+}
 
 size_t
 QuestResult::minSampleCnots() const
@@ -79,6 +192,16 @@ QuestPipeline::run(const Circuit &circuit) const
     QuestResult result;
     Stopwatch partition_watch, synth_watch, anneal_watch;
 
+    // The run-level interruption context: armed only when the caller
+    // configured a timeout or a cancel token, in which case every
+    // long-running loop below (synthesis levels, L-BFGS iterations,
+    // annealing sweeps) polls it at its safe points.
+    const resilience::Budget runBudget(
+        cfg.runTimeoutSeconds > 0.0
+            ? resilience::Deadline::after(cfg.runTimeoutSeconds)
+            : resilience::Deadline::never(),
+        cfg.cancel);
+
     // ---- STEP 1: lower and partition. --------------------------------
     {
         QUEST_TRACE_SCOPE("quest.partition");
@@ -106,6 +229,23 @@ QuestPipeline::run(const Circuit &circuit) const
                                     static_cast<double>(num_blocks),
                                 cfg.thresholdCap);
 
+    // Crash-safe run journal: completed block syntheses and sample
+    // selections are recorded as they finish, and a resume run
+    // replays them instead of recomputing (quest/checkpoint.hh).
+    std::unique_ptr<CheckpointJournal> checkpoint;
+    if (!cfg.checkpointDir.empty()) {
+        checkpoint = std::make_unique<CheckpointJournal>(
+            cfg.checkpointDir, runFingerprint(result.original, cfg),
+            cfg.resume);
+        if (checkpoint->resumed()) {
+            inform("checkpoint: resuming from '",
+                   checkpoint->journalPath(), "' (",
+                   checkpoint->blockCount(),
+                   " block syntheses recorded)");
+        }
+    }
+    checkRunBudget(cfg, runBudget, "after STEP 1");
+
     // ---- STEP 2: approximate synthesis per block (parallel, with a
     // cache so identical block unitaries synthesize once). ------------
     {
@@ -132,6 +272,7 @@ QuestPipeline::run(const Circuit &circuit) const
         cache_hits.add(num_blocks - unique.size());
 
         std::vector<SynthOutput> outputs(num_blocks);
+        std::vector<BlockOutcome> outcomes(num_blocks);
         {
             std::vector<size_t> work;
             for (size_t b = 0; b < num_blocks; ++b)
@@ -153,8 +294,16 @@ QuestPipeline::run(const Circuit &circuit) const
             if (cfg.verify)
                 synth_cfg.verifyCandidates = true;
             synth_cfg.pool = &pool;
-            synth_cfg.cache = synthCache.get();
-            LeapSynthesizer synthesizer(synth_cfg);
+            ChainedSynthCache chained(checkpoint.get(),
+                                      synthCache.get());
+            synth_cfg.cache = &chained;
+
+            // Blocks the budget never lets us start keep this
+            // outcome; every other path overwrites it below.
+            for (BlockOutcome &o : outcomes) {
+                o.status = BlockStatus::Fallback;
+                o.detail = "not attempted: run budget exhausted";
+            }
 
             pool.parallelFor(work.size(), [&](size_t i) {
                 QUEST_TRACE_SCOPE("quest.block_synth");
@@ -165,11 +314,42 @@ QuestPipeline::run(const Circuit &circuit) const
                     if (g.type == GateType::CX)
                         skeleton.emplace_back(g.qubits[0],
                                               g.qubits[1]);
-                outputs[b] = synthesizer.synthesize(
-                    targets[b], static_cast<int>(skeleton.size()),
-                    &skeleton);
-            });
+
+                SynthConfig block_cfg = synth_cfg;
+                block_cfg.budget = runBudget;
+                if (cfg.blockTimeoutSeconds > 0.0) {
+                    block_cfg.budget = block_cfg.budget.withDeadline(
+                        resilience::Deadline::after(
+                            cfg.blockTimeoutSeconds));
+                }
+                try {
+                    LeapSynthesizer block_synth(block_cfg);
+                    outputs[b] = block_synth.synthesize(
+                        targets[b], static_cast<int>(skeleton.size()),
+                        &skeleton);
+                    outcomes[b] = BlockOutcome{};
+                } catch (const resilience::QuestError &e) {
+                    outcomes[b] = outcomeForError(e);
+                    warn("block ", b,
+                         " degraded to its original circuit (",
+                         blockStatusName(outcomes[b].status),
+                         "): ", e.what());
+                } catch (const std::exception &e) {
+                    outcomes[b] =
+                        BlockOutcome{BlockStatus::Faulted, e.what()};
+                    warn("block ", b,
+                         " degraded to its original circuit "
+                         "(faulted): ", e.what());
+                }
+            }, runBudget.cancel);
         }
+
+        // Duplicate blocks share their canonical block's outcome.
+        result.blockOutcomes.resize(num_blocks);
+        for (size_t b = 0; b < num_blocks; ++b)
+            result.blockOutcomes[b] = outcomes[canonical[b]];
+        countOutcomes(result.blockOutcomes);
+        checkRunBudget(cfg, runBudget, "during STEP 2");
 
         result.blockApprox.resize(num_blocks);
         std::vector<std::vector<Matrix>> approx_unitaries(num_blocks);
@@ -264,30 +444,13 @@ QuestPipeline::run(const Circuit &circuit) const
         const std::vector<double> lo(num_blocks, 0.0);
         const std::vector<double> hi(num_blocks, 1.0);
 
-        for (int s = 0; s < cfg.maxSamples; ++s) {
+        // Assemble one sample from a choice vector and record it.
+        // bound() and cnots() depend only on the choice itself, so
+        // replayed samples score identically to freshly-annealed ones.
+        auto acceptChoice = [&](std::vector<int> choice) {
             SelectionObjective objective(result, selected,
                                          result.threshold,
                                          cfg.cnotWeight);
-            AnnealOptions options = cfg.anneal;
-            options.seed = cfg.seed + 0x9e3779b9ull * (s + 1);
-            // Start at the always-feasible all-original choice so
-            // large-block-count searches are not lost in the
-            // infeasible region.
-            options.initial =
-                std::vector<double>(num_blocks, 0.0);
-            AnnealResult r = dualAnnealing(objective, lo, hi, options);
-            std::vector<int> choice = objective.toChoice(r.x);
-
-            if (objective.bound(choice) > result.threshold) {
-                // The annealer found nothing feasible; fall back to
-                // the always-feasible original choice once.
-                if (!selected.empty())
-                    break;
-                choice.assign(num_blocks, 0);
-            }
-            if (!seen.insert(choice).second)
-                break;  // duplicate: the search space is exhausted
-
             ApproxSample sample;
             sample.choice = choice;
             sample.distanceBound = objective.bound(choice);
@@ -302,6 +465,99 @@ QuestPipeline::run(const Circuit &circuit) const
 
             selected.push_back(std::move(choice));
             result.samples.push_back(std::move(sample));
+        };
+
+        // Replay the resumed journal's recorded selections. STEP 3 is
+        // deterministic given the block approximations, so annealing
+        // onward from the replayed prefix continues the interrupted
+        // run's sequence exactly.
+        bool replay_ok = true;
+        if (checkpoint && checkpoint->resumed()) {
+            for (std::vector<int> choice :
+                 checkpoint->sampleChoices()) {
+                bool valid =
+                    choice.size() == num_blocks &&
+                    static_cast<int>(result.samples.size()) <
+                        cfg.maxSamples;
+                for (size_t b = 0; valid && b < num_blocks; ++b) {
+                    valid = choice[b] >= 0 &&
+                            choice[b] <
+                                static_cast<int>(
+                                    result.blockApprox[b].size());
+                }
+                if (valid) {
+                    SelectionObjective check(result, selected,
+                                             result.threshold,
+                                             cfg.cnotWeight);
+                    valid = check.bound(choice) <= result.threshold &&
+                            seen.insert(choice).second;
+                }
+                if (!valid) {
+                    // The recorded suffix no longer applies (e.g. a
+                    // block degraded differently this run): recompute
+                    // from here instead of trusting it.
+                    warn("checkpoint: recorded sample ",
+                         result.samples.size(),
+                         " is no longer feasible; re-annealing");
+                    replay_ok = false;
+                    break;
+                }
+                acceptChoice(std::move(choice));
+            }
+        }
+
+        const bool anneal_done = checkpoint && checkpoint->resumed() &&
+                                 replay_ok && checkpoint->step3Done();
+        bool budget_cut = false;
+        for (int s = static_cast<int>(result.samples.size());
+             !anneal_done && s < cfg.maxSamples; ++s) {
+            if (runBudget.exhausted()) {
+                checkRunBudget(cfg, runBudget, "during STEP 3");
+                budget_cut = true;
+                break;  // Degrade: keep the samples selected so far
+            }
+            SelectionObjective objective(result, selected,
+                                         result.threshold,
+                                         cfg.cnotWeight);
+            AnnealOptions options = cfg.anneal;
+            options.seed = cfg.seed + 0x9e3779b9ull * (s + 1);
+            options.budget = runBudget;
+            // Start at the always-feasible all-original choice so
+            // large-block-count searches are not lost in the
+            // infeasible region.
+            options.initial =
+                std::vector<double>(num_blocks, 0.0);
+            AnnealResult r = dualAnnealing(objective, lo, hi, options);
+            if (r.stopped != resilience::StopReason::None) {
+                // Truncated search: never record its result, so a
+                // bounded run stays a prefix of the unbounded one.
+                checkRunBudget(cfg, runBudget, "during STEP 3");
+                budget_cut = true;
+                break;
+            }
+            std::vector<int> choice = objective.toChoice(r.x);
+
+            if (objective.bound(choice) > result.threshold) {
+                // The annealer found nothing feasible; fall back to
+                // the always-feasible original choice once.
+                if (!selected.empty())
+                    break;
+                choice.assign(num_blocks, 0);
+            }
+            if (!seen.insert(choice).second)
+                break;  // duplicate: the search space is exhausted
+
+            if (checkpoint)
+                checkpoint->appendSample(choice);
+            acceptChoice(std::move(choice));
+        }
+        if (checkpoint && !budget_cut && !checkpoint->step3Done())
+            checkpoint->markStep3Done();
+
+        if (result.samples.empty()) {
+            // Degrade floor: a valid result always has at least the
+            // all-original sample (distance bound zero).
+            acceptChoice(std::vector<int>(num_blocks, 0));
         }
 
         if (cfg.verify) {

@@ -6,12 +6,38 @@
 #ifndef QUEST_QUEST_RESULT_HH
 #define QUEST_QUEST_RESULT_HH
 
+#include <string>
 #include <vector>
 
 #include "ir/circuit.hh"
 #include "partition/scan_partitioner.hh"
 
 namespace quest {
+
+/** How one block's synthesis ended. Every non-Ok status means the
+ *  original block circuit was substituted (distance 0, so the
+ *  Theorem-1 bound is unaffected). */
+enum class BlockStatus {
+    Ok,       //!< synthesis completed; approximations available
+    Timeout,  //!< block/run deadline fired mid-synthesis
+    Diverged, //!< the numerical search produced non-finite costs
+    Faulted,  //!< synthesis threw (I/O fault, injected fault, bug)
+    Fallback, //!< not attempted: run already cancelled/out of budget
+};
+
+/** Stable lower-case name ("ok", "timeout", ...). */
+const char *blockStatusName(BlockStatus status);
+
+/** Structured per-block synthesis outcome. */
+struct BlockOutcome
+{
+    BlockStatus status = BlockStatus::Ok;
+
+    /** One-line reason for a non-Ok status (exception text). */
+    std::string detail;
+
+    bool ok() const { return status == BlockStatus::Ok; }
+};
 
 /** One synthesized approximation of a block. */
 struct BlockApprox
@@ -49,6 +75,18 @@ struct QuestResult
 
     double threshold = 0.0;    //!< bound threshold used for selection
     size_t originalCnots = 0;
+
+    /** Per-block synthesis outcome (duplicate blocks share their
+     *  canonical block's outcome). Invariant, asserted by tests:
+     *  okBlocks() + fallbackBlocks() == blocks.size(). */
+    std::vector<BlockOutcome> blockOutcomes;
+
+    /** Blocks whose synthesis completed. */
+    size_t okBlocks() const;
+
+    /** Blocks degraded to their original circuit (any non-Ok
+     *  status). */
+    size_t fallbackBlocks() const;
 
     /** Stage wall-clock (Fig. 12). */
     double partitionSeconds = 0.0;

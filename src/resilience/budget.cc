@@ -1,0 +1,19 @@
+#include "resilience/budget.hh"
+
+namespace quest::resilience {
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::None:
+        return "none";
+      case StopReason::Cancelled:
+        return "cancelled";
+      case StopReason::Deadline:
+        return "deadline";
+    }
+    return "unknown";
+}
+
+} // namespace quest::resilience

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cooperative interruption primitives: wall-clock deadlines,
+ * hierarchical cancellation tokens, and the Budget that bundles them.
+ *
+ * QUEST's pipeline is a long-running numerical search whose inner
+ * loops (L-BFGS iterations, annealing sweeps, per-level
+ * instantiations) are individually short but collectively unbounded —
+ * LEAP-style instantiation can diverge and dual annealing can spin on
+ * a pathological objective. Every such loop polls a Budget at its
+ * iteration boundary ("safe points"): the poll is two predictable
+ * branches (and no clock read at all when no deadline is armed), so
+ * an unbounded run pays nothing, while a bounded run is guaranteed to
+ * stop within one iteration of the deadline or cancellation.
+ *
+ * Budgets are small value types threaded down through the option
+ * structs (QuestConfig → SynthConfig → InstantiaterOptions →
+ * LbfgsOptions, and AnnealOptions); CancelTokens are shared by
+ * pointer and form a hierarchy: cancelling a parent cancels every
+ * child that was derived from it, letting a run-level token interrupt
+ * all per-block work at once.
+ */
+
+#ifndef QUEST_RESILIENCE_BUDGET_HH
+#define QUEST_RESILIENCE_BUDGET_HH
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace quest::resilience {
+
+/**
+ * Hierarchical cancellation flag. cancel() is sticky and thread-safe;
+ * cancelled() observes the whole parent chain, so a token derived
+ * from a run-level token fires when either is cancelled. Parents must
+ * outlive their children (the chain holds raw pointers).
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    explicit CancelToken(const CancelToken *parent) : parent(parent) {}
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation (idempotent, callable from any thread). */
+    void cancel() { flag.store(true, std::memory_order_release); }
+
+    /** True once this token or any ancestor has been cancelled. */
+    bool
+    cancelled() const
+    {
+        for (const CancelToken *t = this; t; t = t->parent) {
+            if (t->flag.load(std::memory_order_acquire))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+    const CancelToken *parent = nullptr;
+};
+
+/** A wall-clock deadline; default-constructed means "never". */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Deadline() = default;
+
+    static Deadline never() { return {}; }
+
+    /** A deadline @p seconds from now (<= 0 expires immediately). */
+    static Deadline
+    after(double seconds)
+    {
+        Deadline d;
+        d.armed = true;
+        d.when = Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    static Deadline
+    at(Clock::time_point t)
+    {
+        Deadline d;
+        d.armed = true;
+        d.when = t;
+        return d;
+    }
+
+    bool isNever() const { return !armed; }
+
+    /** True once the wall clock has passed the deadline. */
+    bool expired() const { return armed && Clock::now() >= when; }
+
+    /** Seconds left (+inf when never armed, clamped at zero). */
+    double
+    remainingSeconds() const
+    {
+        if (!armed)
+            return std::numeric_limits<double>::infinity();
+        const auto left =
+            std::chrono::duration<double>(when - Clock::now()).count();
+        return left > 0.0 ? left : 0.0;
+    }
+
+    /** The tighter of two deadlines. */
+    static Deadline
+    sooner(const Deadline &a, const Deadline &b)
+    {
+        if (a.isNever())
+            return b;
+        if (b.isNever())
+            return a;
+        return a.when <= b.when ? a : b;
+    }
+
+  private:
+    Clock::time_point when{};
+    bool armed = false;
+};
+
+/** Why a budgeted computation was asked to stop. */
+enum class StopReason { None, Cancelled, Deadline };
+
+/**
+ * The interruption context threaded through long-running loops: a
+ * deadline plus an optional (not owned) cancellation token. Copyable
+ * and cheap to poll; a default-constructed Budget never stops
+ * anything.
+ */
+struct Budget
+{
+    Deadline deadline;
+    const CancelToken *cancel = nullptr;
+
+    Budget() = default;
+    Budget(Deadline d, const CancelToken *c) : deadline(d), cancel(c) {}
+
+    /** True when neither a deadline nor a token is configured. */
+    bool unbounded() const { return deadline.isNever() && !cancel; }
+
+    /** Cancellation wins over deadline so the reported reason is
+     *  stable once a token fires. */
+    StopReason
+    stop() const
+    {
+        if (cancel && cancel->cancelled())
+            return StopReason::Cancelled;
+        if (deadline.expired())
+            return StopReason::Deadline;
+        return StopReason::None;
+    }
+
+    bool exhausted() const { return stop() != StopReason::None; }
+
+    /**
+     * Derive a tighter budget: same token, the sooner of this
+     * deadline and @p extra. Used for per-block deadlines nested
+     * inside a run deadline.
+     */
+    Budget
+    withDeadline(const Deadline &extra) const
+    {
+        return {Deadline::sooner(deadline, extra), cancel};
+    }
+};
+
+/** Human-readable stop reason ("cancelled" / "deadline" / "none"). */
+const char *stopReasonName(StopReason reason);
+
+} // namespace quest::resilience
+
+#endif // QUEST_RESILIENCE_BUDGET_HH

@@ -1,0 +1,80 @@
+#include "resilience/error.hh"
+
+namespace quest::resilience {
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::InvalidInput:
+        return "invalid-input";
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Timeout:
+        return "timeout";
+      case ErrorCategory::Cancelled:
+        return "cancelled";
+      case ErrorCategory::Diverged:
+        return "diverged";
+      case ErrorCategory::Resource:
+        return "resource";
+      case ErrorCategory::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+int
+exitCodeFor(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::InvalidInput:
+        return 10;
+      case ErrorCategory::Io:
+        return 11;
+      case ErrorCategory::Timeout:
+        return 12;
+      case ErrorCategory::Cancelled:
+        return 13;
+      case ErrorCategory::Diverged:
+        return 14;
+      case ErrorCategory::Resource:
+        return 15;
+      case ErrorCategory::Internal:
+        return 70;
+    }
+    return 70;
+}
+
+QuestError::QuestError(ErrorCategory category, const std::string &msg)
+    : std::runtime_error(msg), cat(category), message(msg)
+{
+    render();
+}
+
+QuestError &
+QuestError::withContext(const std::string &frame)
+{
+    frames.push_back(frame);
+    render();
+    return *this;
+}
+
+void
+QuestError::render()
+{
+    rendered = errorCategoryName(cat);
+    rendered += ": ";
+    rendered += message;
+    if (!frames.empty()) {
+        rendered += " (";
+        for (size_t i = 0; i < frames.size(); ++i) {
+            if (i)
+                rendered += "; ";
+            rendered += frames[i];
+        }
+        rendered += ")";
+    }
+}
+
+} // namespace quest::resilience

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structured error taxonomy for recoverable failures.
+ *
+ * The repo distinguishes three failure classes: internal invariant
+ * violations (QUEST_PANIC — a bug, aborts), malformed untrusted bytes
+ * (SerializeError/QasmError — thrown by decoders), and operational
+ * failures of a compile run (this file): timeouts, cancellation,
+ * numerical divergence, I/O trouble. QuestError carries an
+ * ErrorCategory so handlers can act on the *kind* of failure — the
+ * pipeline maps per-block errors to BlockOutcome statuses and falls
+ * back to the original block, while quest_compile maps run-level
+ * errors to documented distinct exit codes — plus a context chain
+ * that is appended as the error unwinds ("while synthesizing block
+ * 3", "while compiling foo.qasm"), so a one-line diagnostic names
+ * the whole path to the failure.
+ */
+
+#ifndef QUEST_RESILIENCE_ERROR_HH
+#define QUEST_RESILIENCE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace quest::resilience {
+
+/** Failure kinds, each with a distinct documented exit code. */
+enum class ErrorCategory {
+    InvalidInput, //!< malformed user input (bad QASM, bad flag value)
+    Io,           //!< file/directory read, write or create failure
+    Timeout,      //!< a configured deadline expired
+    Cancelled,    //!< a CancelToken fired
+    Diverged,     //!< numerical search produced non-finite costs
+    Resource,     //!< resource exhaustion (disk full, ...)
+    Internal,     //!< unexpected failure that is not a panic
+};
+
+/** Stable lower-case name ("timeout", "io", ...). */
+const char *errorCategoryName(ErrorCategory category);
+
+/**
+ * Documented process exit code for a category. Disjoint from 0
+ * (success), 1 (legacy fatal()) and 2 (CLI usage error):
+ *
+ *   invalid-input 10, io 11, timeout 12, cancelled 13, diverged 14,
+ *   resource 15, internal 70.
+ */
+int exitCodeFor(ErrorCategory category);
+
+/** A categorized, context-chained operational error. */
+class QuestError : public std::runtime_error
+{
+  public:
+    QuestError(ErrorCategory category, const std::string &message);
+
+    ErrorCategory category() const { return cat; }
+
+    /** Exit code for this error's category. */
+    int exitCode() const { return exitCodeFor(cat); }
+
+    /**
+     * Append one unwind frame (outermost last). Returns *this so
+     * rethrow sites can write `throw e.withContext("while ...")`.
+     */
+    QuestError &withContext(const std::string &frame);
+
+    const std::vector<std::string> &context() const { return frames; }
+
+    /** "category: message (frame; frame; ...)" — also what(). */
+    const std::string &describe() const { return rendered; }
+
+    const char *what() const noexcept override
+    {
+        return rendered.c_str();
+    }
+
+  private:
+    void render();
+
+    ErrorCategory cat;
+    std::string message;
+    std::vector<std::string> frames;
+    std::string rendered;
+};
+
+} // namespace quest::resilience
+
+#endif // QUEST_RESILIENCE_ERROR_HH

@@ -1,0 +1,216 @@
+#include "resilience/fault.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "resilience/error.hh"
+#include "util/logging.hh"
+
+namespace quest::resilience {
+
+namespace {
+
+/** The installed plan plus per-site call counts, mutex-guarded —
+ *  this is the slow path, reached only while a plan is armed. */
+struct InstalledPlan
+{
+    std::mutex m;
+    FaultPlan plan;
+    std::map<std::string, uint64_t> calls;
+    uint64_t fired = 0;
+};
+
+InstalledPlan &
+installed()
+{
+    static InstalledPlan p;
+    return p;
+}
+
+uint64_t
+parseCount(const std::string &spec, const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "bad fault trigger count '" + value +
+                             "' in '" + spec + "'");
+    uint64_t n = std::strtoull(value.c_str(), nullptr, 10);
+    if (n == 0)
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "fault trigger count must be >= 1 in '" +
+                             spec + "'");
+    return n;
+}
+
+FaultRule
+parseRule(const std::string &spec, const std::string &clause)
+{
+    const size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= clause.size())
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "expected 'site:trigger', got '" + clause +
+                             "' in '" + spec + "'");
+
+    FaultRule rule;
+    rule.site = clause.substr(0, colon);
+    std::string trig = clause.substr(colon + 1);
+    std::string value;
+    const size_t eq = trig.find('=');
+    if (eq != std::string::npos) {
+        value = trig.substr(eq + 1);
+        trig.resize(eq);
+    }
+
+    if (trig == "always") {
+        rule.trigger = FaultTrigger::Always;
+    } else if (trig == "once") {
+        rule.trigger = FaultTrigger::Once;
+    } else if (trig == "nth") {
+        rule.trigger = FaultTrigger::Nth;
+        rule.n = parseCount(spec, value);
+    } else if (trig == "after") {
+        rule.trigger = FaultTrigger::After;
+        rule.n = parseCount(spec, value);
+    } else if (trig == "every") {
+        rule.trigger = FaultTrigger::Every;
+        rule.n = parseCount(spec, value);
+    } else {
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "unknown fault trigger '" + trig + "' in '" +
+                             spec + "'");
+    }
+    if ((rule.trigger == FaultTrigger::Always ||
+         rule.trigger == FaultTrigger::Once) &&
+        eq != std::string::npos)
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "trigger '" + trig +
+                             "' takes no count in '" + spec + "'");
+    return rule;
+}
+
+/** @p count is the 1-based call number at the rule's site. */
+bool
+ruleFires(const FaultRule &rule, uint64_t count)
+{
+    switch (rule.trigger) {
+      case FaultTrigger::Always:
+        return true;
+      case FaultTrigger::Once:
+        return count == 1;
+      case FaultTrigger::Nth:
+        return count == rule.n;
+      case FaultTrigger::After:
+        return count > rule.n;
+      case FaultTrigger::Every:
+        return count % rule.n == 0;
+    }
+    return false;
+}
+
+/** Parse $QUEST_FAULT at startup; a bad spec warns instead of
+ *  throwing (exceptions cannot unwind out of static init). */
+struct EnvInstall
+{
+    EnvInstall()
+    {
+        const char *spec = std::getenv("QUEST_FAULT");
+        if (!spec || !*spec)
+            return;
+        try {
+            FaultPlan::install(FaultPlan::parse(spec));
+        } catch (const QuestError &e) {
+            warn("ignoring QUEST_FAULT: ", e.what());
+        }
+    }
+} g_env_install;
+
+} // namespace
+
+std::atomic<bool> &
+FaultPlan::armedFlag()
+{
+    static std::atomic<bool> armed{false};
+    return armed;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string clause = spec.substr(start, comma - start);
+        if (!clause.empty())
+            plan.addRule(parseRule(spec, clause));
+        start = comma + 1;
+    }
+    if (plan.empty())
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "empty fault plan '" + spec + "'");
+    return plan;
+}
+
+void
+FaultPlan::install(FaultPlan plan)
+{
+    auto &slot = installed();
+    const bool arm = !plan.empty();
+    {
+        std::lock_guard<std::mutex> lock(slot.m);
+        slot.plan = std::move(plan);
+        slot.calls.clear();
+        slot.fired = 0;
+    }
+    armedFlag().store(arm, std::memory_order_release);
+}
+
+void
+FaultPlan::disarm()
+{
+    install(FaultPlan{});
+}
+
+bool
+FaultPlan::fire(const char *site)
+{
+    auto &slot = installed();
+    bool fires = false;
+    {
+        std::lock_guard<std::mutex> lock(slot.m);
+        const uint64_t count = ++slot.calls[site];
+        for (const FaultRule &rule : slot.plan.ruleList()) {
+            if (rule.site == site && ruleFires(rule, count)) {
+                fires = true;
+                break;
+            }
+        }
+        if (fires)
+            ++slot.fired;
+    }
+    if (fires) {
+        static auto &total = obs::MetricsRegistry::global().counter(
+            "resilience.faults_injected");
+        total.increment();
+        obs::MetricsRegistry::global()
+            .counter(std::string("fault.") + site)
+            .increment();
+    }
+    return fires;
+}
+
+uint64_t
+FaultPlan::firedCount()
+{
+    auto &slot = installed();
+    std::lock_guard<std::mutex> lock(slot.m);
+    return slot.fired;
+}
+
+} // namespace quest::resilience

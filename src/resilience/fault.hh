@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience tests.
+ *
+ * Production code marks its failure-prone spots with named fault
+ * points:
+ *
+ *     if (QUEST_FAULT_POINT("cache.store.enospc"))
+ *         return simulateDiskFull();
+ *
+ * A FaultPlan — installed programmatically by tests or parsed from
+ * the QUEST_FAULT environment variable ("site:trigger,site:trigger")
+ * — decides which points fire and when. Triggers are deterministic
+ * functions of the per-site call count, so a fault schedule replays
+ * identically run after run:
+ *
+ *     always     every call
+ *     once       the first call only
+ *     nth=N      the Nth call only (1-based)
+ *     after=N    every call past the Nth
+ *     every=N    every Nth call
+ *
+ * With no plan installed the whole machinery costs one relaxed
+ * atomic load per fault point (QUEST_FAULT_POINT short-circuits on
+ * FaultPlan::armed()), and compiling with -DQUEST_FAULT_DISABLED
+ * removes even that. Fired faults are counted in the metrics
+ * registry (`resilience.faults_injected` plus `fault.<site>`).
+ */
+
+#ifndef QUEST_RESILIENCE_FAULT_HH
+#define QUEST_RESILIENCE_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quest::resilience {
+
+/** When a fault rule fires, as a function of the site call count. */
+enum class FaultTrigger { Always, Once, Nth, After, Every };
+
+/** One "site:trigger" clause of a fault plan. */
+struct FaultRule
+{
+    std::string site;
+    FaultTrigger trigger = FaultTrigger::Always;
+    uint64_t n = 0; //!< parameter of nth=/after=/every=
+};
+
+/**
+ * A set of fault rules plus the process-wide installation slot.
+ * Installation replaces the previous plan atomically with respect to
+ * fire(); per-site call counts restart from zero.
+ */
+class FaultPlan
+{
+  public:
+    /**
+     * Parse "site:trigger[,site:trigger...]" (e.g.
+     * "cache.store.enospc:once,synth.block.diverge:nth=2").
+     * Throws QuestError(InvalidInput) on a malformed spec.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** Install @p plan process-wide (empty plan ≙ disarm()). */
+    static void install(FaultPlan plan);
+
+    /** Remove the installed plan; fault points go quiescent. */
+    static void disarm();
+
+    /** True while a non-empty plan is installed (the fast path). */
+    static bool
+    armed()
+    {
+        return armedFlag().load(std::memory_order_acquire);
+    }
+
+    /**
+     * Record one call at @p site and decide whether it faults. Slow
+     * path — only reached while a plan is armed. Thread-safe.
+     */
+    static bool fire(const char *site);
+
+    /** Total faults fired since the current plan was installed. */
+    static uint64_t firedCount();
+
+    void addRule(FaultRule rule) { rules.push_back(std::move(rule)); }
+
+    bool empty() const { return rules.empty(); }
+
+    const std::vector<FaultRule> &ruleList() const { return rules; }
+
+  private:
+    static std::atomic<bool> &armedFlag();
+
+    std::vector<FaultRule> rules;
+};
+
+/**
+ * RAII plan installation for tests: installs on construction,
+ * disarms on destruction (tests never leak an armed plan).
+ */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const std::string &spec)
+    {
+        FaultPlan::install(FaultPlan::parse(spec));
+    }
+    explicit ScopedFaultPlan(FaultPlan plan)
+    {
+        FaultPlan::install(std::move(plan));
+    }
+    ~ScopedFaultPlan() { FaultPlan::disarm(); }
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+};
+
+} // namespace quest::resilience
+
+#ifdef QUEST_FAULT_DISABLED
+#define QUEST_FAULT_POINT(site) false
+#else
+#define QUEST_FAULT_POINT(site)                                        \
+    (::quest::resilience::FaultPlan::armed() &&                        \
+     ::quest::resilience::FaultPlan::fire(site))
+#endif
+
+#endif // QUEST_RESILIENCE_FAULT_HH

@@ -1,0 +1,189 @@
+#include "resilience/journal.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/metrics.hh"
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace fs = std::filesystem;
+
+namespace quest::resilience {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4 + 4;      // magic + version
+constexpr size_t kRecordHeader = 4 + 4 + 8; // type + len + checksum
+
+// Cap on a single record so a corrupt length field cannot trigger a
+// multi-gigabyte allocation during recovery.
+constexpr uint32_t kMaxRecordBytes = 1u << 28;
+
+void
+countJournalFailure()
+{
+    static auto &failures = obs::MetricsRegistry::global().counter(
+        "resilience.journal_failures");
+    failures.increment();
+}
+
+} // namespace
+
+Journal::Journal(const std::string &path) : filePath(path)
+{
+    recover();
+}
+
+void
+Journal::recover()
+{
+    std::error_code ec;
+    const bool exists = fs::exists(filePath, ec);
+    if (ec || !exists) {
+        openForAppend(/*truncate=*/true);
+        return;
+    }
+
+    std::vector<uint8_t> bytes;
+    {
+        std::ifstream in(filePath, std::ios::binary);
+        if (!in)
+            throw QuestError(ErrorCategory::Io,
+                             "cannot read journal '" + filePath + "'");
+        in.seekg(0, std::ios::end);
+        const auto size = in.tellg();
+        in.seekg(0, std::ios::beg);
+        bytes.resize(size > 0 ? static_cast<size_t>(size) : 0);
+        if (!bytes.empty())
+            in.read(reinterpret_cast<char *>(bytes.data()),
+                    static_cast<std::streamsize>(bytes.size()));
+        if (!in)
+            throw QuestError(ErrorCategory::Io,
+                             "cannot read journal '" + filePath + "'");
+    }
+
+    // A file too short for the header, or with the wrong magic or
+    // version, is not ours to extend — start fresh.
+    bool headerOk = bytes.size() >= kHeaderBytes &&
+                    std::memcmp(bytes.data(), kMagic, 4) == 0;
+    if (headerOk) {
+        ByteReader versionReader(bytes.data() + 4, 4);
+        headerOk = versionReader.u32() == kVersion;
+    }
+    if (!headerOk) {
+        if (!bytes.empty())
+            warn("journal '", filePath,
+                 "': unrecognized header, starting fresh");
+        droppedBytes = bytes.size();
+        openForAppend(/*truncate=*/true);
+        return;
+    }
+
+    // Scan records until the first one whose header, length or
+    // checksum does not hold; keep the clean prefix.
+    size_t good = kHeaderBytes;
+    size_t pos = kHeaderBytes;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < kRecordHeader)
+            break;
+        ByteReader rec(bytes.data() + pos, bytes.size() - pos);
+        const uint32_t type = rec.u32();
+        const uint32_t len = rec.u32();
+        const uint64_t checksum = rec.u64();
+        if (len > kMaxRecordBytes || rec.remaining() < len)
+            break;
+        const uint8_t *payload = bytes.data() + pos + kRecordHeader;
+        if (fnv1a64(payload, len) != checksum)
+            break;
+        JournalRecord out;
+        out.type = type;
+        out.payload.assign(payload, payload + len);
+        recovered.push_back(std::move(out));
+        pos += kRecordHeader + len;
+        good = pos;
+    }
+
+    droppedBytes = bytes.size() - good;
+    if (droppedBytes > 0) {
+        warn("journal '", filePath, "': discarding ", droppedBytes,
+             " damaged trailing bytes (", recovered.size(),
+             " records recovered)");
+        std::error_code resizeEc;
+        fs::resize_file(filePath, good, resizeEc);
+        if (resizeEc)
+            throw QuestError(ErrorCategory::Io,
+                             "cannot truncate journal '" + filePath +
+                                 "': " + resizeEc.message());
+    }
+
+    openForAppend(/*truncate=*/false);
+}
+
+void
+Journal::openForAppend(bool truncate)
+{
+    auto mode = std::ios::binary | std::ios::out;
+    mode |= truncate ? std::ios::trunc : std::ios::app;
+    out.open(filePath, mode);
+    if (!out)
+        throw QuestError(ErrorCategory::Io,
+                         "cannot open journal '" + filePath +
+                             "' for writing");
+    if (truncate) {
+        ByteWriter header;
+        header.bytes(kMagic, 4);
+        header.u32(kVersion);
+        out.write(reinterpret_cast<const char *>(
+                      header.buffer().data()),
+                  static_cast<std::streamsize>(header.size()));
+        out.flush();
+        if (!out)
+            throw QuestError(ErrorCategory::Io,
+                             "cannot write journal header '" +
+                                 filePath + "'");
+    }
+}
+
+bool
+Journal::append(uint32_t type, const std::vector<uint8_t> &payload)
+{
+    if (writeFailed)
+        return false;
+
+    ByteWriter rec;
+    rec.u32(type);
+    rec.u32(static_cast<uint32_t>(payload.size()));
+    rec.u64(fnv1a64(payload.data(), payload.size()));
+    rec.bytes(payload.data(), payload.size());
+
+    bool ok = !QUEST_FAULT_POINT("journal.append");
+    if (ok) {
+        out.write(reinterpret_cast<const char *>(rec.buffer().data()),
+                  static_cast<std::streamsize>(rec.size()));
+        out.flush();
+        ok = static_cast<bool>(out);
+    }
+    if (!ok) {
+        writeFailed = true;
+        warn("journal '", filePath,
+             "': append failed, checkpointing disabled for this run");
+        countJournalFailure();
+    }
+    return ok;
+}
+
+void
+Journal::reset()
+{
+    out.close();
+    recovered.clear();
+    droppedBytes = 0;
+    writeFailed = false;
+    openForAppend(/*truncate=*/true);
+}
+
+} // namespace quest::resilience

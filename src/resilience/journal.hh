@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Append-only crash-safe record journal ("QRJ1", docs/FORMATS.md).
+ *
+ * The checkpoint/resume machinery needs a log that a killed process
+ * can reopen and trust: opening a journal scans it record by record,
+ * verifies each length and FNV-1a checksum, and truncates the file at
+ * the first damaged or half-written record — everything before the
+ * damage is kept, everything after is discarded. Appends are a single
+ * buffered write plus flush, so a crash can only ever lose or tear
+ * the *tail* record, never an earlier one.
+ *
+ * The journal is deliberately generic (u32 record type + opaque
+ * payload bytes); QUEST-specific record codecs live above it in
+ * src/quest/checkpoint.hh, because circuit encoding depends on
+ * layers this one sits below.
+ *
+ * Append failures (disk full, I/O error) do not throw: checkpointing
+ * is an optimisation, so a broken journal degrades to "no checkpoint"
+ * — the journal goes read-only for the rest of the run, warns once,
+ * and counts `resilience.journal_failures`.
+ */
+
+#ifndef QUEST_RESILIENCE_JOURNAL_HH
+#define QUEST_RESILIENCE_JOURNAL_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace quest::resilience {
+
+/** One verified record read back from a journal. */
+struct JournalRecord
+{
+    uint32_t type = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Append-only record log with tail-scan crash recovery. */
+class Journal
+{
+  public:
+    static constexpr char kMagic[4] = {'Q', 'R', 'J', '1'};
+    static constexpr uint32_t kVersion = 1;
+
+    /**
+     * Open (or create) the journal at @p path, recovering any valid
+     * prefix of an existing file. Throws QuestError(Io) when the file
+     * cannot be created or opened for appending.
+     */
+    explicit Journal(const std::string &path);
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Append one record and flush it to the OS. Returns false (and
+     * goes permanently read-only) on write failure; never throws.
+     */
+    bool append(uint32_t type, const std::vector<uint8_t> &payload);
+
+    /** Records recovered at open time, in append order. The vector
+     *  does NOT grow on append — it is the resume snapshot. */
+    const std::vector<JournalRecord> &records() const { return recovered; }
+
+    /** Truncate to an empty journal (header only). */
+    void reset();
+
+    /** True once an append has failed; later appends are dropped. */
+    bool failed() const { return writeFailed; }
+
+    /** Bytes that had to be discarded by tail recovery at open. */
+    uint64_t truncatedBytes() const { return droppedBytes; }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    void recover();
+    void openForAppend(bool truncate);
+
+    std::string filePath;
+    std::ofstream out;
+    std::vector<JournalRecord> recovered;
+    uint64_t droppedBytes = 0;
+    bool writeFailed = false;
+};
+
+} // namespace quest::resilience
+
+#endif // QUEST_RESILIENCE_JOURNAL_HH

@@ -1,4 +1,4 @@
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +40,7 @@ struct Batch
 {
     size_t count = 0;
     const std::function<void(size_t)> *fn = nullptr;
+    const resilience::CancelToken *cancel = nullptr;
     std::atomic<size_t> next{0};
 
     std::mutex m;
@@ -70,6 +71,21 @@ void
 drainBatch(Batch &b)
 {
     for (;;) {
+        if (b.cancel && b.cancel->cancelled()) {
+            // Retire every unclaimed index without running it. The
+            // exchange hands this drainer the range [i, count); other
+            // drainers racing here (or past the end on the normal
+            // path) observe i >= count and account nothing twice.
+            size_t i = b.next.exchange(b.count,
+                                       std::memory_order_relaxed);
+            if (i < b.count) {
+                std::lock_guard<std::mutex> lock(b.m);
+                b.done += b.count - i;
+                if (b.done == b.count)
+                    b.doneCv.notify_all();
+            }
+            return;
+        }
         size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= b.count)
             return;
@@ -164,7 +180,8 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
+ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn,
+                        const resilience::CancelToken *cancel)
 {
     if (count == 0)
         return;
@@ -172,6 +189,7 @@ ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn)
     auto batch = std::make_shared<Batch>();
     batch->count = count;
     batch->fn = &fn;
+    batch->cancel = cancel;
 
     // Helper jobs hold the batch alive; one that starts after the
     // batch is finished claims an out-of-range index and returns

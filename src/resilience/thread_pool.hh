@@ -12,10 +12,16 @@
  * budget through both block-level and instantiation-level parallelism
  * (QuestConfig::threads), so the process never oversubscribes the
  * hardware no matter how the levels nest.
+ *
+ * parallelFor optionally takes a CancelToken: once the token fires,
+ * no *unclaimed* index starts. Indices already claimed by a thread
+ * run to completion (the callback is expected to poll its own Budget
+ * at iteration boundaries), so cancellation latency is bounded by
+ * one callback invocation, and the done-accounting stays exact.
  */
 
-#ifndef QUEST_UTIL_THREAD_POOL_HH
-#define QUEST_UTIL_THREAD_POOL_HH
+#ifndef QUEST_RESILIENCE_THREAD_POOL_HH
+#define QUEST_RESILIENCE_THREAD_POOL_HH
 
 #include <condition_variable>
 #include <functional>
@@ -24,6 +30,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "resilience/budget.hh"
 
 namespace quest {
 
@@ -72,8 +80,15 @@ class ThreadPool
      * at most size() + 1 threads run @p fn concurrently and nested
      * calls on the same pool make progress even when every worker is
      * busy.
+     *
+     * When @p cancel is non-null and fires mid-batch, indices not yet
+     * claimed are skipped (never invoked); parallelFor still waits
+     * for every in-flight invocation, returns normally, and leaves it
+     * to the caller to observe the token. Exceptions thrown by @p fn
+     * are rethrown as usual.
      */
-    void parallelFor(size_t count, const std::function<void(size_t)> &fn);
+    void parallelFor(size_t count, const std::function<void(size_t)> &fn,
+                     const resilience::CancelToken *cancel = nullptr);
 
     /** Number of worker threads. */
     unsigned size() const { return static_cast<unsigned>(workers.size()); }
@@ -99,4 +114,4 @@ class ThreadPool
 
 } // namespace quest
 
-#endif // QUEST_UTIL_THREAD_POOL_HH
+#endif // QUEST_RESILIENCE_THREAD_POOL_HH

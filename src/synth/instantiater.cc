@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numbers>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "synth/hs_cost.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 namespace quest {
 
@@ -33,6 +34,15 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
     const int n_params = ansatz.paramCount();
     const int n_starts = std::max(1, options.multistarts);
 
+    // The call-level budget bounds every start's inner loop too: the
+    // L-BFGS budget becomes the tighter of its own deadline and ours,
+    // and inherits our token when it has none.
+    LbfgsOptions lbfgsOptions = options.lbfgs;
+    lbfgsOptions.budget =
+        lbfgsOptions.budget.withDeadline(options.budget.deadline);
+    if (!lbfgsOptions.budget.cancel)
+        lbfgsOptions.budget.cancel = options.budget.cancel;
+
     // Per-start RNG streams, split serially up front: stream i is the
     // same whether start i later runs on the caller or on any worker.
     std::vector<Rng> streams = rng.splitN(static_cast<size_t>(n_starts));
@@ -49,6 +59,8 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
         const int idx = static_cast<int>(i);
         if (idx > stop_at.load(std::memory_order_acquire))
             return;
+        if (options.budget.exhausted())
+            return; // leave computed[i] == 0: the reduction stops here
         starts_counter.increment();
 
         // One cost object (and so one workspace) per start: evaluate
@@ -71,7 +83,7 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
         }
 
         LbfgsResult r =
-            lbfgsMinimize(objective, std::move(x0), options.lbfgs);
+            lbfgsMinimize(objective, std::move(x0), lbfgsOptions);
         const bool reached = r.value <= options.goal;
         results[i] = std::move(r);
         computed[i] = 1;
@@ -88,11 +100,13 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
     if (options.pool && n_starts > 1) {
         parallel_counter.add(static_cast<uint64_t>(n_starts));
         options.pool->parallelFor(static_cast<size_t>(n_starts),
-                                  run_start);
+                                  run_start, options.budget.cancel);
     } else {
         for (int i = 0; i < n_starts; ++i) {
             run_start(static_cast<size_t>(i));
             if (stop_at.load(std::memory_order_relaxed) <= i)
+                break;
+            if (options.budget.exhausted())
                 break;
         }
     }
@@ -105,20 +119,32 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
     InstantiationResult best;
     best.distance = 1.0;
     double best_value = 2.0;
+    bool selected = false;
     for (int i = 0; i < n_starts; ++i) {
         LbfgsResult &r = results[static_cast<size_t>(i)];
         if (!computed[static_cast<size_t>(i)])
-            break;  // only reachable past the earliest goal index
-        if (r.value < best_value) {
+            break;  // past the earliest goal index, or budget-skipped
+        // Non-finite costs (diverged starts) are never selected; a
+        // NaN would also poison the < comparison below.
+        if (std::isfinite(r.value) && r.value < best_value) {
             best_value = r.value;
             best.params = std::move(r.x);
             best.distance = std::sqrt(std::max(0.0, best_value));
+            selected = true;
         }
         if (best_value <= options.goal) {
             if (i + 1 < n_starts)
                 early_counter.increment();
             break;
         }
+    }
+    if (!selected) {
+        // Every start diverged (or the budget fired before any
+        // completed). Return a well-formed parameter vector — callers
+        // feed it straight into Ansatz::instantiate — with an
+        // infinite distance so no threshold can ever admit it.
+        best.params.assign(static_cast<size_t>(n_params), 0.0);
+        best.distance = std::numeric_limits<double>::infinity();
     }
     return best;
 }

@@ -14,10 +14,12 @@
 #ifndef QUEST_SYNTH_INSTANTIATER_HH
 #define QUEST_SYNTH_INSTANTIATER_HH
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
 #include "linalg/matrix.hh"
+#include "resilience/budget.hh"
 #include "synth/ansatz.hh"
 #include "synth/lbfgs.hh"
 #include "util/rng.hh"
@@ -42,6 +44,15 @@ struct InstantiaterOptions
      * count.
      */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Deadline/cancellation for the whole call, merged into the
+     * per-start L-BFGS budgets and checked before each start begins.
+     * A fired budget trades determinism for liveness: which starts
+     * completed depends on timing, so budget-truncated results must
+     * never be cached (LeapSynthesizer enforces this).
+     */
+    resilience::Budget budget;
 };
 
 /** Best parameters found for an ansatz against a target. */
@@ -49,6 +60,10 @@ struct InstantiationResult
 {
     std::vector<double> params;
     double distance = 1.0;      //!< HS distance at the optimum
+
+    /** Non-finite costs everywhere, or the budget fired before any
+     *  start finished: params are zeros, distance is +infinity. */
+    bool diverged() const { return !std::isfinite(distance); }
 };
 
 /**

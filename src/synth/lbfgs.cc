@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
@@ -74,6 +75,17 @@ lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
     double f = objective(result.x, &grad);
     ++tally.evaluations;
 
+    if (!std::isfinite(f)) {
+        // A non-finite objective at the starting point cannot be
+        // optimized (every Armijo test would fail); report it as a
+        // diverged run instead of comparing against NaN below.
+        static auto &nonfinite = obs::MetricsRegistry::global().counter(
+            "lbfgs.nonfinite_objectives");
+        nonfinite.increment();
+        result.value = std::numeric_limits<double>::infinity();
+        return result;
+    }
+
     if (n == 0) {
         result.value = f;
         result.converged = true;
@@ -92,6 +104,14 @@ lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
     std::vector<double> direction(n), x_new(n), grad_new(n), alpha_buf;
 
     for (int iter = 0; iter < options.maxIterations; ++iter) {
+        // The per-iteration safe point: a cancelled or overdue run
+        // stops here with the best point found so far.
+        const resilience::StopReason stop = options.budget.stop();
+        if (stop != resilience::StopReason::None) {
+            result.stopped = stop;
+            break;
+        }
+
         result.iterations = iter + 1;
         if (infNorm(grad) < options.gradTolerance) {
             result.converged = true;

@@ -10,6 +10,8 @@
 #include <functional>
 #include <vector>
 
+#include "resilience/budget.hh"
+
 namespace quest {
 
 /**
@@ -27,6 +29,13 @@ struct LbfgsOptions
     int historySize = 8;
     double gradTolerance = 1e-10;   //!< stop when ||g||_inf below this
     double valueTolerance = 1e-14;  //!< stop on relative f stagnation
+
+    /**
+     * Deadline/cancellation, polled once per iteration (an unbounded
+     * budget costs two branches and no clock read). On exhaustion the
+     * best point so far is returned with `stopped` set.
+     */
+    resilience::Budget budget;
 };
 
 /** Minimization outcome. */
@@ -36,6 +45,9 @@ struct LbfgsResult
     double value = 0.0;
     int iterations = 0;
     bool converged = false;
+
+    /** Why the loop quit early, if the budget fired. */
+    resilience::StopReason stopped = resilience::StopReason::None;
 };
 
 /** Minimize an unconstrained smooth objective from @p x0. */

@@ -7,9 +7,11 @@
 #include "linalg/decompose.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "resilience/thread_pool.hh"
 #include "synth/synth_cache.hh"
 #include "util/logging.hh"
-#include "util/thread_pool.hh"
 #include "verify/verifier.hh"
 
 namespace quest {
@@ -145,6 +147,21 @@ allPairsSchedule(int n)
     return schedule;
 }
 
+/** Translate a fired budget into the structured error the pipeline's
+ *  per-block handler maps to a timeout/cancelled BlockOutcome. */
+[[noreturn]] void
+throwBudgetExhausted(resilience::StopReason reason, int level)
+{
+    using resilience::ErrorCategory;
+    const auto category = reason == resilience::StopReason::Cancelled
+                              ? ErrorCategory::Cancelled
+                              : ErrorCategory::Timeout;
+    throw resilience::QuestError(
+        category, std::string("synthesis budget exhausted (") +
+                      resilience::stopReasonName(reason) + ")")
+        .withContext("at synthesis level " + std::to_string(level));
+}
+
 } // namespace
 
 LeapSynthesizer::LeapSynthesizer(SynthConfig config)
@@ -188,6 +205,18 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     }
     searchCounter().increment();
 
+    // Deterministic chaos hooks: force this block's synthesis to fail
+    // the way a diverging or runaway search would, after the cache
+    // consult (a cached block never re-fails) and before any work.
+    if (QUEST_FAULT_POINT("synth.block.diverge")) {
+        throw resilience::QuestError(resilience::ErrorCategory::Diverged,
+                                     "injected synthesis divergence");
+    }
+    if (QUEST_FAULT_POINT("synth.block.timeout")) {
+        throw resilience::QuestError(resilience::ErrorCategory::Timeout,
+                                     "injected synthesis timeout");
+    }
+
     SynthOutput out;
 
     if (n == 1) {
@@ -224,6 +253,9 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     InstantiaterOptions inst = cfg.inst;
     inst.goal = cfg.exactEpsilon * cfg.exactEpsilon;
     inst.pool = pool;
+    inst.budget = inst.budget.withDeadline(cfg.budget.deadline);
+    if (!inst.budget.cancel)
+        inst.budget.cancel = cfg.budget.cancel;
 
     // The brickwork lineage is one task out of ~pairs-per-level, so
     // giving it a stronger optimization budget is cheap and makes the
@@ -303,6 +335,10 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
 
     for (int level = 1; level <= budget; ++level) {
         QUEST_TRACE_SCOPE("synth.level");
+        if (const auto stop = cfg.budget.stop();
+            stop != resilience::StopReason::None) {
+            throwBudgetExhausted(stop, level);
+        }
         levels_counter.increment();
         // Build the level's task list: every (frontier node, pair)
         // expansion plus the brickwork lineage.
@@ -345,10 +381,20 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
                            r.distance};
         };
         if (pool) {
-            pool->parallelFor(tasks.size(), run_task);
+            pool->parallelFor(tasks.size(), run_task, cfg.budget.cancel);
         } else {
-            for (size_t i = 0; i < tasks.size(); ++i)
+            for (size_t i = 0; i < tasks.size(); ++i) {
+                if (cfg.budget.exhausted())
+                    break;
                 run_task(i);
+            }
+        }
+        // A fired budget can leave unclaimed tasks untouched
+        // (default-constructed children with no circuit behind them);
+        // bail out before any of those could be recorded.
+        if (const auto stop = cfg.budget.stop();
+            stop != resilience::StopReason::None) {
+            throwBudgetExhausted(stop, level);
         }
         for (size_t l = 0; l < lineages.size(); ++l)
             lineages[l].node =
@@ -363,6 +409,11 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
         const int keep = std::min<int>(cfg.candidatesPerLevel,
                                        static_cast<int>(children.size()));
         for (int i = 0; i < keep; ++i) {
+            // Diverged instantiations carry an infinite distance (and
+            // sort last); recording them would produce an output that
+            // can never pass the cache's deep validation.
+            if (!std::isfinite(children[i].distance))
+                break;
             out.candidates.push_back(
                 {children[i].ansatz.instantiate(children[i].params),
                  children[i].distance, level});
@@ -422,6 +473,18 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     static auto &candidates_counter =
         obs::MetricsRegistry::global().counter("synth.candidates");
     candidates_counter.add(out.candidates.size());
+
+    // Cache-purity gate: the budget may have fired inside the final
+    // level's instantiations without tripping a loop poll. Exhaustion
+    // is monotone (a deadline stays expired, a token stays
+    // cancelled), so "not exhausted here" proves the whole search ran
+    // unbounded — only such complete, deterministic outputs may be
+    // published to the cache or returned.
+    if (const auto stop = cfg.budget.stop();
+        stop != resilience::StopReason::None) {
+        throwBudgetExhausted(stop, budget);
+    }
+
     if (cfg.verifyCandidates)
         verifyCandidates(out, n);
     if (cfg.cache)

@@ -19,6 +19,7 @@
 
 #include "ir/circuit.hh"
 #include "linalg/matrix.hh"
+#include "resilience/budget.hh"
 #include "synth/instantiater.hh"
 
 namespace quest {
@@ -96,6 +97,18 @@ struct SynthConfig
      * owned; nullptr disables persistent caching.
      */
     SynthCacheHook *cache = nullptr;
+
+    /**
+     * Deadline/cancellation for one synthesize() call, polled at
+     * every level boundary and threaded into the instantiation inner
+     * loops. When it fires, synthesize() throws a QuestError
+     * (Timeout/Cancelled) instead of returning a truncated output —
+     * and never caches one: results are only stored when the budget
+     * survived the whole search, which (exhaustion being monotone)
+     * guarantees every cached entry is complete and deterministic.
+     * Deliberately NOT part of the synthesis cache key.
+     */
+    resilience::Budget budget;
 };
 
 /** One synthesized circuit for a block. */

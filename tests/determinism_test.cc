@@ -17,7 +17,7 @@
 #include "ir/qasm.hh"
 #include "quest/pipeline.hh"
 #include "synth/instantiater.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 namespace quest {
 namespace {

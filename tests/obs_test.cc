@@ -19,7 +19,7 @@
 #include "obs/metrics.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 namespace quest::obs {
 namespace {

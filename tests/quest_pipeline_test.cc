@@ -22,7 +22,7 @@
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
 #include "sim/simulator.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 
 namespace quest {
 namespace {

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * End-to-end resilience tests: graceful degradation under injected
+ * faults, run deadlines and cancellation, checkpoint/resume, and the
+ * degradation invariants the pipeline promises (a QUEST run under any
+ * fault pattern still yields a verifier-clean, bound-respecting
+ * ensemble).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algos/algorithms.hh"
+#include "ir/qasm.hh"
+#include "obs/metrics.hh"
+#include "quest/checkpoint.hh"
+#include "quest/pipeline.hh"
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "verify/verifier.hh"
+
+namespace quest {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path
+makeTempDir()
+{
+    std::string tmpl =
+        (fs::temp_directory_path() / "quest-resil-e2e-XXXXXX").string();
+    char *dir = mkdtemp(tmpl.data());
+    EXPECT_NE(dir, nullptr);
+    return fs::path(dir);
+}
+
+struct TempDir
+{
+    fs::path path = makeTempDir();
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+uint64_t
+counterValue(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name).value();
+}
+
+/** Small benchmark + lean search settings so the suite stays fast. */
+QuestConfig
+leanConfig()
+{
+    QuestConfig cfg;
+    cfg.thresholdPerBlock = 0.1;
+    cfg.synth.beamWidth = 1;
+    cfg.synth.inst.multistarts = 1;
+    cfg.synth.inst.lbfgs.maxIterations = 150;
+    cfg.synth.maxLayers = 8;
+    cfg.synth.candidatesPerLevel = 3;
+    cfg.synth.stallLevels = 3;
+    cfg.anneal.maxIterations = 120;
+    cfg.maxSamples = 4;
+    return cfg;
+}
+
+Circuit
+benchCircuit()
+{
+    return algos::tfim(3, 2);
+}
+
+/**
+ * The degradation invariants every run must satisfy, fault-injected
+ * or not: per-block outcomes partition the blocks, at least one
+ * sample exists, and every sample is verifier-clean with its distance
+ * bound inside the threshold.
+ */
+void
+expectValidEnsemble(const QuestResult &r)
+{
+    ASSERT_EQ(r.blockOutcomes.size(), r.blocks.size());
+    EXPECT_EQ(r.okBlocks() + r.fallbackBlocks(), r.blocks.size());
+
+    ASSERT_FALSE(r.samples.empty());
+    const CircuitVerifier verifier(
+        {.requireNative = true, .allowPseudoOps = false});
+    for (size_t s = 0; s < r.samples.size(); ++s) {
+        const ApproxSample &sample = r.samples[s];
+        const VerifyReport report = verifier.verify(sample.circuit);
+        EXPECT_TRUE(report.ok())
+            << "sample " << s << ":\n" << report.toString();
+        EXPECT_EQ(sample.circuit.numQubits(), r.original.numQubits());
+        EXPECT_LE(sample.distanceBound, r.threshold + 1e-12);
+        ASSERT_EQ(sample.choice.size(), r.blocks.size());
+        for (size_t b = 0; b < sample.choice.size(); ++b) {
+            ASSERT_GE(sample.choice[b], 0);
+            ASSERT_LT(sample.choice[b],
+                      static_cast<int>(r.blockApprox[b].size()));
+        }
+    }
+}
+
+/** Every sample's QASM, for byte-identical comparisons. */
+std::vector<std::string>
+sampleQasm(const QuestResult &r)
+{
+    std::vector<std::string> out;
+    for (const ApproxSample &s : r.samples)
+        out.push_back(toQasm(s.circuit));
+    return out;
+}
+
+// ---- Graceful degradation under injected faults --------------------
+
+TEST(ResilienceChaos, EveryFaultPatternYieldsValidEnsemble)
+{
+    // The property the resilience layer promises (ISSUE acceptance):
+    // under ANY injected failure pattern the pipeline still returns a
+    // verifier-clean ensemble within the epsilon bound, and the
+    // outcome bookkeeping stays exact. Each plan exercises a
+    // different failure site and schedule.
+    const char *plans[] = {
+        "synth.block.diverge:always",
+        "synth.block.timeout:always",
+        "synth.block.diverge:once",
+        "synth.block.timeout:nth=2",
+        "synth.block.diverge:every=2,synth.block.timeout:nth=3",
+        "cache.store.enospc:always",
+        "cache.store.short_write:every=2",
+        "cache.load.read:always",
+        "journal.append:after=1",
+    };
+    const Circuit circuit = benchCircuit();
+    for (const char *spec : plans) {
+        TempDir dir;
+        QuestConfig cfg = leanConfig();
+        cfg.cacheDir = (dir.path / "cache").string();
+        cfg.checkpointDir = (dir.path / "ckpt").string();
+
+        const uint64_t fallbacks_before =
+            counterValue("resilience.fallbacks");
+        QuestResult r;
+        {
+            resilience::ScopedFaultPlan plan(spec);
+            r = QuestPipeline(cfg).run(circuit);
+        }
+        expectValidEnsemble(r);
+        // resilience.fallbacks counts exactly the non-ok blocks.
+        EXPECT_EQ(counterValue("resilience.fallbacks") -
+                      fallbacks_before,
+                  r.fallbackBlocks())
+            << "plan: " << spec;
+    }
+}
+
+TEST(ResilienceChaos, AllBlocksFaultedStillMatchesOriginal)
+{
+    QuestConfig cfg = leanConfig();
+    QuestResult r;
+    {
+        resilience::ScopedFaultPlan plan("synth.block.diverge:always");
+        r = QuestPipeline(cfg).run(benchCircuit());
+    }
+    expectValidEnsemble(r);
+    EXPECT_EQ(r.okBlocks(), 0u);
+    EXPECT_EQ(r.fallbackBlocks(), r.blocks.size());
+    for (const BlockOutcome &o : r.blockOutcomes)
+        EXPECT_EQ(o.status, BlockStatus::Diverged);
+    // Degradation floor: with every block original, the only feasible
+    // samples are built from original blocks, so CNOTs never exceed
+    // the original count.
+    for (const ApproxSample &s : r.samples) {
+        EXPECT_EQ(s.distanceBound, 0.0);
+        EXPECT_EQ(s.cnotCount, r.originalCnots);
+    }
+}
+
+TEST(ResilienceChaos, FaultFreeRunHasNoFallbacks)
+{
+    QuestResult r = QuestPipeline(leanConfig()).run(benchCircuit());
+    expectValidEnsemble(r);
+    EXPECT_EQ(r.okBlocks(), r.blocks.size());
+    EXPECT_EQ(r.fallbackBlocks(), 0u);
+    for (const BlockOutcome &o : r.blockOutcomes) {
+        EXPECT_TRUE(o.ok());
+        EXPECT_TRUE(o.detail.empty());
+    }
+}
+
+// ---- Run deadlines and cancellation --------------------------------
+
+TEST(ResilienceDeadline, ExpiredRunBudgetDegradesToOriginal)
+{
+    QuestConfig cfg = leanConfig();
+    cfg.runTimeoutSeconds = 1e-9;  // expires before STEP 2 starts
+    QuestResult r = QuestPipeline(cfg).run(benchCircuit());
+    expectValidEnsemble(r);
+    EXPECT_EQ(r.okBlocks(), 0u);
+    // Nothing was selected in time, so the ensemble degrades to the
+    // all-original sample: QUEST never does worse than its input.
+    ASSERT_EQ(r.samples.size(), 1u);
+    EXPECT_EQ(r.samples[0].distanceBound, 0.0);
+    EXPECT_EQ(r.samples[0].cnotCount, r.originalCnots);
+}
+
+TEST(ResilienceDeadline, FailPolicyThrowsTimeout)
+{
+    QuestConfig cfg = leanConfig();
+    cfg.runTimeoutSeconds = 1e-9;
+    cfg.deadlinePolicy = DeadlinePolicy::Fail;
+    try {
+        QuestPipeline(cfg).run(benchCircuit());
+        FAIL() << "expected QuestError";
+    } catch (const resilience::QuestError &e) {
+        EXPECT_EQ(e.category(), resilience::ErrorCategory::Timeout);
+        EXPECT_EQ(e.exitCode(), 12);
+    }
+}
+
+TEST(ResilienceDeadline, CancelledTokenDegradesOrFails)
+{
+    resilience::CancelToken token;
+    token.cancel();
+
+    QuestConfig cfg = leanConfig();
+    cfg.cancel = &token;
+    QuestResult r = QuestPipeline(cfg).run(benchCircuit());
+    expectValidEnsemble(r);
+    EXPECT_EQ(r.okBlocks(), 0u);
+    for (const BlockOutcome &o : r.blockOutcomes)
+        EXPECT_EQ(o.status, BlockStatus::Fallback);
+
+    cfg.deadlinePolicy = DeadlinePolicy::Fail;
+    try {
+        QuestPipeline(cfg).run(benchCircuit());
+        FAIL() << "expected QuestError";
+    } catch (const resilience::QuestError &e) {
+        EXPECT_EQ(e.category(), resilience::ErrorCategory::Cancelled);
+        EXPECT_EQ(e.exitCode(), 13);
+    }
+}
+
+TEST(ResilienceDeadline, UnboundedRunIsUnaffectedByPlumbing)
+{
+    // Same seed, with and without the resilience plumbing armed at
+    // all: byte-identical ensembles.
+    QuestResult plain = QuestPipeline(leanConfig()).run(benchCircuit());
+    QuestConfig cfg = leanConfig();
+    cfg.runTimeoutSeconds = 3600.0;  // armed but never fires
+    cfg.blockTimeoutSeconds = 3600.0;
+    resilience::CancelToken token;  // never cancelled
+    cfg.cancel = &token;
+    QuestResult guarded = QuestPipeline(cfg).run(benchCircuit());
+    EXPECT_EQ(sampleQasm(plain), sampleQasm(guarded));
+}
+
+// ---- Checkpoint / resume -------------------------------------------
+
+TEST(ResilienceCheckpoint, ResumeAfterTornJournalIsByteIdentical)
+{
+    const Circuit circuit = benchCircuit();
+    TempDir dir;
+    QuestConfig cfg = leanConfig();
+    cfg.checkpointDir = (dir.path / "ckpt").string();
+
+    // Reference run, journaling as it goes.
+    const QuestResult first = QuestPipeline(cfg).run(circuit);
+    expectValidEnsemble(first);
+
+    // Simulate a crash during STEP 3: tear trailing bytes off the
+    // journal, as a kill mid-append would. This destroys the
+    // step3-done marker and tears the last sample record; the block
+    // records before them survive.
+    const fs::path journal = fs::path(cfg.checkpointDir) / "journal.qrj";
+    ASSERT_TRUE(fs::exists(journal));
+    const auto size = fs::file_size(journal);
+    ASSERT_GT(size, 20u);
+    fs::resize_file(journal, size - 20);
+
+    // Resume: block syntheses replay from the journal (zero searches),
+    // STEP 3 re-anneals only what the "crash" lost, and the final
+    // ensemble is byte-identical to the uninterrupted run.
+    const uint64_t searches_before =
+        counterValue("quest.synth.cache_misses");
+    const uint64_t replayed_before =
+        counterValue("resilience.checkpoint_blocks_replayed");
+    QuestConfig resume_cfg = cfg;
+    resume_cfg.resume = true;
+    const QuestResult second = QuestPipeline(resume_cfg).run(circuit);
+    expectValidEnsemble(second);
+
+    EXPECT_EQ(counterValue("quest.synth.cache_misses"),
+              searches_before);
+    EXPECT_GT(counterValue("resilience.checkpoint_blocks_replayed"),
+              replayed_before);
+    EXPECT_EQ(sampleQasm(first), sampleQasm(second));
+    ASSERT_EQ(first.samples.size(), second.samples.size());
+    for (size_t s = 0; s < first.samples.size(); ++s) {
+        EXPECT_EQ(first.samples[s].choice, second.samples[s].choice);
+        EXPECT_EQ(first.samples[s].cnotCount,
+                  second.samples[s].cnotCount);
+    }
+}
+
+TEST(ResilienceCheckpoint, CompletedRunResumesWithoutAnnealing)
+{
+    const Circuit circuit = benchCircuit();
+    TempDir dir;
+    QuestConfig cfg = leanConfig();
+    cfg.checkpointDir = (dir.path / "ckpt").string();
+    const QuestResult first = QuestPipeline(cfg).run(circuit);
+
+    cfg.resume = true;
+    const uint64_t searches_before =
+        counterValue("quest.synth.cache_misses");
+    const QuestResult second = QuestPipeline(cfg).run(circuit);
+    EXPECT_EQ(counterValue("quest.synth.cache_misses"),
+              searches_before);
+    EXPECT_EQ(sampleQasm(first), sampleQasm(second));
+}
+
+TEST(ResilienceCheckpoint, FingerprintMismatchResetsJournal)
+{
+    TempDir dir;
+    QuestConfig cfg = leanConfig();
+    cfg.checkpointDir = (dir.path / "ckpt").string();
+    QuestPipeline(cfg).run(benchCircuit());
+
+    // Same journal dir, different circuit: recorded decisions do not
+    // transfer, so the resume must recompute rather than replay.
+    const Circuit other = algos::tfim(3, 1);
+    cfg.resume = true;
+    const uint64_t replayed_before =
+        counterValue("resilience.checkpoint_blocks_replayed");
+    const QuestResult r = QuestPipeline(cfg).run(other);
+    expectValidEnsemble(r);
+    EXPECT_EQ(counterValue("resilience.checkpoint_blocks_replayed"),
+              replayed_before);
+
+    // And a fresh run of the same circuit matches it: the stale
+    // journal changed nothing.
+    QuestConfig plain = leanConfig();
+    EXPECT_EQ(sampleQasm(QuestPipeline(plain).run(other)),
+              sampleQasm(r));
+}
+
+TEST(ResilienceCheckpoint, WithoutResumeJournalIsReset)
+{
+    const Circuit circuit = benchCircuit();
+    TempDir dir;
+    QuestConfig cfg = leanConfig();
+    cfg.checkpointDir = (dir.path / "ckpt").string();
+    QuestPipeline(cfg).run(circuit);
+
+    // resume=false (the default): the journal is truncated at open,
+    // so the run recomputes and re-records everything.
+    const uint64_t replayed_before =
+        counterValue("resilience.checkpoint_blocks_replayed");
+    const uint64_t searches_before =
+        counterValue("quest.synth.cache_misses");
+    QuestPipeline(cfg).run(circuit);
+    EXPECT_EQ(counterValue("resilience.checkpoint_blocks_replayed"),
+              replayed_before);
+    EXPECT_GT(counterValue("quest.synth.cache_misses"),
+              searches_before);
+}
+
+} // namespace
+} // namespace quest

@@ -1,0 +1,666 @@
+/**
+ * @file
+ * Unit tests for the resilience layer: budgets, the error taxonomy,
+ * fault injection, the QRJ1 journal, cancel-aware parallelFor, and
+ * the budget plumbing through L-BFGS, dual annealing and the
+ * synthesis cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/dual_annealing.hh"
+#include "cache/synthesis_cache.hh"
+#include "obs/metrics.hh"
+#include "resilience/budget.hh"
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "resilience/journal.hh"
+#include "resilience/thread_pool.hh"
+#include "synth/lbfgs.hh"
+#include "util/sha256.hh"
+
+namespace quest {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace resilience;
+
+fs::path
+makeTempDir()
+{
+    std::string tmpl =
+        (fs::temp_directory_path() / "quest-resil-test-XXXXXX").string();
+    char *dir = mkdtemp(tmpl.data());
+    EXPECT_NE(dir, nullptr);
+    return fs::path(dir);
+}
+
+struct TempDir
+{
+    fs::path path = makeTempDir();
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+uint64_t
+counterValue(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name).value();
+}
+
+// ---- Deadline / CancelToken / Budget -------------------------------
+
+TEST(Deadline, DefaultIsNever)
+{
+    Deadline d;
+    EXPECT_TRUE(d.isNever());
+    EXPECT_FALSE(d.expired());
+    EXPECT_TRUE(std::isinf(d.remainingSeconds()));
+}
+
+TEST(Deadline, ZeroOrNegativeExpiresImmediately)
+{
+    EXPECT_TRUE(Deadline::after(0.0).expired());
+    EXPECT_TRUE(Deadline::after(-1.0).expired());
+    EXPECT_EQ(Deadline::after(-1.0).remainingSeconds(), 0.0);
+}
+
+TEST(Deadline, FutureDeadlineNotExpired)
+{
+    Deadline d = Deadline::after(3600.0);
+    EXPECT_FALSE(d.isNever());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remainingSeconds(), 3000.0);
+}
+
+TEST(Deadline, SoonerPicksTighter)
+{
+    const Deadline never = Deadline::never();
+    const Deadline loose = Deadline::after(3600.0);
+    const Deadline tight = Deadline::after(0.0);
+    EXPECT_TRUE(Deadline::sooner(never, never).isNever());
+    EXPECT_FALSE(Deadline::sooner(never, loose).isNever());
+    EXPECT_TRUE(Deadline::sooner(tight, loose).expired());
+    EXPECT_TRUE(Deadline::sooner(loose, tight).expired());
+}
+
+TEST(CancelToken, StickyAndHierarchical)
+{
+    CancelToken parent;
+    CancelToken child(&parent);
+    CancelToken grandchild(&child);
+    EXPECT_FALSE(grandchild.cancelled());
+
+    parent.cancel();
+    EXPECT_TRUE(parent.cancelled());
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_TRUE(grandchild.cancelled());
+}
+
+TEST(CancelToken, ChildDoesNotCancelParent)
+{
+    CancelToken parent;
+    CancelToken child(&parent);
+    child.cancel();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(Budget, DefaultIsUnbounded)
+{
+    Budget b;
+    EXPECT_TRUE(b.unbounded());
+    EXPECT_FALSE(b.exhausted());
+    EXPECT_EQ(b.stop(), StopReason::None);
+}
+
+TEST(Budget, DeadlineStops)
+{
+    Budget b(Deadline::after(0.0), nullptr);
+    EXPECT_FALSE(b.unbounded());
+    EXPECT_EQ(b.stop(), StopReason::Deadline);
+}
+
+TEST(Budget, CancellationWinsOverDeadline)
+{
+    CancelToken token;
+    token.cancel();
+    Budget b(Deadline::after(0.0), &token);
+    EXPECT_EQ(b.stop(), StopReason::Cancelled);
+}
+
+TEST(Budget, WithDeadlineTightens)
+{
+    Budget loose(Deadline::never(), nullptr);
+    EXPECT_TRUE(loose.withDeadline(Deadline::after(0.0)).exhausted());
+
+    CancelToken token;
+    Budget b(Deadline::after(3600.0), &token);
+    Budget tighter = b.withDeadline(Deadline::after(0.0));
+    EXPECT_EQ(tighter.cancel, &token);
+    EXPECT_EQ(tighter.stop(), StopReason::Deadline);
+
+    // The looser extra deadline must not loosen the original.
+    Budget same = Budget(Deadline::after(0.0), nullptr)
+                      .withDeadline(Deadline::after(3600.0));
+    EXPECT_TRUE(same.exhausted());
+}
+
+TEST(Budget, StopReasonNames)
+{
+    EXPECT_STREQ(stopReasonName(StopReason::None), "none");
+    EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
+    EXPECT_STREQ(stopReasonName(StopReason::Deadline), "deadline");
+}
+
+// ---- QuestError ----------------------------------------------------
+
+TEST(QuestErrorTest, CarriesCategoryAndExitCode)
+{
+    QuestError e(ErrorCategory::Timeout, "run budget exhausted");
+    EXPECT_EQ(e.category(), ErrorCategory::Timeout);
+    EXPECT_EQ(e.exitCode(), 12);
+    EXPECT_STREQ(e.what(), "timeout: run budget exhausted");
+}
+
+TEST(QuestErrorTest, ContextChainRenders)
+{
+    QuestError e(ErrorCategory::Io, "disk full");
+    e.withContext("storing block 3").withContext("compiling foo.qasm");
+    EXPECT_EQ(e.context().size(), 2u);
+    EXPECT_STREQ(e.what(), "io: disk full (storing block 3; "
+                           "compiling foo.qasm)");
+    EXPECT_EQ(e.describe(), std::string(e.what()));
+}
+
+TEST(QuestErrorTest, ExitCodesAreDistinctAndDocumented)
+{
+    const ErrorCategory all[] = {
+        ErrorCategory::InvalidInput, ErrorCategory::Io,
+        ErrorCategory::Timeout,      ErrorCategory::Cancelled,
+        ErrorCategory::Diverged,     ErrorCategory::Resource,
+        ErrorCategory::Internal,
+    };
+    std::vector<int> codes;
+    for (ErrorCategory c : all) {
+        const int code = exitCodeFor(c);
+        // Never collide with success (0), legacy fatal (1), usage (2).
+        EXPECT_GE(code, 10);
+        for (int seen : codes)
+            EXPECT_NE(code, seen);
+        codes.push_back(code);
+    }
+    EXPECT_EQ(exitCodeFor(ErrorCategory::InvalidInput), 10);
+    EXPECT_EQ(exitCodeFor(ErrorCategory::Internal), 70);
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Diverged), "diverged");
+}
+
+// ---- FaultPlan -----------------------------------------------------
+
+TEST(Fault, QuiescentByDefault)
+{
+    EXPECT_FALSE(FaultPlan::armed());
+    EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.noplan"));
+}
+
+TEST(Fault, AlwaysAndScopedDisarm)
+{
+    {
+        ScopedFaultPlan plan("resilience-test.a:always");
+        EXPECT_TRUE(FaultPlan::armed());
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.a"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.a"));
+        // Unrelated sites never fire.
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.other"));
+    }
+    EXPECT_FALSE(FaultPlan::armed());
+    EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.a"));
+}
+
+TEST(Fault, TriggerSchedules)
+{
+    {
+        ScopedFaultPlan plan("resilience-test.once:once");
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.once"));
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.once"));
+    }
+    {
+        ScopedFaultPlan plan("resilience-test.nth:nth=3");
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.nth"));
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.nth"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.nth"));
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.nth"));
+    }
+    {
+        ScopedFaultPlan plan("resilience-test.after:after=2");
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.after"));
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.after"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.after"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.after"));
+    }
+    {
+        ScopedFaultPlan plan("resilience-test.every:every=2");
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.every"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.every"));
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.every"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.every"));
+    }
+}
+
+TEST(Fault, CountsRestartPerPlan)
+{
+    {
+        ScopedFaultPlan plan("resilience-test.restart:nth=2");
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.restart"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.restart"));
+        EXPECT_EQ(FaultPlan::firedCount(), 1u);
+    }
+    {
+        ScopedFaultPlan plan("resilience-test.restart:nth=2");
+        // Fresh plan, fresh per-site counts.
+        EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.restart"));
+        EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.restart"));
+    }
+}
+
+TEST(Fault, MultiSitePlans)
+{
+    ScopedFaultPlan plan(
+        "resilience-test.x:once,resilience-test.y:always");
+    EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.x"));
+    EXPECT_FALSE(QUEST_FAULT_POINT("resilience-test.x"));
+    EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.y"));
+    EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.y"));
+}
+
+TEST(Fault, FiredFaultsAreCounted)
+{
+    const uint64_t before = counterValue("resilience.faults_injected");
+    ScopedFaultPlan plan("resilience-test.counted:always");
+    EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.counted"));
+    EXPECT_TRUE(QUEST_FAULT_POINT("resilience-test.counted"));
+    EXPECT_EQ(counterValue("resilience.faults_injected"), before + 2);
+    EXPECT_GE(counterValue("fault.resilience-test.counted"), 2u);
+}
+
+TEST(Fault, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(FaultPlan::parse("no-trigger"), QuestError);
+    EXPECT_THROW(FaultPlan::parse("site:bogus"), QuestError);
+    EXPECT_THROW(FaultPlan::parse("site:nth"), QuestError);
+    EXPECT_THROW(FaultPlan::parse("site:nth=abc"), QuestError);
+    EXPECT_THROW(FaultPlan::parse(":always"), QuestError);
+    try {
+        FaultPlan::parse("site:bogus");
+        FAIL() << "expected QuestError";
+    } catch (const QuestError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::InvalidInput);
+    }
+}
+
+// ---- Journal -------------------------------------------------------
+
+std::vector<uint8_t>
+bytesOf(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(JournalTest, AppendAndRecover)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    {
+        Journal j(path);
+        EXPECT_TRUE(j.records().empty());
+        EXPECT_TRUE(j.append(1, bytesOf("alpha")));
+        EXPECT_TRUE(j.append(2, bytesOf("")));
+        EXPECT_TRUE(j.append(7, bytesOf("gamma")));
+    }
+    Journal j(path);
+    ASSERT_EQ(j.records().size(), 3u);
+    EXPECT_EQ(j.records()[0].type, 1u);
+    EXPECT_EQ(j.records()[0].payload, bytesOf("alpha"));
+    EXPECT_EQ(j.records()[1].type, 2u);
+    EXPECT_TRUE(j.records()[1].payload.empty());
+    EXPECT_EQ(j.records()[2].type, 7u);
+    EXPECT_EQ(j.truncatedBytes(), 0u);
+}
+
+TEST(JournalTest, RecoveryTruncatesTornTail)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    {
+        Journal j(path);
+        j.append(1, bytesOf("keep-me"));
+        j.append(2, bytesOf("torn"));
+    }
+    // Tear the last record: chop some trailing bytes, as a crash
+    // mid-write would.
+    const auto full = fs::file_size(path);
+    fs::resize_file(path, full - 3);
+    {
+        Journal j(path);
+        ASSERT_EQ(j.records().size(), 1u);
+        EXPECT_EQ(j.records()[0].payload, bytesOf("keep-me"));
+        EXPECT_GT(j.truncatedBytes(), 0u);
+        // The file is usable again: append lands after the good
+        // prefix.
+        EXPECT_TRUE(j.append(3, bytesOf("new")));
+    }
+    Journal j(path);
+    ASSERT_EQ(j.records().size(), 2u);
+    EXPECT_EQ(j.records()[1].payload, bytesOf("new"));
+}
+
+TEST(JournalTest, RecoveryDropsCorruptPayload)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    {
+        Journal j(path);
+        j.append(1, bytesOf("good"));
+        j.append(2, bytesOf("flipped"));
+    }
+    {
+        // Flip one payload byte of the last record; its checksum must
+        // catch it.
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(-2, std::ios::end);
+        f.put('X');
+    }
+    Journal j(path);
+    ASSERT_EQ(j.records().size(), 1u);
+    EXPECT_EQ(j.records()[0].payload, bytesOf("good"));
+}
+
+TEST(JournalTest, WrongMagicStartsFresh)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "NOTJ0000 some trailing garbage";
+    }
+    Journal j(path);
+    EXPECT_TRUE(j.records().empty());
+    EXPECT_TRUE(j.append(1, bytesOf("fresh")));
+}
+
+TEST(JournalTest, ResetDiscardsRecords)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    {
+        Journal j(path);
+        j.append(1, bytesOf("gone"));
+        j.reset();
+        j.append(2, bytesOf("kept"));
+    }
+    Journal j(path);
+    ASSERT_EQ(j.records().size(), 1u);
+    EXPECT_EQ(j.records()[0].type, 2u);
+}
+
+TEST(JournalTest, InjectedAppendFailureDegradesToReadOnly)
+{
+    TempDir dir;
+    const std::string path = (dir.path / "j.qrj").string();
+    const uint64_t before = counterValue("resilience.journal_failures");
+    {
+        Journal j(path);
+        EXPECT_TRUE(j.append(1, bytesOf("persisted")));
+        {
+            ScopedFaultPlan plan("journal.append:once");
+            EXPECT_FALSE(j.append(2, bytesOf("dropped")));
+        }
+        EXPECT_TRUE(j.failed());
+        // Once failed, the journal stays read-only even without the
+        // fault: no half-trusted tail.
+        EXPECT_FALSE(j.append(3, bytesOf("also dropped")));
+    }
+    EXPECT_GE(counterValue("resilience.journal_failures"), before + 1);
+    Journal j(path);
+    ASSERT_EQ(j.records().size(), 1u);
+    EXPECT_EQ(j.records()[0].payload, bytesOf("persisted"));
+}
+
+TEST(JournalTest, UnwritablePathThrowsIoError)
+{
+    try {
+        Journal j("/proc/definitely/not/writable/j.qrj");
+        FAIL() << "expected QuestError";
+    } catch (const QuestError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Io);
+    }
+}
+
+// ---- Cancel-aware parallelFor --------------------------------------
+
+TEST(ThreadPoolCancel, PreCancelledSkipsAllWork)
+{
+    ThreadPool pool(3);
+    CancelToken token;
+    token.cancel();
+    std::atomic<int> ran{0};
+    pool.parallelFor(1000, [&](size_t) { ran.fetch_add(1); }, &token);
+    EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPoolCancel, MidRunCancelStopsUnclaimedIndices)
+{
+    ThreadPool pool(3);
+    CancelToken token;
+    std::atomic<int> ran{0};
+    pool.parallelFor(
+        10000,
+        [&](size_t i) {
+            if (i == 0)
+                token.cancel();
+            ran.fetch_add(1);
+        },
+        &token);
+    // Everything claimed before the cancel still ran; the bulk was
+    // skipped. parallelFor itself returned (done-accounting exact).
+    EXPECT_GT(ran.load(), 0);
+    EXPECT_LT(ran.load(), 10000);
+}
+
+TEST(ThreadPoolCancel, NullTokenRunsEverything)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.parallelFor(128, [&](size_t) { ran.fetch_add(1); }, nullptr);
+    EXPECT_EQ(ran.load(), 128);
+}
+
+// ---- Budget plumbing: L-BFGS ---------------------------------------
+
+TEST(LbfgsBudget, CancelStopsWithinOneIteration)
+{
+    // Quadratic bowl: plenty of iterations available if not stopped.
+    GradObjective objective = [](const std::vector<double> &x,
+                                 std::vector<double> *grad) {
+        double f = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            f += x[i] * x[i];
+            if (grad)
+                (*grad)[i] = 2.0 * x[i];
+        }
+        return f;
+    };
+
+    CancelToken token;
+    token.cancel();
+    LbfgsOptions options;
+    options.budget = Budget(Deadline::never(), &token);
+    LbfgsResult r = lbfgsMinimize(objective, {5.0, -3.0}, options);
+    EXPECT_EQ(r.stopped, StopReason::Cancelled);
+    EXPECT_EQ(r.iterations, 0);
+    EXPECT_FALSE(r.converged);
+
+    options.budget = Budget(Deadline::after(0.0), nullptr);
+    r = lbfgsMinimize(objective, {5.0, -3.0}, options);
+    EXPECT_EQ(r.stopped, StopReason::Deadline);
+}
+
+TEST(LbfgsBudget, UnboundedRunUnaffected)
+{
+    GradObjective objective = [](const std::vector<double> &x,
+                                 std::vector<double> *grad) {
+        double f = 0.0;
+        for (size_t i = 0; i < x.size(); ++i) {
+            f += x[i] * x[i];
+            if (grad)
+                (*grad)[i] = 2.0 * x[i];
+        }
+        return f;
+    };
+    LbfgsResult r = lbfgsMinimize(objective, {5.0, -3.0});
+    EXPECT_EQ(r.stopped, StopReason::None);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.value, 0.0, 1e-8);
+}
+
+TEST(LbfgsBudget, NonFiniteInitialObjectiveIsInfNotCrash)
+{
+    const uint64_t before = counterValue("lbfgs.nonfinite_objectives");
+    GradObjective objective = [](const std::vector<double> &,
+                                 std::vector<double> *grad) {
+        if (grad)
+            (*grad)[0] = 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
+    };
+    LbfgsResult r = lbfgsMinimize(objective, {1.0});
+    EXPECT_FALSE(r.converged);
+    EXPECT_TRUE(std::isinf(r.value));
+    EXPECT_GT(counterValue("lbfgs.nonfinite_objectives"), before);
+}
+
+// ---- Budget plumbing: dual annealing -------------------------------
+
+TEST(AnnealBudget, DeadlineStopsSweepLoop)
+{
+    AnnealObjective objective = [](const std::vector<double> &x) {
+        return x[0] * x[0];
+    };
+    AnnealOptions options;
+    options.budget = Budget(Deadline::after(0.0), nullptr);
+    AnnealResult r =
+        dualAnnealing(objective, {-1.0}, {1.0}, options);
+    EXPECT_EQ(r.stopped, StopReason::Deadline);
+    // The best-so-far point is still a valid box point.
+    ASSERT_EQ(r.x.size(), 1u);
+    EXPECT_GE(r.x[0], -1.0);
+    EXPECT_LE(r.x[0], 1.0);
+}
+
+TEST(AnnealBudget, NanObjectiveIsGuarded)
+{
+    const uint64_t before = counterValue("anneal.nan_objectives");
+    // NaN on part of the domain: the guard must keep the search away
+    // without poisoning the best-so-far tracking.
+    AnnealObjective objective = [](const std::vector<double> &x) {
+        if (x[0] < 0.25)
+            return std::numeric_limits<double>::quiet_NaN();
+        return (x[0] - 0.5) * (x[0] - 0.5);
+    };
+    AnnealOptions options;
+    options.maxIterations = 60;
+    options.seed = 11;
+    AnnealResult r = dualAnnealing(objective, {0.0}, {1.0}, options);
+    EXPECT_TRUE(std::isfinite(r.value));
+    EXPECT_NEAR(r.x[0], 0.5, 0.2);
+    EXPECT_GT(counterValue("anneal.nan_objectives"), before);
+}
+
+// ---- Cache fault sites ---------------------------------------------
+
+Circuit
+tinyNativeCircuit()
+{
+    Circuit c(2);
+    c.append(Gate::u3(0, 0.1, 0.2, 0.3));
+    c.append(Gate::cx(0, 1));
+    return c;
+}
+
+SynthOutput
+tinyOutput()
+{
+    SynthOutput out;
+    SynthCandidate cand;
+    cand.circuit = tinyNativeCircuit();
+    cand.distance = 0.01;
+    cand.cnotCount = 1;
+    out.candidates.push_back(std::move(cand));
+    out.bestIndex = 0;
+    return out;
+}
+
+TEST(CacheFaults, StoreFailuresDegradeToCountedMiss)
+{
+    const char *sites[] = {"cache.store.enospc",
+                           "cache.store.short_write",
+                           "cache.store.rename"};
+    for (const char *site : sites) {
+        TempDir dir;
+        cache::SynthesisCache c({.dir = dir.path.string()});
+        const std::string key = Sha256::hexDigest(site);
+
+        const uint64_t failed_before =
+            counterValue("quest.cache.store_failed");
+        {
+            ScopedFaultPlan plan(std::string(site) + ":always");
+            c.store(key, tinyOutput());
+        }
+        EXPECT_EQ(counterValue("quest.cache.store_failed"),
+                  failed_before + 1)
+            << site;
+        // Nothing published, nothing half-written: the next load is a
+        // plain miss and a retry succeeds.
+        EXPECT_FALSE(c.load(key).has_value()) << site;
+        c.store(key, tinyOutput());
+        EXPECT_TRUE(c.load(key).has_value()) << site;
+    }
+}
+
+TEST(CacheFaults, LoadReadFaultIsAMissNotAThrow)
+{
+    TempDir dir;
+    cache::SynthesisCache c({.dir = dir.path.string()});
+    const std::string key = Sha256::hexDigest("load-read-fault");
+    c.store(key, tinyOutput());
+    ASSERT_TRUE(c.load(key).has_value());
+
+    {
+        ScopedFaultPlan plan("cache.load.read:once");
+        EXPECT_FALSE(c.load(key).has_value());
+    }
+    // The faulted entry was treated as damaged and dropped; a fresh
+    // store repopulates it.
+    c.store(key, tinyOutput());
+    EXPECT_TRUE(c.load(key).has_value());
+}
+
+} // namespace
+} // namespace quest

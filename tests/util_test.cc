@@ -16,7 +16,7 @@
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
-#include "util/thread_pool.hh"
+#include "resilience/thread_pool.hh"
 #include "util/timer.hh"
 
 namespace quest {

@@ -27,8 +27,19 @@
  *   --cache-dir <dir>  persistent synthesis cache directory
  *                      (default: $QUEST_CACHE_DIR if set)
  *   --no-cache         disable the persistent cache entirely
+ *   --timeout <sec>        wall-clock ceiling for the whole run
+ *   --block-timeout <sec>  per-block synthesis ceiling
+ *   --fail-on-deadline     abort (exit 12) instead of degrading when
+ *                          the run deadline fires
+ *   --checkpoint <dir>     crash-safe run journal directory
+ *   --resume               replay a matching journal in <dir>
  *   --trace <file>     write a Chrome-trace JSON of the run
  *   --stats            print span attribution + metrics tables
+ *
+ * Exit codes (resilience/error.hh): 0 success, 2 usage,
+ * 10 invalid input, 11 I/O, 12 timeout, 13 cancelled, 14 diverged,
+ * 15 resource, 70 internal. Failures print a one-line diagnostic to
+ * stderr.
  */
 
 #include <cstdlib>
@@ -46,6 +57,7 @@
 #include "obs/trace.hh"
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
+#include "resilience/error.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -76,15 +88,18 @@ usage()
               << "  --cache-dir dir  persistent synthesis cache "
                  "(default: $QUEST_CACHE_DIR)\n"
               << "  --no-cache       disable the persistent cache\n"
+              << "  --timeout sec        run wall-clock ceiling\n"
+              << "  --block-timeout sec  per-block synthesis ceiling\n"
+              << "  --fail-on-deadline   abort instead of degrading\n"
+              << "  --checkpoint dir     crash-safe run journal\n"
+              << "  --resume             replay a matching journal\n"
               << "  --trace file     write Chrome-trace JSON\n"
               << "  --stats          print span/metrics tables\n";
     return 2;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCompile(int argc, char **argv)
 {
     QuestConfig config;
     config.synth.beamWidth = 1;
@@ -112,29 +127,50 @@ main(int argc, char **argv)
             no_cache = true;
             continue;
         }
+        if (arg == "--fail-on-deadline") {
+            config.deadlinePolicy = DeadlinePolicy::Fail;
+            continue;
+        }
+        if (arg == "--resume") {
+            config.resume = true;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::cerr << "option " << arg << " needs a value\n";
             return usage();
         }
         const std::string value = argv[++i];
-        if (arg == "--threshold") {
-            config.thresholdPerBlock = std::stod(value);
-        } else if (arg == "--max-samples") {
-            config.maxSamples = std::stoi(value);
-        } else if (arg == "--max-layers") {
-            config.synth.maxLayers = std::stoi(value);
-        } else if (arg == "--block-size") {
-            config.maxBlockSize = std::stoi(value);
-        } else if (arg == "--seed") {
-            config.seed = std::stoull(value);
-        } else if (arg == "--threads") {
-            config.threads = static_cast<unsigned>(std::stoul(value));
-        } else if (arg == "--cache-dir") {
-            cache_dir = value;
-        } else if (arg == "--trace") {
-            trace_path = value;
-        } else {
-            std::cerr << "unknown option: " << arg << "\n";
+        try {
+            if (arg == "--threshold") {
+                config.thresholdPerBlock = std::stod(value);
+            } else if (arg == "--max-samples") {
+                config.maxSamples = std::stoi(value);
+            } else if (arg == "--max-layers") {
+                config.synth.maxLayers = std::stoi(value);
+            } else if (arg == "--block-size") {
+                config.maxBlockSize = std::stoi(value);
+            } else if (arg == "--seed") {
+                config.seed = std::stoull(value);
+            } else if (arg == "--threads") {
+                config.threads =
+                    static_cast<unsigned>(std::stoul(value));
+            } else if (arg == "--timeout") {
+                config.runTimeoutSeconds = std::stod(value);
+            } else if (arg == "--block-timeout") {
+                config.blockTimeoutSeconds = std::stod(value);
+            } else if (arg == "--checkpoint") {
+                config.checkpointDir = value;
+            } else if (arg == "--cache-dir") {
+                cache_dir = value;
+            } else if (arg == "--trace") {
+                trace_path = value;
+            } else {
+                std::cerr << "unknown option: " << arg << "\n";
+                return usage();
+            }
+        } catch (const std::exception &) {
+            std::cerr << "bad value for " << arg << ": " << value
+                      << "\n";
             return usage();
         }
     }
@@ -157,8 +193,9 @@ main(int argc, char **argv)
 
     std::ifstream in(input_path);
     if (!in) {
-        std::cerr << "cannot open " << input_path << "\n";
-        return 1;
+        throw resilience::QuestError(
+            resilience::ErrorCategory::Io,
+            "cannot open '" + input_path + "'");
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
@@ -167,8 +204,10 @@ main(int argc, char **argv)
     try {
         circuit = parseQasm(buffer.str());
     } catch (const QasmError &e) {
-        std::cerr << "QASM parse error: " << e.what() << "\n";
-        return 1;
+        throw resilience::QuestError(
+            resilience::ErrorCategory::InvalidInput,
+            std::string("QASM parse error: ") + e.what())
+            .withContext("parsing '" + input_path + "'");
     }
 
     const bool observe = print_stats || !trace_path.empty();
@@ -217,6 +256,8 @@ main(int argc, char **argv)
             << "qubits: " << result.original.numQubits() << "\n"
             << "original cnots: " << result.originalCnots << "\n"
             << "blocks: " << result.blocks.size() << "\n"
+            << "ok blocks: " << result.okBlocks() << "\n"
+            << "fallback blocks: " << result.fallbackBlocks() << "\n"
             << "threshold: " << result.threshold << "\n"
             << "samples: " << result.samples.size() << "\n";
     for (size_t s = 0; s < result.samples.size(); ++s) {
@@ -267,4 +308,23 @@ main(int argc, char **argv)
         obs::MetricsRegistry::global().table().print(std::cout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runCompile(argc, argv);
+    } catch (const quest::resilience::QuestError &e) {
+        // One line, machine-greppable: "quest_compile: <category>:
+        // <message> (<context>)".
+        std::cerr << "quest_compile: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "quest_compile: internal: " << e.what() << "\n";
+        return quest::resilience::exitCodeFor(
+            quest::resilience::ErrorCategory::Internal);
+    }
 }
