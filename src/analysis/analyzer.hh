@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The analyzer driver: walks the tree, decides which rule families
+ * apply to which paths, runs the per-file rules, then the cross-file
+ * registry checks, and returns a Report.
+ *
+ * Path policy (all paths repo-relative):
+ *   - determinism rules are skipped for src/resilience/, src/obs/,
+ *     tools/, bench/ and src/util/timer.hh (the clock/env allowlist);
+ *   - the cancellation rule applies to src/synth/, src/anneal/ and
+ *     src/quest/;
+ *   - errors.runtime-error is skipped for src/util/ (the taxonomy
+ *     itself derives from std::runtime_error);
+ *   - literal metric/fault names are findings in src/ only — tests,
+ *     tools and benches may use literals (ephemeral-prefix names);
+ *   - tests/analysis_fixtures/ and build directories are never walked.
+ */
+
+#ifndef QUEST_ANALYSIS_ANALYZER_HH
+#define QUEST_ANALYSIS_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "analysis/registry.hh"
+
+namespace quest::analysis {
+
+struct AnalyzerConfig
+{
+    /** Repo root; every other path is resolved against it. */
+    std::string root = ".";
+    /**
+     * Files or directories (repo-relative) to scan. Empty means the
+     * default roots: src, tools, tests, bench.
+     */
+    std::vector<std::string> paths;
+    std::string registryPath = "docs/REGISTRY.md";
+    std::string namesPath = "src/util/names.hh";
+    /** Source of the exit-code taxonomy. */
+    std::string errorSource = "src/resilience/error.cc";
+    /**
+     * Report documented-but-unused registry entries. Forced off when
+     * @ref paths narrows the scan (a partial scan cannot prove
+     * non-use).
+     */
+    bool checkStale = true;
+};
+
+struct Report
+{
+    std::vector<Finding> findings; //!< sorted by file, line, rule
+    int filesScanned = 0;
+    int suppressionsUsed = 0;
+    RegistryDoc doc;   //!< parsed docs/REGISTRY.md
+    CodeRegistry code; //!< registry extracted from the tree
+
+    bool clean() const { return findings.empty(); }
+};
+
+/** Run the full analysis. Throws QuestError(Io) when the root or the
+ *  registry/names inputs cannot be read. */
+Report analyze(const AnalyzerConfig &config);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,20 @@
+#include "analysis/finding.hh"
+
+#include <tuple>
+
+namespace quest::analysis {
+
+const char *
+severityName(Severity severity)
+{
+    return severity == Severity::Error ? "error" : "warning";
+}
+
+bool
+findingBefore(const Finding &a, const Finding &b)
+{
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+}
+
+} // namespace quest::analysis

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Typed findings produced by the static analyzer.
+ *
+ * Every finding carries a stable dotted rule id ("determinism.clock",
+ * "registry.undocumented-metric", ...) — the same id used by the
+ * `// QUEST_ANALYZE_OK(rule.id)` suppression syntax — plus the
+ * file:line it anchors to and a human message. The full rule list
+ * lives in docs/ANALYSIS.md.
+ */
+
+#ifndef QUEST_ANALYSIS_FINDING_HH
+#define QUEST_ANALYSIS_FINDING_HH
+
+#include <string>
+
+namespace quest::analysis {
+
+enum class Severity { Error, Warning };
+
+/** "error" / "warning". */
+const char *severityName(Severity severity);
+
+struct Finding
+{
+    std::string rule;   //!< stable dotted id, e.g. "determinism.clock"
+    Severity severity = Severity::Error;
+    std::string file;   //!< repo-relative path
+    int line = 0;       //!< 1-based
+    std::string message;
+};
+
+/** Stable output order: file, then line, then rule. */
+bool findingBefore(const Finding &a, const Finding &b);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_FINDING_HH

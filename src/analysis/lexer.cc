@@ -1,0 +1,166 @@
+#include "analysis/lexer.hh"
+
+#include <cctype>
+#include <string>
+
+namespace quest::analysis {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Count newlines in @p text (to keep the line counter exact for
+ *  multi-line tokens). */
+int
+newlinesIn(std::string_view text)
+{
+    int n = 0;
+    for (char c : text)
+        n += (c == '\n');
+    return n;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+
+    auto push = [&](TokenKind kind, size_t begin, size_t end) {
+        out.push_back({kind, src.substr(begin, end - begin), line});
+    };
+
+    while (i < n) {
+        const char c = src[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+                ++j;
+            push(TokenKind::Comment, i + 2, j);
+            i = j;
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
+                ++j;
+            const size_t end = (j + 1 < n) ? j : n;
+            push(TokenKind::Comment, i + 2, end);
+            line += newlinesIn(src.substr(i, end - i));
+            i = (j + 1 < n) ? j + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: R"delim(...)delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            // Find the d-char delimiter up to the '('.
+            size_t j = i + 2;
+            while (j < n && src[j] != '(' && src[j] != '\n' &&
+                   j - (i + 2) < 16)
+                ++j;
+            if (j < n && src[j] == '(') {
+                std::string closer = ")";
+                closer.append(src.substr(i + 2, j - (i + 2)));
+                closer.push_back('"');
+                size_t k = src.find(closer, j + 1);
+                size_t end = (k == std::string_view::npos) ? n : k;
+                push(TokenKind::String, j + 1, end);
+                line += newlinesIn(src.substr(i, end - i));
+                i = (k == std::string_view::npos) ? n
+                                                  : k + closer.size();
+                continue;
+            }
+            // No '(' — fall through and lex 'R' as an identifier.
+        }
+
+        // Ordinary string literal.
+        if (c == '"') {
+            size_t j = i + 1;
+            while (j < n && src[j] != '"' && src[j] != '\n') {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            push(TokenKind::String, i + 1, j);
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+
+        // Character literal. Disambiguate from digit separators
+        // (1'000'000): a ' directly after a number token's digits is
+        // consumed by the number scanner below, so reaching here
+        // means a real char literal (or a stray quote; both lex the
+        // same way).
+        if (c == '\'') {
+            size_t j = i + 1;
+            while (j < n && src[j] != '\'' && src[j] != '\n') {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            push(TokenKind::CharLit, i + 1, j);
+            i = (j < n) ? j + 1 : n;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t j = i + 1;
+            while (j < n && isIdentChar(src[j]))
+                ++j;
+            push(TokenKind::Identifier, i, j);
+            i = j;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            size_t j = i + 1;
+            while (j < n &&
+                   (isIdentChar(src[j]) || src[j] == '.' ||
+                    src[j] == '\'' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            push(TokenKind::Number, i, j);
+            i = j;
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        push(TokenKind::Punct, i, i + 1);
+        ++i;
+    }
+    return out;
+}
+
+} // namespace quest::analysis

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A lightweight C++ lexer for static analysis.
+ *
+ * Produces a flat token stream — identifiers, literals, punctuation,
+ * comments — with line numbers. It is not a preprocessor or a
+ * parser: macros are not expanded and templates are not matched. The
+ * point is that rule checks see *tokens*, so an identifier such as
+ * `steady_clock` inside a string literal or a comment can never
+ * false-positive, and a string literal argument is recognized as one
+ * token regardless of what it contains.
+ *
+ * Handled: // and block comments, ordinary/char/raw string literals
+ * (including d-char delimiters), numeric literals (including digit
+ * separators and suffixes), identifiers, and multi-character
+ * punctuators as single characters (rules match on single punct
+ * tokens, so splitting `->` into `-` `>` is fine and keeps the lexer
+ * trivial). Unterminated constructs terminate at end of input rather
+ * than erroring: an analyzer must degrade gracefully on any input.
+ */
+
+#ifndef QUEST_ANALYSIS_LEXER_HH
+#define QUEST_ANALYSIS_LEXER_HH
+
+#include <string_view>
+#include <vector>
+
+namespace quest::analysis {
+
+enum class TokenKind {
+    Identifier, //!< identifiers and keywords
+    Number,     //!< numeric literal
+    String,     //!< "..." or R"(...)" — text excludes the quotes
+    CharLit,    //!< '...'
+    Punct,      //!< one punctuation character
+    Comment,    //!< // or /* */ — text excludes the markers
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string_view text; //!< view into the lexed source
+    int line;              //!< 1-based line of the token's first char
+};
+
+/**
+ * Tokenize @p source. Returned views point into @p source, which
+ * must outlive the tokens.
+ */
+std::vector<Token> lex(std::string_view source);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_LEXER_HH

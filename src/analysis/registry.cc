@@ -1,0 +1,279 @@
+#include "analysis/registry.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace quest::analysis {
+
+namespace {
+
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Strip one level of `backticks` from a table cell. */
+std::string
+uncode(std::string cell)
+{
+    if (cell.size() >= 2 && cell.front() == '`' && cell.back() == '`')
+        return cell.substr(1, cell.size() - 2);
+    return cell;
+}
+
+/** Split a markdown table row into trimmed cells. */
+std::vector<std::string>
+splitRow(const std::string &line)
+{
+    std::vector<std::string> cells;
+    size_t begin = line.find('|');
+    while (begin != std::string::npos) {
+        size_t end = line.find('|', begin + 1);
+        if (end == std::string::npos)
+            break;
+        cells.push_back(
+            trim(std::string_view(line).substr(begin + 1,
+                                               end - begin - 1)));
+        begin = end;
+    }
+    return cells;
+}
+
+/** True for the |---|:---| separator row under a table header. */
+bool
+isSeparatorRow(const std::vector<std::string> &cells)
+{
+    for (const std::string &c : cells) {
+        for (char ch : c) {
+            if (ch != '-' && ch != ':')
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+containsWord(const std::string &heading, const char *word)
+{
+    return heading.find(word) != std::string::npos;
+}
+
+void
+reportDuplicate(std::vector<Finding> &findings, const std::string &file,
+                int line, const std::string &what,
+                const std::string &name)
+{
+    findings.push_back({"registry.duplicate", Severity::Error, file,
+                        line,
+                        what + " '" + name +
+                            "' is declared more than once"});
+}
+
+} // namespace
+
+bool
+RegistryDoc::matchesPrefix(const std::string &name) const
+{
+    for (const std::string &p : prefixes) {
+        if (name.size() > p.size() && name.compare(0, p.size(), p) == 0)
+            return true;
+    }
+    return false;
+}
+
+RegistryDoc
+parseRegistryDoc(const std::string &relPath, const std::string &text,
+                 std::vector<Finding> &findings)
+{
+    RegistryDoc doc;
+    enum class Section { None, Metrics, Prefixes, Faults, Exits };
+    Section section = Section::None;
+
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::string t = trim(line);
+        if (t.rfind("##", 0) == 0) {
+            if (containsWord(t, "refix"))
+                section = Section::Prefixes;
+            else if (containsWord(t, "etric"))
+                section = Section::Metrics;
+            else if (containsWord(t, "ault"))
+                section = Section::Faults;
+            else if (containsWord(t, "xit"))
+                section = Section::Exits;
+            else
+                section = Section::None;
+            continue;
+        }
+        if (section == Section::None || t.empty() || t[0] != '|')
+            continue;
+        std::vector<std::string> cells = splitRow(t);
+        if (cells.empty() || isSeparatorRow(cells))
+            continue;
+        const std::string first = uncode(cells[0]);
+        // Header rows name their column; every real entry contains
+        // a '.' or '-' or digit, so a bare column label is skipped.
+        if (first == "name" || first == "prefix" || first == "site" ||
+            first == "category")
+            continue;
+
+        switch (section) {
+          case Section::Metrics: {
+            if (cells.size() < 2) {
+                findings.push_back({"registry.malformed",
+                                    Severity::Error, relPath, lineNo,
+                                    "metric row needs | name | kind "
+                                    "| description |"});
+                break;
+            }
+            const std::string kind = uncode(cells[1]);
+            if (kind != "counter" && kind != "gauge" &&
+                kind != "histogram") {
+                findings.push_back({"registry.malformed",
+                                    Severity::Error, relPath, lineNo,
+                                    "unknown metric kind '" + kind +
+                                        "' for '" + first + "'"});
+                break;
+            }
+            if (!doc.metrics.emplace(first, kind).second)
+                reportDuplicate(findings, relPath, lineNo, "metric",
+                                first);
+            doc.sites["metric " + first] = {relPath, lineNo};
+            break;
+          }
+          case Section::Prefixes:
+            if (!doc.prefixes.insert(first).second)
+                reportDuplicate(findings, relPath, lineNo, "prefix",
+                                first);
+            doc.sites["prefix " + first] = {relPath, lineNo};
+            break;
+          case Section::Faults:
+            if (!doc.faultSites.insert(first).second)
+                reportDuplicate(findings, relPath, lineNo,
+                                "fault site", first);
+            doc.sites["fault " + first] = {relPath, lineNo};
+            break;
+          case Section::Exits: {
+            if (cells.size() < 2) {
+                findings.push_back({"registry.malformed",
+                                    Severity::Error, relPath, lineNo,
+                                    "exit-code row needs | category "
+                                    "| code | description |"});
+                break;
+            }
+            int code = 0;
+            try {
+                code = std::stoi(uncode(cells[1]));
+            } catch (const std::exception &) {
+                findings.push_back({"registry.malformed",
+                                    Severity::Error, relPath, lineNo,
+                                    "exit code for '" + first +
+                                        "' is not an integer"});
+                break;
+            }
+            if (!doc.exitCodes.emplace(first, code).second)
+                reportDuplicate(findings, relPath, lineNo,
+                                "exit code", first);
+            doc.sites["exit " + first] = {relPath, lineNo};
+            break;
+          }
+          case Section::None:
+            break;
+        }
+    }
+    return doc;
+}
+
+NamesHeader
+parseNamesHeader(const SourceFile &file, std::vector<Finding> &findings)
+{
+    NamesHeader names;
+    std::map<std::string, std::string> byValue; // value -> first ident
+    const auto &sig = file.sig;
+    for (size_t i = 0; i + 2 < sig.size(); ++i) {
+        if (sig[i].kind != TokenKind::Identifier ||
+            sig[i].text != "constexpr")
+            continue;
+        // constexpr [const] char IDENT [ ] = "..." ;
+        // constexpr int IDENT = N ;
+        size_t j = i + 1;
+        while (j < sig.size() && sig[j].kind == TokenKind::Identifier &&
+               (sig[j].text == "const" || sig[j].text == "char" ||
+                sig[j].text == "int"))
+            ++j;
+        // j now points at the declared identifier.
+        if (j >= sig.size() || sig[j].kind != TokenKind::Identifier)
+            continue;
+        const std::string ident(sig[j].text);
+        const int line = sig[j].line;
+        size_t k = j + 1;
+        while (k < sig.size() && sig[k].kind == TokenKind::Punct &&
+               (sig[k].text == "[" || sig[k].text == "]"))
+            ++k;
+        if (k + 1 >= sig.size() || sig[k].text != "=")
+            continue;
+        const Token &val = sig[k + 1];
+        if (val.kind == TokenKind::String) {
+            const std::string value(val.text);
+            names.strings[ident] = value;
+            names.sites[ident] = {file.relPath, line};
+            auto [it, fresh] = byValue.emplace(value, ident);
+            if (!fresh) {
+                findings.push_back(
+                    {"registry.duplicate", Severity::Error,
+                     file.relPath, line,
+                     "name constant '" + ident + "' duplicates '" +
+                         it->second + "' (both are \"" + value +
+                         "\")"});
+            }
+        } else if (val.kind == TokenKind::Number) {
+            try {
+                names.ints[ident] = std::stoi(std::string(val.text));
+                names.sites[ident] = {file.relPath, line};
+            } catch (const std::exception &) {
+            }
+        }
+    }
+    return names;
+}
+
+std::string
+renderManifest(const RegistryDoc &doc)
+{
+    std::ostringstream out;
+    for (const auto &[category, code] : doc.exitCodes)
+        out << "exit-code " << category << " " << code << "\n";
+    for (const std::string &site : doc.faultSites)
+        out << "fault-site " << site << "\n";
+    for (const auto &[name, kind] : doc.metrics)
+        out << "metric " << kind << " " << name << "\n";
+    for (const std::string &prefix : doc.prefixes)
+        out << "prefix " << prefix << "\n";
+    return out.str();
+}
+
+std::string
+renderManifest(const CodeRegistry &code)
+{
+    std::ostringstream out;
+    for (const auto &[category, exitCode] : code.exitCodes)
+        out << "exit-code " << category << " " << exitCode << "\n";
+    for (const std::string &site : code.faultSites)
+        out << "fault-site " << site << "\n";
+    for (const auto &[name, kind] : code.metrics)
+        out << "metric " << kind << " " << name << "\n";
+    for (const std::string &prefix : code.prefixes)
+        out << "prefix " << prefix << "\n";
+    return out.str();
+}
+
+} // namespace quest::analysis

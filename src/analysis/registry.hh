@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The two ends of the registry-consistency rule: the authoritative
+ * tables checked into docs/REGISTRY.md, and the name constants
+ * declared in src/util/names.hh. The analyzer extracts a third view
+ * from call sites in the code and requires all three to agree; both
+ * the docs and the code view can be rendered as a canonical
+ * manifest, so CI can additionally `diff` them directly.
+ */
+
+#ifndef QUEST_ANALYSIS_REGISTRY_HH
+#define QUEST_ANALYSIS_REGISTRY_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "analysis/source.hh"
+
+namespace quest::analysis {
+
+/** Where a registry entry was declared or used (for findings). */
+struct NameSite
+{
+    std::string file;
+    int line = 0;
+};
+
+/** Parsed docs/REGISTRY.md tables. */
+struct RegistryDoc
+{
+    std::map<std::string, std::string> metrics; //!< name -> kind
+    std::set<std::string> prefixes;     //!< dynamic/ephemeral prefixes
+    std::set<std::string> faultSites;
+    std::map<std::string, int> exitCodes; //!< category name -> code
+    std::map<std::string, NameSite> sites; //!< entry -> doc line
+
+    /** True when @p name starts with a registered prefix. */
+    bool matchesPrefix(const std::string &name) const;
+};
+
+/**
+ * Parse the markdown tables of docs/REGISTRY.md. Rows are assigned
+ * to the table of the nearest preceding "## ..." heading containing
+ * one of: "Metric", "Prefix", "Fault", "Exit". Malformed rows and
+ * duplicate names are reported as findings against @p relPath.
+ */
+RegistryDoc parseRegistryDoc(const std::string &relPath,
+                             const std::string &text,
+                             std::vector<Finding> &findings);
+
+/** Constants parsed out of src/util/names.hh. */
+struct NamesHeader
+{
+    std::map<std::string, std::string> strings; //!< ident -> value
+    std::map<std::string, int> ints;            //!< ident -> value
+    std::map<std::string, NameSite> sites;      //!< ident -> decl site
+};
+
+/**
+ * Extract `inline constexpr const char kX[] = "...";` and
+ * `inline constexpr int kX = N;` declarations. Two string constants
+ * with the same value are reported as registry.duplicate findings.
+ */
+NamesHeader parseNamesHeader(const SourceFile &file,
+                             std::vector<Finding> &findings);
+
+/** One metric/fault-site/exit-code occurrence extracted from code. */
+struct CodeUse
+{
+    enum class What { Metric, FaultSite, ExitCode, Prefix };
+    What what;
+    std::string name; //!< metric/site name, exit category, or prefix
+    std::string kind; //!< metric kind ("counter"/...); empty otherwise
+    int code = 0;     //!< ExitCode only
+    NameSite site;
+    bool literal = false; //!< spelled as a string literal at the site
+};
+
+/** Aggregated code-side registry (deduplicated, for the manifest). */
+struct CodeRegistry
+{
+    std::map<std::string, std::string> metrics;
+    std::set<std::string> prefixes;
+    std::set<std::string> faultSites;
+    std::map<std::string, int> exitCodes;
+};
+
+/**
+ * Canonical manifest: one sorted "kind name [extra]" line per entry,
+ * identical for the docs and code views when they agree — CI diffs
+ * the two renderings.
+ */
+std::string renderManifest(const RegistryDoc &doc);
+std::string renderManifest(const CodeRegistry &code);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_REGISTRY_HH

@@ -1,0 +1,82 @@
+#include "analysis/report.hh"
+
+#include <ostream>
+
+#include "obs/json.hh"
+
+namespace quest::analysis {
+
+void
+writeText(std::ostream &os, const Report &report)
+{
+    for (const Finding &f : report.findings) {
+        os << f.file << ":" << f.line << ": "
+           << severityName(f.severity) << ": [" << f.rule << "] "
+           << f.message << "\n";
+    }
+    if (report.clean()) {
+        os << "quest_analyze: clean — " << report.filesScanned
+           << " files, " << report.code.metrics.size() << " metrics, "
+           << report.code.faultSites.size() << " fault sites, "
+           << report.code.exitCodes.size() << " exit codes, "
+           << report.suppressionsUsed << " suppressions in use\n";
+    } else {
+        os << "quest_analyze: " << report.findings.size()
+           << " finding(s) in " << report.filesScanned << " files\n";
+    }
+}
+
+void
+writeJson(std::ostream &os, const Report &report)
+{
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("quest-analyze-v1");
+    w.key("files_scanned").value(report.filesScanned);
+    w.key("suppressions_used").value(report.suppressionsUsed);
+    w.key("clean").value(report.clean());
+
+    w.key("findings").beginArray();
+    for (const Finding &f : report.findings) {
+        w.beginObject();
+        w.key("rule").value(f.rule);
+        w.key("severity").value(severityName(f.severity));
+        w.key("file").value(f.file);
+        w.key("line").value(f.line);
+        w.key("message").value(f.message);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("registry").beginObject();
+    w.key("metrics").beginArray();
+    for (const auto &[name, kind] : report.code.metrics) {
+        w.beginObject();
+        w.key("name").value(name);
+        w.key("kind").value(kind);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("fault_sites").beginArray();
+    for (const std::string &site : report.code.faultSites)
+        w.value(site);
+    w.endArray();
+    w.key("exit_codes").beginArray();
+    for (const auto &[category, code] : report.code.exitCodes) {
+        w.beginObject();
+        w.key("category").value(category);
+        w.key("code").value(code);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("prefixes").beginArray();
+    for (const std::string &prefix : report.code.prefixes)
+        w.value(prefix);
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace quest::analysis

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Report rendering: compiler-style text for humans, and the
+ * machine-readable `quest-analyze-v1` JSON documented in
+ * docs/FORMATS.md.
+ */
+
+#ifndef QUEST_ANALYSIS_REPORT_HH
+#define QUEST_ANALYSIS_REPORT_HH
+
+#include <iosfwd>
+
+#include "analysis/analyzer.hh"
+
+namespace quest::analysis {
+
+/** `file:line: severity: [rule] message` lines plus a summary. */
+void writeText(std::ostream &os, const Report &report);
+
+/** The quest-analyze-v1 JSON document. */
+void writeJson(std::ostream &os, const Report &report);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_REPORT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The four rule families enforced by quest_analyze.
+ *
+ *   determinism.*   — no clock/env/PRNG reads, unordered-container
+ *                     iteration or filesystem-order dependence on
+ *                     result-affecting paths
+ *   cancellation.*  — kernel-calling loops in src/synth, src/anneal
+ *                     and src/quest must poll (or forward) a Budget
+ *   registry.*      — metric names, fault sites and exit codes must
+ *                     agree between code, src/util/names.hh and
+ *                     docs/REGISTRY.md
+ *   errors.*        — no stray std::runtime_error outside src/util;
+ *                     catch (...) must rethrow or forward
+ *
+ * Which families apply to which paths is the analyzer's decision
+ * (analyzer.cc); these functions implement the token-level checks.
+ * Findings are emitted through SourceFile::suppressed so that
+ * `// QUEST_ANALYZE_OK(rule)` comments work uniformly.
+ */
+
+#ifndef QUEST_ANALYSIS_RULES_HH
+#define QUEST_ANALYSIS_RULES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "analysis/registry.hh"
+#include "analysis/source.hh"
+
+namespace quest::analysis {
+
+/** One rule id + one-line description, for --list-rules and docs. */
+struct RuleInfo
+{
+    const char *id;
+    const char *summary;
+};
+
+/** Every rule id the analyzer can emit, sorted by id. */
+const std::vector<RuleInfo> &allRules();
+
+void runDeterminismRule(SourceFile &file, std::vector<Finding> &out);
+
+void runCancellationRule(SourceFile &file, std::vector<Finding> &out);
+
+/** @p allowRuntimeError exempts src/util (the error taxonomy). */
+void runErrorsRule(SourceFile &file, bool allowRuntimeError,
+                   std::vector<Finding> &out);
+
+/**
+ * Extract every metric registration and fault point. @p requireConstants
+ * makes literal names a registry.literal-name finding (src/ policy);
+ * unresolved names:: constants are findings everywhere.
+ */
+std::vector<CodeUse> extractUses(SourceFile &file,
+                                 const NamesHeader &names,
+                                 bool requireConstants,
+                                 std::vector<Finding> &out);
+
+/**
+ * Extract the `case ErrorCategory::X: return V;` mappings from the
+ * error-taxonomy source: string returns give the stable category
+ * names, integer (or names:: constant) returns give the exit codes.
+ */
+void extractExitCodes(const SourceFile &file, const NamesHeader &names,
+                      std::map<std::string, std::string> &categoryNames,
+                      std::map<std::string, int> &exitCodes);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_RULES_HH

@@ -1,0 +1,160 @@
+#include "analysis/source.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace quest::analysis {
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/**
+ * Parse "QUEST_ANALYZE_OK(rule.id[, rule.id...]): reason" out of one
+ * comment's text into one Suppression per listed rule; false when the
+ * comment is not a suppression. The marker must open the comment
+ * (modulo whitespace), so prose that merely *mentions* the syntax —
+ * like this file's own docs — doesn't count.
+ */
+bool
+parseSuppression(std::string_view comment, int line,
+                 std::vector<Suppression> &out)
+{
+    static constexpr std::string_view kMarker = "QUEST_ANALYZE_OK(";
+    size_t at = 0;
+    while (at < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[at])))
+        ++at;
+    if (comment.compare(at, kMarker.size(), kMarker) != 0)
+        return false;
+    const size_t open = at + kMarker.size();
+    const size_t close = comment.find(')', open);
+    if (close == std::string_view::npos)
+        return false;
+    std::string_view rest = comment.substr(close + 1);
+    if (!rest.empty() && rest.front() == ':')
+        rest.remove_prefix(1);
+    const std::string reason = trim(rest);
+
+    std::string_view rules = comment.substr(open, close - open);
+    bool any = false;
+    while (!rules.empty()) {
+        const size_t comma = rules.find(',');
+        const std::string rule = trim(rules.substr(0, comma));
+        rules = comma == std::string_view::npos
+                    ? std::string_view()
+                    : rules.substr(comma + 1);
+        if (rule.empty())
+            continue;
+        out.push_back({rule, line, reason, false});
+        any = true;
+    }
+    return any;
+}
+
+} // namespace
+
+bool
+SourceFile::resultNeutralAt(int i) const
+{
+    for (const auto &[begin, end] : resultNeutral) {
+        if (i >= begin && i < end)
+            return true;
+    }
+    return false;
+}
+
+bool
+SourceFile::suppressed(const std::string &rule, int line)
+{
+    bool hit = false;
+    for (Suppression &s : suppressions) {
+        if (s.rule == rule && (s.line == line || s.line + 1 == line)) {
+            s.used = true;
+            hit = true;
+        }
+    }
+    return hit;
+}
+
+SourceFile
+buildSourceFile(std::string relPath, std::string text)
+{
+    SourceFile f;
+    f.relPath = std::move(relPath);
+    f.text = std::move(text);
+    f.tokens = lex(f.text);
+
+    for (const Token &t : f.tokens) {
+        if (t.kind == TokenKind::Comment) {
+            parseSuppression(t.text, t.line, f.suppressions);
+        } else {
+            f.sig.push_back(t);
+        }
+    }
+
+    // Match () and {} over the significant stream; unbalanced input
+    // leaves -1, which every consumer treats as "don't know".
+    f.match.assign(f.sig.size(), -1);
+    std::vector<int> parens, braces;
+    for (int i = 0; i < static_cast<int>(f.sig.size()); ++i) {
+        const Token &t = f.sig[i];
+        if (t.kind != TokenKind::Punct) {
+            // A result-neutral annotation covers from its position
+            // to the end of the innermost open brace scope (or the
+            // whole file at top level, which no sane use hits).
+            if (t.kind == TokenKind::Identifier &&
+                t.text == "QUEST_RESULT_NEUTRAL") {
+                f.resultNeutral.push_back(
+                    {i, braces.empty()
+                            ? static_cast<int>(f.sig.size())
+                            : -1 - braces.back()});
+            }
+            continue;
+        }
+        switch (t.text[0]) {
+          case '(':
+            parens.push_back(i);
+            break;
+          case ')':
+            if (!parens.empty()) {
+                f.match[parens.back()] = i;
+                parens.pop_back();
+            }
+            break;
+          case '{':
+            braces.push_back(i);
+            break;
+          case '}':
+            if (!braces.empty()) {
+                f.match[braces.back()] = i;
+                braces.pop_back();
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    // Second pass: resolve annotation ranges recorded as -1-braceIdx
+    // now that every brace has (or hasn't) a match.
+    for (auto &[begin, end] : f.resultNeutral) {
+        if (end < 0) {
+            const int brace = -1 - end;
+            end = f.match[brace] >= 0 ? f.match[brace]
+                                      : static_cast<int>(f.sig.size());
+        }
+    }
+    return f;
+}
+
+} // namespace quest::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The analyzed view of one source file: its token stream, the
+ * derived significant-token stream (comments stripped), matched
+ * bracket tables, suppression comments and result-neutral regions.
+ * Built once per file; every rule then works on this shared view.
+ */
+
+#ifndef QUEST_ANALYSIS_SOURCE_HH
+#define QUEST_ANALYSIS_SOURCE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/lexer.hh"
+
+namespace quest::analysis {
+
+/** One `// QUEST_ANALYZE_OK(rule.id): reason` comment. */
+struct Suppression
+{
+    std::string rule;
+    int line = 0;
+    std::string reason;
+    bool used = false; //!< set when it suppresses a finding
+};
+
+struct SourceFile
+{
+    std::string relPath; //!< repo-relative, forward slashes
+    std::string text;    //!< owned source bytes
+    std::vector<Token> tokens; //!< full stream, comments included
+    std::vector<Token> sig;    //!< tokens minus comments
+    /** For sig[i] == '(' or '{': index of the matching closer, else
+     *  -1 (also -1 on unbalanced input — rules skip those). */
+    std::vector<int> match;
+    std::vector<Suppression> suppressions;
+    /** sig-index ranges [begin, end) declared result-neutral via
+     *  QUEST_RESULT_NEUTRAL. */
+    std::vector<std::pair<int, int>> resultNeutral;
+
+    /** True when sig index @p i lies in a result-neutral range. */
+    bool resultNeutralAt(int i) const;
+
+    /**
+     * True (and marks the suppression used) when a suppression for
+     * @p rule sits on @p line or the line above it.
+     */
+    bool suppressed(const std::string &rule, int line);
+};
+
+/**
+ * Lex @p text and derive the analysis view. @p relPath is recorded
+ * verbatim in findings.
+ */
+SourceFile buildSourceFile(std::string relPath, std::string text);
+
+} // namespace quest::analysis
+
+#endif // QUEST_ANALYSIS_SOURCE_HH

@@ -8,6 +8,7 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -106,7 +107,7 @@ dualAnnealing(const AnnealObjective &objective,
         double v = objective(x);
         if (!std::isfinite(v)) {
             static auto &nans = obs::MetricsRegistry::global().counter(
-                "anneal.nan_objectives");
+                names::kMetricAnnealNanObjectives);
             nans.increment();
             return std::numeric_limits<double>::infinity();
         }
@@ -237,14 +238,14 @@ dualAnnealing(const AnnealObjective &objective,
 
     {
         auto &registry = obs::MetricsRegistry::global();
-        static auto &runs = registry.counter("anneal.runs");
-        static auto &steps_counter = registry.counter("anneal.steps");
+        static auto &runs = registry.counter(names::kMetricAnnealRuns);
+        static auto &steps_counter = registry.counter(names::kMetricAnnealSteps);
         static auto &accept_counter =
-            registry.counter("anneal.acceptances");
+            registry.counter(names::kMetricAnnealAcceptances);
         static auto &restart_counter =
-            registry.counter("anneal.restarts");
+            registry.counter(names::kMetricAnnealRestarts);
         static auto &eval_counter =
-            registry.counter("anneal.evaluations");
+            registry.counter(names::kMetricAnnealEvaluations);
         runs.increment();
         steps_counter.add(static_cast<uint64_t>(steps));
         accept_counter.add(static_cast<uint64_t>(acceptances));

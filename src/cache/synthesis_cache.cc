@@ -17,6 +17,8 @@
 #include "util/serialize.hh"
 #include "util/sha256.hh"
 #include "verify/verifier.hh"
+#include "util/names.hh"
+#include "util/annotations.hh"
 
 namespace quest::cache {
 
@@ -27,14 +29,14 @@ namespace {
 obs::Counter &
 hitCounter()
 {
-    static auto &c = obs::MetricsRegistry::global().counter("quest.cache.hit");
+    static auto &c = obs::MetricsRegistry::global().counter(names::kMetricCacheHit);
     return c;
 }
 
 obs::Counter &
 missCounter()
 {
-    static auto &c = obs::MetricsRegistry::global().counter("quest.cache.miss");
+    static auto &c = obs::MetricsRegistry::global().counter(names::kMetricCacheMiss);
     return c;
 }
 
@@ -42,7 +44,7 @@ obs::Counter &
 corruptCounter()
 {
     static auto &c =
-        obs::MetricsRegistry::global().counter("quest.cache.corrupt");
+        obs::MetricsRegistry::global().counter(names::kMetricCacheCorrupt);
     return c;
 }
 
@@ -50,7 +52,7 @@ obs::Counter &
 staleCounter()
 {
     static auto &c =
-        obs::MetricsRegistry::global().counter("quest.cache.stale");
+        obs::MetricsRegistry::global().counter(names::kMetricCacheStale);
     return c;
 }
 
@@ -58,7 +60,7 @@ obs::Counter &
 evictCounter()
 {
     static auto &c =
-        obs::MetricsRegistry::global().counter("quest.cache.evict");
+        obs::MetricsRegistry::global().counter(names::kMetricCacheEvict);
     return c;
 }
 
@@ -66,7 +68,7 @@ obs::Counter &
 storeFailedCounter()
 {
     static auto &c =
-        obs::MetricsRegistry::global().counter("quest.cache.store_failed");
+        obs::MetricsRegistry::global().counter(names::kMetricCacheStoreFailed);
     return c;
 }
 
@@ -118,6 +120,7 @@ struct EntryInfo
 {
     fs::path path;
     uint64_t size = 0;
+    // QUEST_ANALYZE_OK(determinism.fs-order): GC recency bookkeeping only
     fs::file_time_type mtime;
 };
 
@@ -125,6 +128,8 @@ struct EntryInfo
 std::vector<EntryInfo>
 listEntries(const fs::path &objects)
 {
+    QUEST_RESULT_NEUTRAL("GC walk: which entries get evicted affects "
+                         "only cache hit rates, never a result");
     std::vector<EntryInfo> entries;
     std::error_code ec;
     fs::recursive_directory_iterator it(objects, ec), end;
@@ -188,7 +193,7 @@ SynthesisCache::parseEntry(const fs::path &path,
 {
     try {
         std::vector<uint8_t> raw;
-        if (QUEST_FAULT_POINT("cache.load.read") ||
+        if (QUEST_FAULT_POINT(names::kFaultCacheLoadRead) ||
             !readFile(path, raw)) {
             *why = "unreadable";
             return std::nullopt;
@@ -267,6 +272,8 @@ SynthesisCache::load(const std::string &key)
 
     hitCounter().increment();
     if (cfg.touchOnHit) {
+        QUEST_RESULT_NEUTRAL("recency touch feeds GC eviction order "
+                             "only; the returned entry is unchanged");
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
         // Recency refresh is best effort; a hit on a read-only cache
         // is still a hit.
@@ -305,7 +312,7 @@ SynthesisCache::store(const std::string &key, const SynthOutput &out)
     std::error_code ec;
     fs::create_directories(path.parent_path(), ec);
     fs::create_directories(tmp_dir, ec);
-    if (QUEST_FAULT_POINT("cache.store.enospc"))
+    if (QUEST_FAULT_POINT(names::kFaultCacheStoreEnospc))
         ec = std::make_error_code(std::errc::no_space_on_device);
     if (ec) {
         storeFailedCounter().increment();
@@ -325,7 +332,7 @@ SynthesisCache::store(const std::string &key, const SynthOutput &out)
         std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
         f.write(reinterpret_cast<const char *>(w.buffer().data()),
                 static_cast<std::streamsize>(w.size()));
-        if (QUEST_FAULT_POINT("cache.store.short_write"))
+        if (QUEST_FAULT_POINT(names::kFaultCacheStoreShortWrite))
             f.setstate(std::ios::failbit);
         if (!f) {
             storeFailedCounter().increment();
@@ -335,7 +342,7 @@ SynthesisCache::store(const std::string &key, const SynthOutput &out)
             return;
         }
     }
-    if (QUEST_FAULT_POINT("cache.store.rename"))
+    if (QUEST_FAULT_POINT(names::kFaultCacheStoreRename))
         ec = std::make_error_code(std::errc::io_error);
     else
         fs::rename(tmp, path, ec);

@@ -8,8 +8,12 @@
  * returned reference in a function-local static:
  *
  *     static auto &calls =
- *         obs::MetricsRegistry::global().counter("lbfgs.calls");
+ *         obs::MetricsRegistry::global().counter(names::kMetricLbfgsCalls);
  *     calls.increment();
+ *
+ * Metric names are declared once in src/util/names.hh and documented
+ * in docs/REGISTRY.md; production code must use the names:: constants
+ * (quest_analyze flags literal names in src/).
  *
  * Metric handles are never invalidated: reset() zeroes values but
  * keeps every registered object alive for the process lifetime.

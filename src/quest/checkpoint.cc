@@ -9,6 +9,8 @@
 #include "resilience/error.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
+#include "util/names.hh"
+#include "util/annotations.hh"
 
 namespace fs = std::filesystem;
 
@@ -43,7 +45,7 @@ obs::Counter &
 replayedBlocksCounter()
 {
     static auto &c = obs::MetricsRegistry::global().counter(
-        "resilience.checkpoint_blocks_replayed");
+        names::kMetricCheckpointBlocksReplayed);
     return c;
 }
 
@@ -198,6 +200,8 @@ CheckpointJournal::store(const std::string &key, const SynthOutput &out)
         blocks.emplace(key, out);
     } catch (...) {
         // Hook contract: checkpointing is best-effort, never fatal.
+        QUEST_INTENTIONAL_SWALLOW("a failed checkpoint append must "
+                                  "not fail the run it protects");
     }
 }
 
@@ -211,6 +215,9 @@ CheckpointJournal::invalidate(const std::string &key)
         if (blocks.erase(key) > 0)
             journal.append(kRecInvalidate, w.buffer());
     } catch (...) {
+        QUEST_INTENTIONAL_SWALLOW("best-effort invalidation; a stale "
+                                  "checkpoint entry is re-verified on "
+                                  "resume");
     }
 }
 

@@ -7,6 +7,7 @@
 #include "obs/trace.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -29,7 +30,7 @@ ensembleDistribution(const QuestResult &result,
 {
     QUEST_TRACE_SCOPE("quest.ensemble_eval");
     static auto &evals = obs::MetricsRegistry::global().counter(
-        "quest.ensemble.evals");
+        names::kMetricEnsembleEvals);
     evals.increment();
     std::vector<Circuit> circuits =
         sampleCircuits(result, options.applyQiskit);

@@ -17,6 +17,7 @@
 #include "util/logging.hh"
 #include "util/timer.hh"
 #include "verify/verifier.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -61,11 +62,11 @@ void
 countOutcomes(const std::vector<BlockOutcome> &outcomes)
 {
     auto &registry = obs::MetricsRegistry::global();
-    static auto &fallbacks = registry.counter("resilience.fallbacks");
-    static auto &timeouts = registry.counter("resilience.timeouts");
+    static auto &fallbacks = registry.counter(names::kMetricFallbacks);
+    static auto &timeouts = registry.counter(names::kMetricTimeouts);
     static auto &divergences =
-        registry.counter("resilience.divergences");
-    static auto &faults = registry.counter("resilience.faults");
+        registry.counter(names::kMetricDivergences);
+    static auto &faults = registry.counter(names::kMetricFaults);
     for (const BlockOutcome &o : outcomes) {
         switch (o.status) {
           case BlockStatus::Ok:
@@ -186,7 +187,7 @@ QuestPipeline::run(const Circuit &circuit) const
 {
     QUEST_TRACE_SCOPE("quest.pipeline");
     static auto &runs_counter =
-        obs::MetricsRegistry::global().counter("quest.pipeline.runs");
+        obs::MetricsRegistry::global().counter(names::kMetricPipelineRuns);
     runs_counter.increment();
 
     QuestResult result;
@@ -223,7 +224,7 @@ QuestPipeline::run(const Circuit &circuit) const
         }
     }
     const size_t num_blocks = result.blocks.size();
-    obs::MetricsRegistry::global().gauge("quest.blocks").set(
+    obs::MetricsRegistry::global().gauge(names::kMetricBlocks).set(
         static_cast<int64_t>(num_blocks));
     result.threshold = std::min(cfg.thresholdPerBlock *
                                     static_cast<double>(num_blocks),
@@ -268,7 +269,7 @@ QuestPipeline::run(const Circuit &circuit) const
         // hits and actual searches, so hits + misses == blocks).
         static auto &cache_hits =
             obs::MetricsRegistry::global().counter(
-                "quest.synth.cache_hits");
+                names::kMetricSynthCacheHits);
         cache_hits.add(num_blocks - unique.size());
 
         std::vector<SynthOutput> outputs(num_blocks);
@@ -573,7 +574,7 @@ QuestPipeline::run(const Circuit &circuit) const
     result.partitionSeconds = partition_watch.seconds();
     result.synthesisSeconds = synth_watch.seconds();
     result.annealSeconds = anneal_watch.seconds();
-    obs::MetricsRegistry::global().gauge("quest.samples").set(
+    obs::MetricsRegistry::global().gauge(names::kMetricSamples).set(
         static_cast<int64_t>(result.samples.size()));
     return result;
 }

@@ -1,5 +1,7 @@
 #include "resilience/error.hh"
 
+#include "util/names.hh"
+
 namespace quest::resilience {
 
 const char *
@@ -29,21 +31,21 @@ exitCodeFor(ErrorCategory category)
 {
     switch (category) {
       case ErrorCategory::InvalidInput:
-        return 10;
+        return names::kExitInvalidInput;
       case ErrorCategory::Io:
-        return 11;
+        return names::kExitIo;
       case ErrorCategory::Timeout:
-        return 12;
+        return names::kExitTimeout;
       case ErrorCategory::Cancelled:
-        return 13;
+        return names::kExitCancelled;
       case ErrorCategory::Diverged:
-        return 14;
+        return names::kExitDiverged;
       case ErrorCategory::Resource:
-        return 15;
+        return names::kExitResource;
       case ErrorCategory::Internal:
-        return 70;
+        return names::kExitInternal;
     }
-    return 70;
+    return names::kExitInternal;
 }
 
 QuestError::QuestError(ErrorCategory category, const std::string &msg)

@@ -7,6 +7,7 @@
 #include "obs/metrics.hh"
 #include "resilience/error.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest::resilience {
 
@@ -196,10 +197,10 @@ FaultPlan::fire(const char *site)
     }
     if (fires) {
         static auto &total = obs::MetricsRegistry::global().counter(
-            "resilience.faults_injected");
+            names::kMetricFaultsInjected);
         total.increment();
         obs::MetricsRegistry::global()
-            .counter(std::string("fault.") + site)
+            .counter(std::string(names::kMetricFaultPrefix) + site)
             .increment();
     }
     return fires;

@@ -5,8 +5,12 @@
  * Production code marks its failure-prone spots with named fault
  * points:
  *
- *     if (QUEST_FAULT_POINT("cache.store.enospc"))
+ *     if (QUEST_FAULT_POINT(names::kFaultCacheStoreEnospc))
  *         return simulateDiskFull();
+ *
+ * Site names are declared in src/util/names.hh and documented in
+ * docs/REGISTRY.md (tests may use ad hoc names under the documented
+ * ephemeral prefixes).
  *
  * A FaultPlan — installed programmatically by tests or parsed from
  * the QUEST_FAULT environment variable ("site:trigger,site:trigger")

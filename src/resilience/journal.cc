@@ -9,6 +9,7 @@
 #include "resilience/fault.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
+#include "util/names.hh"
 
 namespace fs = std::filesystem;
 
@@ -27,7 +28,7 @@ void
 countJournalFailure()
 {
     static auto &failures = obs::MetricsRegistry::global().counter(
-        "resilience.journal_failures");
+        names::kMetricJournalFailures);
     failures.increment();
 }
 
@@ -160,7 +161,7 @@ Journal::append(uint32_t type, const std::vector<uint8_t> &payload)
     rec.u64(fnv1a64(payload.data(), payload.size()));
     rec.bytes(payload.data(), payload.size());
 
-    bool ok = !QUEST_FAULT_POINT("journal.append");
+    bool ok = !QUEST_FAULT_POINT(names::kFaultJournalAppend);
     if (ok) {
         out.write(reinterpret_cast<const char *>(rec.buffer().data()),
                   static_cast<std::streamsize>(rec.size()));

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -180,9 +181,9 @@ StateVector::applyCircuit(const Circuit &circuit)
         applyGate(g);
 #ifndef QUEST_OBS_DISABLED
     static auto &gate_counter =
-        obs::MetricsRegistry::global().counter("sim.gate_applies");
+        obs::MetricsRegistry::global().counter(names::kMetricSimGateApplies);
     static auto &byte_counter =
-        obs::MetricsRegistry::global().counter("sim.bytes_touched");
+        obs::MetricsRegistry::global().counter(names::kMetricSimBytesTouched);
     gate_counter.add(nGateApplies - gates_before);
     byte_counter.add(nBytesTouched - bytes_before);
 #endif

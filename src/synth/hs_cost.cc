@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -25,7 +26,7 @@ obs::Counter &
 workspaceReuseCounter()
 {
     static auto &c = obs::MetricsRegistry::global().counter(
-        "synth.workspace_reuses");
+        names::kMetricSynthWorkspaceReuses);
     return c;
 }
 

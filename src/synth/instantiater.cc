@@ -11,6 +11,7 @@
 #include "synth/hs_cost.hh"
 #include "util/logging.hh"
 #include "resilience/thread_pool.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -21,13 +22,13 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
 {
     QUEST_TRACE_SCOPE("synth.instantiate");
     static auto &calls =
-        obs::MetricsRegistry::global().counter("synth.instantiations");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthInstantiations);
     static auto &starts_counter =
-        obs::MetricsRegistry::global().counter("synth.multistarts");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthMultistarts);
     static auto &parallel_counter =
-        obs::MetricsRegistry::global().counter("synth.parallel_starts");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthParallelStarts);
     static auto &early_counter =
-        obs::MetricsRegistry::global().counter("synth.early_stops");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthEarlyStops);
     calls.increment();
 
     constexpr double pi = std::numbers::pi;

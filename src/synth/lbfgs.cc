@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -41,14 +42,14 @@ class LbfgsTally
     ~LbfgsTally()
     {
         static auto &calls =
-            obs::MetricsRegistry::global().counter("lbfgs.calls");
+            obs::MetricsRegistry::global().counter(names::kMetricLbfgsCalls);
         static auto &iters =
-            obs::MetricsRegistry::global().counter("lbfgs.iterations");
+            obs::MetricsRegistry::global().counter(names::kMetricLbfgsIterations);
         static auto &evals = obs::MetricsRegistry::global().counter(
-            "lbfgs.evaluations");
+            names::kMetricLbfgsEvaluations);
         static auto &iter_hist =
             obs::MetricsRegistry::global().histogram(
-                "lbfgs.iterations_per_call");
+                names::kMetricLbfgsIterationsPerCall);
         calls.increment();
         evals.add(static_cast<uint64_t>(evaluations));
         if (iterations) {
@@ -80,7 +81,7 @@ lbfgsMinimize(const GradObjective &objective, std::vector<double> x0,
         // optimized (every Armijo test would fail); report it as a
         // diverged run instead of comparing against NaN below.
         static auto &nonfinite = obs::MetricsRegistry::global().counter(
-            "lbfgs.nonfinite_objectives");
+            names::kMetricLbfgsNonfiniteObjectives);
         nonfinite.increment();
         result.value = std::numeric_limits<double>::infinity();
         return result;

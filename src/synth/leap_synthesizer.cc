@@ -13,6 +13,8 @@
 #include "synth/synth_cache.hh"
 #include "util/logging.hh"
 #include "verify/verifier.hh"
+#include "util/names.hh"
+#include "util/annotations.hh"
 
 namespace quest {
 
@@ -83,7 +85,7 @@ obs::Counter &
 searchCounter()
 {
     static auto &c = obs::MetricsRegistry::global().counter(
-        "quest.synth.cache_misses");
+        names::kMetricSynthCacheMisses);
     return c;
 }
 
@@ -93,7 +95,7 @@ obs::Counter &
 diskHitCounter()
 {
     static auto &c = obs::MetricsRegistry::global().counter(
-        "quest.synth.cache_hits");
+        names::kMetricSynthCacheHits);
     return c;
 }
 
@@ -178,7 +180,7 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
 {
     QUEST_TRACE_SCOPE("synth.synthesize");
     static auto &synth_calls =
-        obs::MetricsRegistry::global().counter("synth.calls");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthCalls);
     synth_calls.increment();
 
     const int n = log2Dim(target.rows());
@@ -196,7 +198,7 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
             // is not a valid output for this target: drop the entry
             // and synthesize fresh.
             obs::MetricsRegistry::global()
-                .counter("quest.cache.corrupt")
+                .counter(names::kMetricCacheCorrupt)
                 .increment();
             warn("synthesis cache: entry ", cache_key,
                  " failed deep validation; re-synthesizing");
@@ -208,11 +210,11 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     // Deterministic chaos hooks: force this block's synthesis to fail
     // the way a diverging or runaway search would, after the cache
     // consult (a cached block never re-fails) and before any work.
-    if (QUEST_FAULT_POINT("synth.block.diverge")) {
+    if (QUEST_FAULT_POINT(names::kFaultSynthBlockDiverge)) {
         throw resilience::QuestError(resilience::ErrorCategory::Diverged,
                                      "injected synthesis divergence");
     }
-    if (QUEST_FAULT_POINT("synth.block.timeout")) {
+    if (QUEST_FAULT_POINT(names::kFaultSynthBlockTimeout)) {
         throw resilience::QuestError(resilience::ErrorCategory::Timeout,
                                      "injected synthesis timeout");
     }
@@ -329,9 +331,9 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     int stall = 0;
 
     static auto &levels_counter =
-        obs::MetricsRegistry::global().counter("synth.levels");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthLevels);
     static auto &tasks_counter =
-        obs::MetricsRegistry::global().counter("synth.tasks");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthTasks);
 
     for (int level = 1; level <= budget; ++level) {
         QUEST_TRACE_SCOPE("synth.level");
@@ -409,6 +411,9 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
         const int keep = std::min<int>(cfg.candidatesPerLevel,
                                        static_cast<int>(children.size()));
         for (int i = 0; i < keep; ++i) {
+            QUEST_BOUNDED_LOOP("keep <= candidatesPerLevel, a small "
+                               "config constant; instantiate() here "
+                               "is a cheap parameter bind");
             // Diverged instantiations carry an infinite distance (and
             // sort last); recording them would produce an output that
             // can never pass the cache's deep validation.
@@ -471,7 +476,7 @@ LeapSynthesizer::synthesize(const Matrix &target, int max_cnots,
     if (!have_exact)
         out.bestIndex = argmin;
     static auto &candidates_counter =
-        obs::MetricsRegistry::global().counter("synth.candidates");
+        obs::MetricsRegistry::global().counter(names::kMetricSynthCandidates);
     candidates_counter.add(out.candidates.size());
 
     // Cache-purity gate: the budget may have fired inside the final

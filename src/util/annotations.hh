@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Intent annotations read by `quest_analyze` (src/analysis).
+ *
+ * The static analyzer enforces project invariants — no wall-clock or
+ * environment reads on result-affecting paths, budget polls inside
+ * every kernel-calling loop, no swallowed exceptions — but some code
+ * is *deliberately* outside an invariant: a GC pass whose traversal
+ * order cannot affect synthesis results, a fixed-trip-count loop, a
+ * thread-pool catch-all that parks the exception in a future. Such
+ * code must say so, in the code, with one of the macros below; the
+ * analyzer treats the annotation as a declaration of intent and
+ * skips the corresponding rule for the annotated region.
+ *
+ * All macros compile to nothing. Each takes a short string reason
+ * that is part of the source record (and is required — an
+ * unexplained annotation is worse than a finding).
+ *
+ *   QUEST_RESULT_NEUTRAL(reason)
+ *     Statement. Declares the enclosing brace scope result-neutral:
+ *     determinism rules (clock/env reads, unordered containers,
+ *     filesystem-order dependence) do not apply from the annotation
+ *     to the end of the scope.
+ *
+ *   QUEST_BOUNDED_LOOP(reason)
+ *     Statement, placed inside a loop body. Declares the enclosing
+ *     loop exempt from the cancellation-poll rule (e.g. its trip
+ *     count is a small compile-time constant).
+ *
+ *   QUEST_INTENTIONAL_SWALLOW(reason)
+ *     Statement, placed inside a `catch (...)` body that neither
+ *     rethrows nor is itself a bug: the handler forwards the
+ *     exception somewhere else (a future, a degradation path).
+ *
+ * One-off suppressions use the comment form instead, which covers
+ * its own line and the next one and accepts a comma-separated rule
+ * list (see docs/ANALYSIS.md):
+ *
+ *   // QUEST_ANALYZE_OK(rule.id): reason
+ *   // QUEST_ANALYZE_OK(rule.one, rule.two): reason
+ */
+
+#ifndef QUEST_UTIL_ANNOTATIONS_HH
+#define QUEST_UTIL_ANNOTATIONS_HH
+
+#define QUEST_RESULT_NEUTRAL(reason) ((void)0)
+#define QUEST_BOUNDED_LOOP(reason) ((void)0)
+#define QUEST_INTENTIONAL_SWALLOW(reason) ((void)0)
+
+#endif // QUEST_UTIL_ANNOTATIONS_HH

@@ -1,0 +1,15 @@
+// A fully clean file: constants from names.hh, plus strings and
+// comments that merely mention forbidden identifiers (the lexer must
+// not false-positive on them).
+#include "util/names.hh"
+
+void
+record(obs::MetricsRegistry &registry)
+{
+    registry.counter(names::kMetricFixGood).increment();
+    if (QUEST_FAULT_POINT(names::kFaultFix))
+        return;
+    // calling rand() or steady_clock::now() here would be flagged
+    const char *doc = "uses rand() and std::chrono::steady_clock";
+    (void)doc;
+}

@@ -1,0 +1,34 @@
+// Seeded determinism violations. analysis_test.cc asserts these
+// exact line numbers; keep them stable.
+
+using Clock = std::chrono::steady_clock;
+
+double
+jitter()
+{
+    auto t0 = Clock::now();
+    const char *home = getenv("HOME");
+    int noise = rand();
+    (void)t0;
+    (void)home;
+    return noise * 0.5;
+}
+
+int
+tally()
+{
+    std::unordered_map<int, int> counts;
+    int sum = 0;
+    for (auto &kv : counts)
+        sum += kv.second;
+    return sum;
+}
+
+int
+walk()
+{
+    int n = 0;
+    for (const auto &e : std::filesystem::directory_iterator("."))
+        ++n;
+    return n;
+}

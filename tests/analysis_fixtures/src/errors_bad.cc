@@ -1,0 +1,17 @@
+// Error-discipline violations.
+#include <stdexcept>
+
+void
+fail()
+{
+    throw std::runtime_error("nope");
+}
+
+void
+swallow()
+{
+    try {
+        fail();
+    } catch (...) {
+    }
+}

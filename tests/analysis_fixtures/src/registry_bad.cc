@@ -1,0 +1,18 @@
+// Registry violations: literal names in src/, an unknown constant,
+// and an undocumented metric / fault site.
+#include "util/names.hh"
+
+void
+record(obs::MetricsRegistry &registry)
+{
+    registry.counter("fix.good").increment();
+    registry.counter(names::kMetricFixGood).increment();
+    registry.gauge("fix.undocumented").set(1);
+    registry.counter(names::kNope).increment();
+}
+
+bool
+trip()
+{
+    return QUEST_FAULT_POINT("fix.unknown_site");
+}

@@ -1,0 +1,30 @@
+// Miniature exit-code taxonomy source for the analyzer fixtures.
+#include "util/names.hh"
+
+namespace quest::resilience {
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+int
+exitCodeFor(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Io:
+        return names::kExitIo;
+      case ErrorCategory::Internal:
+        return names::kExitInternal;
+    }
+    return names::kExitInternal;
+}
+
+} // namespace quest::resilience

@@ -1,0 +1,10 @@
+// A violation fully covered by a suppression comment: the file must
+// scan clean and the suppression must count as used.
+#include <cstdlib>
+
+int
+noise()
+{
+    // QUEST_ANALYZE_OK(determinism.rand): exercises the suppression round-trip
+    return rand();
+}

@@ -1,0 +1,8 @@
+// An unused suppression is itself a finding.
+
+int
+five()
+{
+    // QUEST_ANALYZE_OK(determinism.rand): nothing below violates
+    return 5;
+}

@@ -1,0 +1,15 @@
+// Miniature names header for the analyzer fixtures.
+#ifndef FIXTURE_NAMES_HH
+#define FIXTURE_NAMES_HH
+
+namespace quest::names {
+
+inline constexpr const char kMetricFixGood[] = "fix.good";
+inline constexpr const char kFaultFix[] = "fix.fault";
+
+inline constexpr int kExitIo = 11;
+inline constexpr int kExitInternal = 70;
+
+} // namespace quest::names
+
+#endif

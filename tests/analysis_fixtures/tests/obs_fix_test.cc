@@ -1,0 +1,9 @@
+// Test-local literal names under a documented ephemeral prefix are
+// exempt from per-name documentation (and from the literal-name rule,
+// which only applies to src/).
+
+void
+poke(obs::MetricsRegistry &registry)
+{
+    registry.counter("tmp.x").increment();
+}

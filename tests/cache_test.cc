@@ -562,10 +562,14 @@ TEST(SynthesisCache, GcEvictsOldestFirst)
 
     // Stagger mtimes explicitly (store order is not reliable at
     // filesystem timestamp granularity): g1 oldest, then g0, g2 newest.
+    // QUEST_ANALYZE_OK(determinism.clock, determinism.fs-order): staging GC mtime inputs
     const auto now = fs::file_time_type::clock::now();
     using std::chrono::hours;
+    // QUEST_ANALYZE_OK(determinism.fs-order): staging GC mtime inputs
     fs::last_write_time(cache.entryPath(keys[1]), now - hours(2));
+    // QUEST_ANALYZE_OK(determinism.fs-order): staging GC mtime inputs
     fs::last_write_time(cache.entryPath(keys[0]), now - hours(1));
+    // QUEST_ANALYZE_OK(determinism.fs-order): staging GC mtime inputs
     fs::last_write_time(cache.entryPath(keys[2]), now);
 
     const uint64_t total = cache.stats().bytes;

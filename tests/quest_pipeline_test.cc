@@ -359,6 +359,7 @@ TEST(PipelineCache, CorruptEntriesDegradeToMissesNeverToCrashes)
 
     // Flip a byte at the end of every published entry.
     size_t damaged = 0;
+    // QUEST_ANALYZE_OK(determinism.fs-order): damages every entry, so order is irrelevant
     for (const auto &e : std::filesystem::recursive_directory_iterator(
              tmp.path / "objects")) {
         if (!e.is_regular_file() || e.path().extension() != ".qsc")

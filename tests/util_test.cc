@@ -261,6 +261,7 @@ TEST(ThreadPool, ParallelForRunsEveryTaskEvenWhenSomeThrow)
                                   [&](size_t i) {
                                       ++ran;
                                       if (i % 7 == 3)
+                                          // QUEST_ANALYZE_OK(errors.runtime-error): exercises ThreadPool's generic exception propagation
                                           throw std::runtime_error(
                                               "boom");
                                   }),
@@ -275,6 +276,7 @@ TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex)
     try {
         pool.parallelFor(32, [](size_t i) {
             if (i == 5 || i == 20)
+                // QUEST_ANALYZE_OK(errors.runtime-error): exercises lowest-index rethrow of arbitrary exceptions
                 throw std::runtime_error(std::to_string(i));
         });
         FAIL() << "expected an exception";
@@ -369,6 +371,7 @@ TEST(ThreadPool, NestedExceptionsPropagateFromTheInnerLevel)
         pool.parallelFor(4, [&](size_t outer) {
             pool.parallelFor(4, [&](size_t inner) {
                 if (outer == 1 && inner == 2)
+                    // QUEST_ANALYZE_OK(errors.runtime-error): exercises nested parallelFor failure propagation
                     throw std::runtime_error("inner failure");
             });
         });

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * quest_analyze — project-invariant static analysis over the QUEST
+ * tree (see docs/ANALYSIS.md for the rule catalogue and annotation
+ * syntax, docs/REGISTRY.md for the authoritative name tables).
+ *
+ * Walks src/ tools/ tests/ bench/ with a token-level C++ lexer and
+ * enforces the determinism, cancellation-safety, registry-consistency
+ * and error-discipline invariants as typed findings with file:line.
+ *
+ * Usage:
+ *   quest_analyze [options] [path...]
+ * Options:
+ *   --root <dir>        repo root (default: .)
+ *   --json <file|->     also write quest-analyze-v1 JSON
+ *   --dump-registry=<code|docs>
+ *                       print the canonical registry manifest
+ *                       extracted from the tree (code) or parsed
+ *                       from docs/REGISTRY.md (docs), then exit;
+ *                       CI diffs the two
+ *   --no-stale          skip documented-but-unused checks
+ *   --list-rules        print every rule id and exit
+ *   --quiet             no text report; exit status only
+ *   [path...]           repo-relative files/dirs to scan instead of
+ *                       the default roots (disables stale checks)
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "analysis/rules.hh"
+#include "resilience/error.hh"
+
+namespace {
+
+using namespace quest;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: quest_analyze [--root dir] [--json file|-]\n"
+        << "                     [--dump-registry=code|docs]\n"
+        << "                     [--no-stale] [--list-rules]"
+        << " [--quiet] [path...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    analysis::AnalyzerConfig config;
+    std::string jsonPath;
+    std::string dumpRegistry;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            config.root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (arg.rfind("--dump-registry", 0) == 0) {
+            const size_t eq = arg.find('=');
+            dumpRegistry = eq == std::string::npos
+                               ? "code"
+                               : arg.substr(eq + 1);
+            if (dumpRegistry != "code" && dumpRegistry != "docs") {
+                std::cerr << "quest_analyze: --dump-registry takes "
+                          << "'code' or 'docs'\n";
+                return 2;
+            }
+        } else if (arg == "--no-stale") {
+            config.checkStale = false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--list-rules") {
+            for (const analysis::RuleInfo &rule : analysis::allRules())
+                std::cout << rule.id << "  " << rule.summary << "\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option: " << arg << "\n";
+            return usage();
+        } else {
+            config.paths.push_back(arg);
+        }
+    }
+
+    try {
+        const analysis::Report report = analysis::analyze(config);
+
+        if (!dumpRegistry.empty()) {
+            std::cout << (dumpRegistry == "docs"
+                              ? analysis::renderManifest(report.doc)
+                              : analysis::renderManifest(report.code));
+            return 0;
+        }
+
+        if (!jsonPath.empty()) {
+            if (jsonPath == "-") {
+                analysis::writeJson(std::cout, report);
+            } else {
+                std::ofstream out(jsonPath);
+                if (!out) {
+                    std::cerr << "quest_analyze: cannot write "
+                              << jsonPath << "\n";
+                    return 2;
+                }
+                analysis::writeJson(out, report);
+            }
+        }
+        if (!quiet)
+            analysis::writeText(std::cout, report);
+        return report.clean() ? 0 : 1;
+    } catch (const resilience::QuestError &e) {
+        std::cerr << "quest_analyze: " << e.what() << "\n";
+        return 2;
+    }
+}
