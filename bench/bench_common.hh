@@ -71,6 +71,18 @@ benchConfig()
     return cfg;
 }
 
+/**
+ * Per-job deadline safety valve for the service load harness: smoke
+ * runs cap every job at a generous wall-clock budget so a wedged job
+ * fails the CI run loudly (Expired, exit 12) instead of hanging it;
+ * full runs are uncapped.
+ */
+inline double
+smokeJobDeadlineSeconds()
+{
+    return smokeMode() ? 30.0 : 0.0;
+}
+
 /** The evaluation suite, truncated to its head in smoke mode. */
 inline std::vector<algos::BenchmarkSpec>
 suite()

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Service-level load harness: drives one in-process QuestServer with
+ * T concurrent client threads — a cold wave against an empty
+ * synthesis cache, then a warm wave on a *restarted* daemon sharing
+ * the same cache directory — and reports jobs/sec, p50/p99 job
+ * latency and the cross-job cache hit rate per wave.
+ *
+ * The warm wave is the cross-job dedup demonstration: every block a
+ * warm job needs was synthesized by some other tenant's cold job, so
+ * the wave must finish with zero new synthesis-cache misses ("synth
+ * cache misses: 0" below) and substantially higher throughput. The
+ * harness exits non-zero when either property fails, and CI re-checks
+ * both from the archived BENCH_service.json rows.
+ */
+
+#include "bench_common.hh"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ir/qasm.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "util/names.hh"
+
+namespace {
+
+using namespace quest;
+using namespace quest::bench;
+
+namespace fs = std::filesystem;
+
+fs::path
+makeTempDir()
+{
+    std::string tmpl =
+        (fs::temp_directory_path() / "quest-service-load-XXXXXX")
+            .string();
+    char *dir = mkdtemp(tmpl.data());
+    if (!dir)
+        fatal("mkdtemp failed for ", tmpl);
+    return fs::path(dir);
+}
+
+/** A tiny single-block tenant circuit parameterized by @p angle. */
+std::string
+tenantQasm(double angle)
+{
+    Circuit c(3);
+    c.append(Gate::cx(0, 1));
+    c.append(Gate::u3(1, angle, 0.2, 0.1));
+    c.append(Gate::cx(1, 2));
+    c.append(Gate::u3(0, 0.5, angle, 0.3));
+    c.append(Gate::cx(0, 2));
+    return toQasm(c);
+}
+
+uint64_t
+counterValue(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name).value();
+}
+
+double
+percentileMs(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[idx];
+}
+
+struct WaveStats
+{
+    size_t jobs = 0;
+    double seconds = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    uint64_t hits = 0;   //!< synth cache hits this wave
+    uint64_t misses = 0; //!< synth cache misses this wave
+
+    double jobsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(jobs) / seconds : 0;
+    }
+    double hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * One load wave: @p threads client threads, each submitting
+ * @p jobsPerThread jobs cycling through @p circuits, every job's
+ * latency measured submit→result from the client side.
+ */
+WaveStats
+runWave(service::QuestServer &server,
+        const std::vector<std::string> &circuits,
+        const service::CompileOptions &options, int threads,
+        int jobsPerThread)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const uint64_t hits0 = counterValue(names::kMetricSynthCacheHits);
+    const uint64_t misses0 =
+        counterValue(names::kMetricSynthCacheMisses);
+
+    std::mutex mu;
+    std::vector<double> latenciesMs;
+    std::atomic<bool> ok{true};
+    const auto start = Clock::now();
+
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            int sv[2] = {-1, -1};
+            if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+                ok = false;
+                return;
+            }
+            server.attach(sv[0]);
+            service::QuestClient client =
+                service::QuestClient::fromFd(sv[1]);
+            std::vector<double> mine;
+            mine.reserve(static_cast<size_t>(jobsPerThread));
+            for (int j = 0; j < jobsPerThread; ++j) {
+                service::SubmitRequest request;
+                request.options = options;
+                request.deadlineSeconds = smokeJobDeadlineSeconds();
+                request.qasm = circuits[(static_cast<size_t>(t) + j) %
+                                        circuits.size()];
+                const auto t0 = Clock::now();
+                const service::SubmitReply submitted =
+                    client.submit(request);
+                if (!submitted.accepted) {
+                    ok = false;
+                    return;
+                }
+                const service::ResultReply result =
+                    client.result(submitted.jobId);
+                if (result.status.state != service::JobState::Done) {
+                    warn("job ", submitted.jobId, " ended ",
+                         service::jobStateName(result.status.state),
+                         ": ", result.status.detail);
+                    ok = false;
+                    return;
+                }
+                mine.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count());
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            latenciesMs.insert(latenciesMs.end(), mine.begin(),
+                               mine.end());
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!ok.load())
+        fatal("a load-wave job failed; see warnings above");
+
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    WaveStats stats;
+    stats.jobs = latenciesMs.size();
+    stats.seconds = seconds;
+    stats.p50Ms = percentileMs(latenciesMs, 0.50);
+    stats.p99Ms = percentileMs(latenciesMs, 0.99);
+    stats.hits = counterValue(names::kMetricSynthCacheHits) - hits0;
+    stats.misses =
+        counterValue(names::kMetricSynthCacheMisses) - misses0;
+    return stats;
+}
+
+void
+addWaveRow(Table &table, const std::string &wave,
+           const WaveStats &stats)
+{
+    table.addRow({wave, std::to_string(stats.jobs),
+                  Table::num(stats.jobsPerSec(), 2),
+                  Table::num(stats.p50Ms, 1),
+                  Table::num(stats.p99Ms, 1),
+                  std::to_string(stats.hits),
+                  std::to_string(stats.misses),
+                  Table::pct(stats.hitRate())});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Service load: multi-tenant throughput & cross-job dedup");
+
+    const fs::path tmp = makeTempDir();
+    const int threads = smokeMode() ? 4 : 8;
+    const int jobsPerThread = smokeMode() ? 2 : 4;
+
+    std::vector<std::string> circuits = {
+        tenantQasm(0.3), tenantQasm(0.9), tenantQasm(1.7),
+        tenantQasm(2.4)};
+    if (smokeMode())
+        circuits.resize(2);
+
+    service::CompileOptions options;
+    options.maxLayers = smokeMode() ? 4 : 6;
+    options.maxSamples = 4;
+
+    service::ServerConfig config;
+    config.cacheDir = (tmp / "cache").string();
+    config.executors = smokeMode() ? 2 : 4;
+    config.queueCapacity =
+        static_cast<size_t>(threads) * jobsPerThread;
+    // Bench synthesis budgets (smoke-aware), per-job knobs on top —
+    // same knob path a real tenant's SubmitRequest takes.
+    config.base = benchConfig();
+
+    std::cout << threads << " client threads x " << jobsPerThread
+              << " jobs over " << circuits.size()
+              << " distinct circuits, " << config.executors
+              << " executors\n\n";
+
+    // Cold wave: empty cache, every distinct block is a real search.
+    WaveStats cold;
+    {
+        service::QuestServer server(config);
+        cold = runWave(server, circuits, options, threads,
+                       jobsPerThread);
+        server.stop();
+    }
+
+    // Warm wave: a *restarted* daemon sharing the cache directory.
+    // Cross-job dedup means zero new misses — nothing synthesizes.
+    WaveStats warm;
+    {
+        service::QuestServer server(config);
+        warm = runWave(server, circuits, options, threads,
+                       jobsPerThread);
+        server.stop();
+    }
+
+    Table table({"wave", "jobs", "jobs_per_sec", "p50_ms", "p99_ms",
+                 "cache_hits", "cache_misses", "hit_rate"});
+    addWaveRow(table, "cold", cold);
+    addWaveRow(table, "warm", warm);
+    finishBench("service", table);
+
+    std::cout << "\nwarm synth cache misses: " << warm.misses << "\n";
+    std::cout << "warm/cold speedup: "
+              << Table::num(warm.jobsPerSec() /
+                                std::max(cold.jobsPerSec(), 1e-9),
+                            2)
+              << "x\n";
+
+    std::error_code ec;
+    fs::remove_all(tmp, ec);
+
+    if (warm.misses != 0) {
+        warn("cross-job dedup failed: warm wave synthesized ",
+             warm.misses, " blocks");
+        return 1;
+    }
+    if (warm.jobsPerSec() < 2.0 * cold.jobsPerSec()) {
+        warn("warm wave is not 2x faster than cold (",
+             Table::num(warm.jobsPerSec(), 2), " vs ",
+             Table::num(cold.jobsPerSec(), 2), " jobs/sec)");
+        return 1;
+    }
+    std::cout << "\nExpected shape (paper, Sec. 6): QUEST's one-time "
+                 "synthesis cost amortizes across tenants — repeated "
+                 "or overlapping circuits compile from the shared "
+                 "cache at interactive latency.\n";
+    return 0;
+}

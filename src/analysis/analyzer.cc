@@ -112,8 +112,10 @@ bool
 determinismAllowlisted(const std::string &rel)
 {
     return startsWith(rel, "src/resilience/") ||
-           startsWith(rel, "src/obs/") || startsWith(rel, "tools/") ||
-           startsWith(rel, "bench/") || rel == "src/util/timer.hh";
+           startsWith(rel, "src/obs/") ||
+           startsWith(rel, "src/service/") ||
+           startsWith(rel, "tools/") || startsWith(rel, "bench/") ||
+           rel == "src/util/timer.hh";
 }
 
 bool

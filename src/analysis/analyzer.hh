@@ -6,7 +6,10 @@
  *
  * Path policy (all paths repo-relative):
  *   - determinism rules are skipped for src/resilience/, src/obs/,
- *     tools/, bench/ and src/util/timer.hh (the clock/env allowlist);
+ *     src/service/, tools/, bench/ and src/util/timer.hh (the
+ *     clock/env allowlist — service scheduling is wall-clock-driven
+ *     by design; job *results* still flow through src/quest/, where
+ *     the rules stay armed);
  *   - the cancellation rule applies to src/synth/, src/anneal/ and
  *     src/quest/;
  *   - errors.runtime-error is skipped for src/util/ (the taxonomy

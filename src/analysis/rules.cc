@@ -93,8 +93,8 @@ runDeterminismRule(SourceFile &f, std::vector<Finding> &out)
             emit(f, out, "determinism.clock", t.line,
                  std::string("wall-clock read '") + std::string(t.text) +
                      "' on a result-affecting path (allow-listed dirs: "
-                     "src/resilience, src/obs, tools, bench; or "
-                     "declare QUEST_RESULT_NEUTRAL)");
+                     "src/resilience, src/obs, src/service, tools, "
+                     "bench; or declare QUEST_RESULT_NEUTRAL)");
         } else if (isIdent(t, "time") && calledAt(f, i) &&
                    (i == 0 || !isPunct(f.sig[i - 1], '.'))) {
             emit(f, out, "determinism.clock", t.line,

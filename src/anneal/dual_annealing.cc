@@ -1,5 +1,7 @@
 #include "anneal/dual_annealing.hh"
 
+#include <math.h> // lgamma_r
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -32,9 +34,13 @@ class VisitingDistribution
         factor4p = std::sqrt(pi) * factor2 / (factor3 * (3.0 - qv));
         double factor5 = 1.0 / (qv - 1.0) - 0.5;
         double d1 = 2.0 - factor5;
+        // lgamma_r, not std::lgamma: glibc's lgamma writes the global
+        // signgam, a data race when annealers run on several executor
+        // threads at once.
+        int sign = 0;
         factor6 = pi * (1.0 - factor5) /
                   std::sin(pi * (1.0 - factor5)) /
-                  std::exp(std::lgamma(d1));
+                  std::exp(lgamma_r(d1, &sign));
     }
 
     /** One heavy-tailed step at the given temperature. */

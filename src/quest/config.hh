@@ -79,6 +79,15 @@ struct QuestConfig
     unsigned threads = 0;
 
     /**
+     * Externally owned worker pool (not owned; must outlive run()).
+     * When set it overrides @ref threads: the run claims indices from
+     * this pool's cooperative parallelFor instead of spawning its
+     * own workers, which is how the compile service shares one
+     * machine-wide thread budget across concurrent jobs.
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
      * Directory for the persistent synthesis cache (src/cache);
      * empty disables it. Safe to share between concurrent processes.
      * Identical (block unitary, synthesis config) pairs then skip
@@ -88,6 +97,16 @@ struct QuestConfig
 
     /** Size budget for the persistent cache (0 = unbounded). */
     uint64_t cacheMaxBytes = uint64_t{1} << 30;
+
+    /**
+     * Externally owned synthesis store (not owned; must outlive
+     * run()). When set it overrides @ref cacheDir — the pipeline
+     * consults this hook instead of opening its own cache::
+     * SynthesisCache, so concurrent service jobs dedup identical
+     * block unitaries against one shared store. The hook must be
+     * thread-safe (SynthesisCache and CheckpointJournal both are).
+     */
+    SynthCacheHook *sharedCache = nullptr;
 
     /**
      * Run the structural IR verifiers (src/verify) on the output of

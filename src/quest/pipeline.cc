@@ -172,7 +172,7 @@ QuestPipeline::QuestPipeline(QuestConfig config)
     QUEST_ASSERT(cfg.maxSamples >= 1, "need at least one sample");
     QUEST_ASSERT(cfg.maxApproxPerBlock >= 2,
                  "need at least two approximations per block");
-    if (!cfg.cacheDir.empty()) {
+    if (!cfg.cacheDir.empty() && !cfg.sharedCache) {
         cache::CacheConfig cc;
         cc.dir = cfg.cacheDir;
         cc.maxBytes = cfg.cacheMaxBytes;
@@ -285,18 +285,25 @@ QuestPipeline::run(const Circuit &circuit) const
             // cursor and the caller participates, so the nested
             // within-synthesizer parallelFor reuses the same threads
             // instead of oversubscribing (budget - 1 workers + this
-            // thread = budget busy threads total).
+            // thread = budget busy threads total). An injected
+            // cfg.pool extends the same sharing across concurrent
+            // pipeline runs: each run's parallelFor has its own
+            // batch cursor, so runs interleave safely on one pool.
             const unsigned budget = std::max(
                 1u, cfg.threads == 0 ? ThreadPool::hardwareConcurrency()
                                      : cfg.threads);
-            ThreadPool pool(budget - 1);
+            std::unique_ptr<ThreadPool> owned;
+            if (!cfg.pool)
+                owned = std::make_unique<ThreadPool>(budget - 1);
+            ThreadPool &pool = cfg.pool ? *cfg.pool : *owned;
 
             SynthConfig synth_cfg = cfg.synth;
             if (cfg.verify)
                 synth_cfg.verifyCandidates = true;
             synth_cfg.pool = &pool;
             ChainedSynthCache chained(checkpoint.get(),
-                                      synthCache.get());
+                                      cfg.sharedCache ? cfg.sharedCache
+                                                      : synthCache.get());
             synth_cfg.cache = &chained;
 
             // Blocks the budget never lets us start keep this

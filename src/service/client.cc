@@ -1,0 +1,171 @@
+#include "service/client.hh"
+
+#include <unistd.h>
+
+#include "resilience/error.hh"
+#include "service/socket.hh"
+#include "util/names.hh"
+
+namespace quest::service {
+
+namespace {
+
+using resilience::ErrorCategory;
+using resilience::QuestError;
+
+/** The taxonomy code an Error frame carries, back to its category
+ *  (inverse of the server's exitCodeFor mapping). */
+ErrorCategory
+categoryForExitCode(int32_t code)
+{
+    switch (code) {
+      case names::kExitInvalidInput:
+        return ErrorCategory::InvalidInput;
+      case names::kExitIo:
+        return ErrorCategory::Io;
+      case names::kExitTimeout:
+        return ErrorCategory::Timeout;
+      case names::kExitCancelled:
+        return ErrorCategory::Cancelled;
+      case names::kExitDiverged:
+        return ErrorCategory::Diverged;
+      case names::kExitResource:
+        return ErrorCategory::Resource;
+      default:
+        return ErrorCategory::Internal;
+    }
+}
+
+} // namespace
+
+QuestClient
+QuestClient::connect(const std::string &path, double timeoutSeconds)
+{
+    return QuestClient(connectTo(path, timeoutSeconds));
+}
+
+QuestClient
+QuestClient::fromFd(int fd)
+{
+    return QuestClient(fd);
+}
+
+QuestClient::~QuestClient()
+{
+    if (sock >= 0)
+        ::close(sock);
+}
+
+QuestClient::QuestClient(QuestClient &&other) noexcept
+    : sock(other.sock)
+{
+    other.sock = -1;
+}
+
+QuestClient &
+QuestClient::operator=(QuestClient &&other) noexcept
+{
+    if (this != &other) {
+        if (sock >= 0)
+            ::close(sock);
+        sock = other.sock;
+        other.sock = -1;
+    }
+    return *this;
+}
+
+Frame
+QuestClient::roundTrip(MsgType type,
+                       const std::vector<uint8_t> &payload,
+                       MsgType expect)
+{
+    if (!sendFrame(sock, type, payload)) {
+        throw QuestError(ErrorCategory::Io,
+                         std::string("cannot send ") +
+                             msgTypeName(type) + " frame");
+    }
+    RecvResult r = recvFrame(sock);
+    switch (r.status) {
+      case RecvStatus::Ok:
+        break;
+      case RecvStatus::Eof:
+        throw QuestError(ErrorCategory::Io,
+                         "server closed the connection");
+      case RecvStatus::IoError:
+        throw QuestError(ErrorCategory::Io, r.error);
+      default: // Malformed, VersionMismatch, Oversized
+        throw QuestError(ErrorCategory::InvalidInput, r.error);
+    }
+    if (r.frame.type == MsgType::Error) {
+        const ErrorReply err =
+            decodePayload<ErrorReply>(r.frame.payload);
+        throw QuestError(categoryForExitCode(err.exitCode),
+                         err.message);
+    }
+    if (r.frame.type != expect) {
+        throw QuestError(ErrorCategory::InvalidInput,
+                         std::string("expected a ") +
+                             msgTypeName(expect) + " frame, got " +
+                             msgTypeName(r.frame.type));
+    }
+    return std::move(r.frame);
+}
+
+SubmitReply
+QuestClient::submit(const SubmitRequest &request)
+{
+    const Frame reply = roundTrip(
+        MsgType::Submit, encodePayload(request), MsgType::SubmitReply);
+    return decodePayload<SubmitReply>(reply.payload);
+}
+
+JobStatus
+QuestClient::status(uint64_t jobId)
+{
+    StatusRequest request;
+    request.jobId = jobId;
+    const Frame reply = roundTrip(
+        MsgType::Status, encodePayload(request), MsgType::StatusReply);
+    return decodePayload<JobStatus>(reply.payload);
+}
+
+ResultReply
+QuestClient::result(uint64_t jobId, bool wait, double timeoutSeconds)
+{
+    ResultRequest request;
+    request.jobId = jobId;
+    request.wait = wait;
+    request.timeoutSeconds = timeoutSeconds;
+    const Frame reply = roundTrip(
+        MsgType::Result, encodePayload(request), MsgType::ResultReply);
+    return decodePayload<ResultReply>(reply.payload);
+}
+
+CancelReply
+QuestClient::cancelJob(uint64_t jobId)
+{
+    CancelRequest request;
+    request.jobId = jobId;
+    const Frame reply = roundTrip(
+        MsgType::Cancel, encodePayload(request), MsgType::CancelReply);
+    return decodePayload<CancelReply>(reply.payload);
+}
+
+StatsReply
+QuestClient::stats()
+{
+    const Frame reply =
+        roundTrip(MsgType::Stats, {}, MsgType::StatsReply);
+    return decodePayload<StatsReply>(reply.payload);
+}
+
+void
+QuestClient::shutdown(bool drain)
+{
+    ShutdownRequest request;
+    request.drain = drain;
+    roundTrip(MsgType::Shutdown, encodePayload(request),
+              MsgType::ShutdownReply);
+}
+
+} // namespace quest::service

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synchronous QSV1 client: one connection, one request in flight.
+ *
+ * Each call sends one request frame and blocks for the matching
+ * reply. A server-side Error frame is rethrown locally as the
+ * QuestError its taxonomy code names, so `quest_client` exits with
+ * the same code a local `quest_compile` of the job would have —
+ * docs/REGISTRY.md "Job states" pins that mapping.
+ */
+
+#ifndef QUEST_SERVICE_CLIENT_HH
+#define QUEST_SERVICE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+
+namespace quest::service {
+
+/** See the file comment. Move-only; owns its socket fd. */
+class QuestClient
+{
+  public:
+    /** Connect to a daemon's Unix socket, retrying until
+     *  @p timeoutSeconds. Throws QuestError(Io) on failure. */
+    static QuestClient connect(const std::string &path,
+                               double timeoutSeconds = 5.0);
+
+    /** Adopt an already-connected stream fd (socketpair tests). */
+    static QuestClient fromFd(int fd);
+
+    ~QuestClient();
+
+    QuestClient(QuestClient &&other) noexcept;
+    QuestClient &operator=(QuestClient &&other) noexcept;
+    QuestClient(const QuestClient &) = delete;
+    QuestClient &operator=(const QuestClient &) = delete;
+
+    SubmitReply submit(const SubmitRequest &request);
+    JobStatus status(uint64_t jobId);
+    ResultReply result(uint64_t jobId, bool wait = true,
+                       double timeoutSeconds = 0);
+    CancelReply cancelJob(uint64_t jobId);
+    StatsReply stats();
+
+    /** Ask the daemon to stop (drain: finish queued jobs first).
+     *  Returns once the daemon acknowledged. */
+    void shutdown(bool drain = true);
+
+    int fd() const { return sock; }
+
+  private:
+    explicit QuestClient(int fd) : sock(fd) {}
+
+    /** Send @p type + @p payload, receive one frame, demand
+     *  @p expect. Error frames and transport failures throw
+     *  QuestError. */
+    Frame roundTrip(MsgType type, const std::vector<uint8_t> &payload,
+                    MsgType expect);
+
+    int sock = -1;
+};
+
+} // namespace quest::service
+
+#endif // QUEST_SERVICE_CLIENT_HH

@@ -1,0 +1,84 @@
+#include "service/job.hh"
+
+#include "util/names.hh"
+
+namespace quest::service {
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Cancelled:
+        return "cancelled";
+      case JobState::Rejected:
+        return "rejected";
+      case JobState::Expired:
+        return "expired";
+    }
+    return "unknown";
+}
+
+bool
+isTerminalJobState(JobState state)
+{
+    return state != JobState::Queued && state != JobState::Running;
+}
+
+int
+exitCodeForJobState(JobState state, int failCode)
+{
+    switch (state) {
+      case JobState::Queued:
+      case JobState::Running:
+        return -1;
+      case JobState::Done:
+        return 0;
+      case JobState::Failed:
+        return failCode;
+      case JobState::Cancelled:
+        return names::kExitCancelled;
+      case JobState::Rejected:
+        return names::kExitResource;
+      case JobState::Expired:
+        return names::kExitTimeout;
+    }
+    return names::kExitInternal;
+}
+
+QuestConfig
+baseCompileConfig()
+{
+    QuestConfig config;
+    config.synth.beamWidth = 1;
+    config.synth.inst.multistarts = 2;
+    config.synth.inst.lbfgs.maxIterations = 300;
+    config.synth.stallLevels = 8;
+    return config;
+}
+
+QuestConfig
+applyCompileOptions(QuestConfig config, const CompileOptions &options)
+{
+    config.thresholdPerBlock = options.threshold;
+    config.maxSamples = options.maxSamples;
+    config.synth.maxLayers = options.maxLayers;
+    config.maxBlockSize = options.blockSize;
+    config.seed = options.seed;
+    return config;
+}
+
+QuestConfig
+compileConfig(const CompileOptions &options)
+{
+    return applyCompileOptions(baseCompileConfig(), options);
+}
+
+} // namespace quest::service

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Job-level vocabulary of the compile service: the per-job compile
+ * options carried over the wire, the job lifecycle states, and the
+ * mapping from terminal states to the PR-5 exit-code taxonomy.
+ *
+ * The option set is deliberately the same knob set quest_compile
+ * exposes, and compileConfig() is the *shared* construction of the
+ * full QuestConfig from those knobs — quest_compile builds its config
+ * through the same function, which is what makes a service job's
+ * samples byte-identical to a quest_compile run on the same input
+ * (the service only adds the shared pool/cache/cancel plumbing, none
+ * of which is result-affecting).
+ */
+
+#ifndef QUEST_SERVICE_JOB_HH
+#define QUEST_SERVICE_JOB_HH
+
+#include <cstdint>
+
+#include "quest/config.hh"
+
+namespace quest::service {
+
+/**
+ * Lifecycle of one submitted job. Queued and Running are transient;
+ * everything else is terminal. Rejected never enters the queue
+ * (admission control refused it); Expired means the job's own
+ * deadline fired before or during its run.
+ */
+enum class JobState : uint8_t {
+    Queued = 0,
+    Running = 1,
+    Done = 2,
+    Failed = 3,
+    Cancelled = 4,
+    Rejected = 5,
+    Expired = 6,
+};
+
+/** Stable lower-case name ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+/** True for the states a job can never leave. */
+bool isTerminalJobState(JobState state);
+
+/**
+ * The exit code a quest_compile run ending in this state would have
+ * returned (docs/REGISTRY.md "Job states"): Done 0, Cancelled 13,
+ * Rejected 15 (resource: the queue was the exhausted resource),
+ * Expired 12, Failed @p failCode (the job's own QuestError code),
+ * and -1 for non-terminal states.
+ */
+int exitCodeForJobState(JobState state, int failCode);
+
+/**
+ * The per-job knobs a client may set, mirroring quest_compile's
+ * CLI surface. Defaults equal quest_compile's defaults.
+ */
+struct CompileOptions
+{
+    double threshold = 0.3; //!< per-block threshold
+    int maxSamples = 16;    //!< ensemble size cap
+    int maxLayers = 16;     //!< synthesis layer cap
+    int blockSize = 4;      //!< partition width
+    uint64_t seed = 99;     //!< master seed
+};
+
+/**
+ * The front-end base config (quest_compile's tuned synthesis budget)
+ * before any per-job option is applied.
+ */
+QuestConfig baseCompileConfig();
+
+/** Apply @p options onto @p config (returns the modified copy). */
+QuestConfig applyCompileOptions(QuestConfig config,
+                                const CompileOptions &options);
+
+/** baseCompileConfig() with @p options applied — exactly the config
+ *  quest_compile builds for the same flag values. */
+QuestConfig compileConfig(const CompileOptions &options);
+
+} // namespace quest::service
+
+#endif // QUEST_SERVICE_JOB_HH

@@ -1,0 +1,373 @@
+#include "service/protocol.hh"
+
+#include <cstring>
+
+namespace quest::service {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Submit:
+        return "submit";
+      case MsgType::SubmitReply:
+        return "submit-reply";
+      case MsgType::Status:
+        return "status";
+      case MsgType::StatusReply:
+        return "status-reply";
+      case MsgType::Result:
+        return "result";
+      case MsgType::ResultReply:
+        return "result-reply";
+      case MsgType::Cancel:
+        return "cancel";
+      case MsgType::CancelReply:
+        return "cancel-reply";
+      case MsgType::Stats:
+        return "stats";
+      case MsgType::StatsReply:
+        return "stats-reply";
+      case MsgType::Shutdown:
+        return "shutdown";
+      case MsgType::ShutdownReply:
+        return "shutdown-reply";
+      case MsgType::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::vector<uint8_t>
+encodeFrame(MsgType type, const std::vector<uint8_t> &payload)
+{
+    ByteWriter w;
+    w.bytes(kFrameMagic, sizeof kFrameMagic);
+    w.u16(kProtocolVersion);
+    w.u16(static_cast<uint16_t>(type));
+    w.u32(static_cast<uint32_t>(payload.size()));
+    if (!payload.empty())
+        w.bytes(payload.data(), payload.size());
+    w.u64(fnv1a64(payload.data(), payload.size()));
+    return w.take();
+}
+
+Frame
+decodeFrame(const uint8_t *data, size_t size, uint32_t maxPayloadBytes)
+{
+    ByteReader r(data, size);
+    uint8_t magic[4];
+    r.bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kFrameMagic, sizeof magic) != 0)
+        throw SerializeError("bad frame magic (want \"QSV1\")");
+    const uint16_t version = r.u16();
+    if (version != kProtocolVersion) {
+        throw SerializeError(
+            "protocol version mismatch: got " +
+            std::to_string(version) + ", this server speaks " +
+            std::to_string(kProtocolVersion));
+    }
+    const uint16_t type = r.u16();
+    const uint32_t length = r.u32();
+    if (length > maxPayloadBytes) {
+        throw SerializeError(
+            "oversized frame payload: " + std::to_string(length) +
+            " bytes exceeds the " + std::to_string(maxPayloadBytes) +
+            "-byte cap");
+    }
+    Frame frame;
+    frame.type = static_cast<MsgType>(type);
+    frame.payload.resize(length);
+    if (length > 0)
+        r.bytes(frame.payload.data(), length);
+    const uint64_t want = r.u64();
+    const uint64_t got =
+        fnv1a64(frame.payload.data(), frame.payload.size());
+    if (want != got)
+        throw SerializeError("frame payload checksum mismatch");
+    if (!r.atEnd()) {
+        throw SerializeError("trailing bytes after frame: " +
+                             std::to_string(r.remaining()) + " unread");
+    }
+    return frame;
+}
+
+// ---- message payloads --------------------------------------------
+
+namespace {
+
+void
+encodeOptions(ByteWriter &w, const CompileOptions &o)
+{
+    w.f64(o.threshold);
+    w.i32(o.maxSamples);
+    w.i32(o.maxLayers);
+    w.i32(o.blockSize);
+    w.u64(o.seed);
+}
+
+CompileOptions
+decodeOptions(ByteReader &r)
+{
+    CompileOptions o;
+    o.threshold = r.f64();
+    o.maxSamples = r.i32();
+    o.maxLayers = r.i32();
+    o.blockSize = r.i32();
+    o.seed = r.u64();
+    return o;
+}
+
+void
+encodeNamedValues(ByteWriter &w,
+                  const std::vector<std::pair<std::string, uint64_t>> &kv)
+{
+    w.u32(static_cast<uint32_t>(kv.size()));
+    for (const auto &[name, value] : kv) {
+        w.str(name);
+        w.u64(value);
+    }
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+decodeNamedValues(ByteReader &r)
+{
+    const uint32_t n = r.u32();
+    std::vector<std::pair<std::string, uint64_t>> kv;
+    kv.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        const uint64_t value = r.u64();
+        kv.emplace_back(std::move(name), value);
+    }
+    return kv;
+}
+
+JobState
+decodeState(ByteReader &r)
+{
+    const uint8_t raw = r.u8();
+    if (raw > static_cast<uint8_t>(JobState::Expired))
+        throw SerializeError("bad job state " + std::to_string(raw));
+    return static_cast<JobState>(raw);
+}
+
+} // namespace
+
+void
+SubmitRequest::encode(ByteWriter &w) const
+{
+    w.i32(priority);
+    w.f64(deadlineSeconds);
+    encodeOptions(w, options);
+    w.str(qasm);
+}
+
+SubmitRequest
+SubmitRequest::decode(ByteReader &r)
+{
+    SubmitRequest m;
+    m.priority = r.i32();
+    m.deadlineSeconds = r.f64();
+    m.options = decodeOptions(r);
+    m.qasm = r.str();
+    return m;
+}
+
+void
+SubmitReply::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+    w.u8(accepted ? 1 : 0);
+    w.u8(static_cast<uint8_t>(state));
+    w.str(detail);
+}
+
+SubmitReply
+SubmitReply::decode(ByteReader &r)
+{
+    SubmitReply m;
+    m.jobId = r.u64();
+    m.accepted = r.u8() != 0;
+    m.state = decodeState(r);
+    m.detail = r.str();
+    return m;
+}
+
+void
+StatusRequest::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+}
+
+StatusRequest
+StatusRequest::decode(ByteReader &r)
+{
+    StatusRequest m;
+    m.jobId = r.u64();
+    return m;
+}
+
+void
+JobStatus::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+    w.u8(known ? 1 : 0);
+    w.u8(static_cast<uint8_t>(state));
+    w.i32(exitCode);
+    w.u32(queuePosition);
+    w.u64(completionSeq);
+    w.str(detail);
+}
+
+JobStatus
+JobStatus::decode(ByteReader &r)
+{
+    JobStatus m;
+    m.jobId = r.u64();
+    m.known = r.u8() != 0;
+    m.state = decodeState(r);
+    m.exitCode = r.i32();
+    m.queuePosition = r.u32();
+    m.completionSeq = r.u64();
+    m.detail = r.str();
+    return m;
+}
+
+void
+ResultRequest::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+    w.u8(wait ? 1 : 0);
+    w.f64(timeoutSeconds);
+}
+
+ResultRequest
+ResultRequest::decode(ByteReader &r)
+{
+    ResultRequest m;
+    m.jobId = r.u64();
+    m.wait = r.u8() != 0;
+    m.timeoutSeconds = r.f64();
+    return m;
+}
+
+void
+ResultReply::encode(ByteWriter &w) const
+{
+    status.encode(w);
+    w.u32(qubits);
+    w.u64(originalCnots);
+    w.u64(blocks);
+    w.u64(okBlocks);
+    w.f64(threshold);
+    w.u32(static_cast<uint32_t>(samples.size()));
+    for (const SampleResult &s : samples) {
+        w.str(s.qasm);
+        w.u64(s.cnotCount);
+        w.f64(s.distanceBound);
+    }
+    encodeNamedValues(w, metrics);
+}
+
+ResultReply
+ResultReply::decode(ByteReader &r)
+{
+    ResultReply m;
+    m.status = JobStatus::decode(r);
+    m.qubits = r.u32();
+    m.originalCnots = r.u64();
+    m.blocks = r.u64();
+    m.okBlocks = r.u64();
+    m.threshold = r.f64();
+    const uint32_t n = r.u32();
+    m.samples.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        SampleResult s;
+        s.qasm = r.str();
+        s.cnotCount = r.u64();
+        s.distanceBound = r.f64();
+        m.samples.push_back(std::move(s));
+    }
+    m.metrics = decodeNamedValues(r);
+    return m;
+}
+
+void
+CancelRequest::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+}
+
+CancelRequest
+CancelRequest::decode(ByteReader &r)
+{
+    CancelRequest m;
+    m.jobId = r.u64();
+    return m;
+}
+
+void
+CancelReply::encode(ByteWriter &w) const
+{
+    w.u64(jobId);
+    w.u8(static_cast<uint8_t>(outcome));
+}
+
+CancelReply
+CancelReply::decode(ByteReader &r)
+{
+    CancelReply m;
+    m.jobId = r.u64();
+    const uint8_t raw = r.u8();
+    if (raw > static_cast<uint8_t>(CancelOutcome::AlreadyDone))
+        throw SerializeError("bad cancel outcome " + std::to_string(raw));
+    m.outcome = static_cast<CancelOutcome>(raw);
+    return m;
+}
+
+void
+StatsReply::encode(ByteWriter &w) const
+{
+    encodeNamedValues(w, stats);
+}
+
+StatsReply
+StatsReply::decode(ByteReader &r)
+{
+    StatsReply m;
+    m.stats = decodeNamedValues(r);
+    return m;
+}
+
+void
+ShutdownRequest::encode(ByteWriter &w) const
+{
+    w.u8(drain ? 1 : 0);
+}
+
+ShutdownRequest
+ShutdownRequest::decode(ByteReader &r)
+{
+    ShutdownRequest m;
+    m.drain = r.u8() != 0;
+    return m;
+}
+
+void
+ErrorReply::encode(ByteWriter &w) const
+{
+    w.i32(exitCode);
+    w.str(message);
+}
+
+ErrorReply
+ErrorReply::decode(ByteReader &r)
+{
+    ErrorReply m;
+    m.exitCode = r.i32();
+    m.message = r.str();
+    return m;
+}
+
+} // namespace quest::service

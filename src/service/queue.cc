@@ -1,0 +1,85 @@
+#include "service/queue.hh"
+
+#include "service/server.hh"
+
+namespace quest::service {
+
+bool
+JobQueue::tryPush(std::shared_ptr<Job> job)
+{
+    std::lock_guard<std::mutex> lock(m);
+    if (closed || q.size() >= cap)
+        return false;
+    q.emplace(Key{job->request.priority, job->seq}, std::move(job));
+    cv.notify_one();
+    return true;
+}
+
+std::shared_ptr<Job>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return closed || !q.empty(); });
+    if (q.empty())
+        return nullptr; // closed and drained
+    auto it = q.begin();
+    std::shared_ptr<Job> job = std::move(it->second);
+    q.erase(it);
+    return job;
+}
+
+std::shared_ptr<Job>
+JobQueue::remove(uint64_t jobId)
+{
+    std::lock_guard<std::mutex> lock(m);
+    for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->second->id == jobId) {
+            std::shared_ptr<Job> job = std::move(it->second);
+            q.erase(it);
+            return job;
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::shared_ptr<Job>>
+JobQueue::drainAll()
+{
+    std::lock_guard<std::mutex> lock(m);
+    std::vector<std::shared_ptr<Job>> all;
+    all.reserve(q.size());
+    for (auto &[key, job] : q)
+        all.push_back(std::move(job));
+    q.clear();
+    return all;
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(m);
+    closed = true;
+    cv.notify_all();
+}
+
+size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return q.size();
+}
+
+int
+JobQueue::positionOf(uint64_t jobId) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    int pos = 0;
+    for (const auto &[key, job] : q) {
+        if (job->id == jobId)
+            return pos;
+        ++pos;
+    }
+    return -1;
+}
+
+} // namespace quest::service

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bounded, deterministic priority queue of pending jobs.
+ *
+ * Ordering is (higher priority, then lower submission sequence):
+ * with one executor the completion order of a job set is a pure
+ * function of (priorities, submission order), which the service
+ * determinism test pins. The bound is the admission-control valve —
+ * tryPush() refuses when full and the server maps the refusal to a
+ * Rejected job with the `resource` exit code, so an overloaded
+ * daemon sheds load instead of growing without bound.
+ */
+
+#ifndef QUEST_SERVICE_QUEUE_HH
+#define QUEST_SERVICE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace quest::service {
+
+struct Job;
+
+/** Thread-safe bounded priority queue (see the file comment). */
+class JobQueue
+{
+  public:
+    explicit JobQueue(size_t capacity) : cap(capacity) {}
+
+    /**
+     * Admit @p job (keyed by its id, priority and submission seq).
+     * Returns false — without queuing — when the queue is full or
+     * already closed.
+     */
+    bool tryPush(std::shared_ptr<Job> job);
+
+    /**
+     * Block until a job is available or the queue is closed. Returns
+     * the highest-priority (then oldest) job, or nullptr once the
+     * queue is closed *and* drained — executors use nullptr as their
+     * exit signal, so a draining shutdown finishes queued work first.
+     */
+    std::shared_ptr<Job> pop();
+
+    /** Remove a queued job by id (cancellation before it ever ran).
+     *  Returns the job, or nullptr when it is not queued here. */
+    std::shared_ptr<Job> remove(uint64_t jobId);
+
+    /** Remove and return everything queued (non-drain shutdown). */
+    std::vector<std::shared_ptr<Job>> drainAll();
+
+    /** Stop admitting; pop() returns queued jobs then nullptr. */
+    void close();
+
+    size_t depth() const;
+
+    /** 0-based position of a queued job in pop order; -1 if absent. */
+    int positionOf(uint64_t jobId) const;
+
+  private:
+    /** Pop order: higher priority first, FIFO within a priority. */
+    struct Key
+    {
+        int32_t priority;
+        uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq < o.seq;
+        }
+    };
+
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::map<Key, std::shared_ptr<Job>> q;
+    size_t cap;
+    bool closed = false;
+};
+
+} // namespace quest::service
+
+#endif // QUEST_SERVICE_QUEUE_HH

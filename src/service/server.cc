@@ -1,0 +1,695 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cache/synthesis_cache.hh"
+#include "ir/qasm.hh"
+#include "obs/metrics.hh"
+#include "quest/pipeline.hh"
+#include "resilience/error.hh"
+#include "util/logging.hh"
+#include "util/names.hh"
+
+namespace quest::service {
+
+namespace {
+
+/** Service journal record types (payloads are QSV1 message bytes). */
+constexpr uint32_t kRecSubmit = 1;   //!< u64 jobId + SubmitRequest
+constexpr uint32_t kRecTerminal = 2; //!< u64 jobId + u8 state + i32 code
+
+obs::Counter &
+terminalCounter(JobState state)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &done = registry.counter(names::kMetricServiceJobsDone);
+    static auto &failed =
+        registry.counter(names::kMetricServiceJobsFailed);
+    static auto &cancelled =
+        registry.counter(names::kMetricServiceJobsCancelled);
+    static auto &rejected =
+        registry.counter(names::kMetricServiceJobsRejected);
+    static auto &expired =
+        registry.counter(names::kMetricServiceJobsExpired);
+    switch (state) {
+      case JobState::Done:
+        return done;
+      case JobState::Failed:
+        return failed;
+      case JobState::Cancelled:
+        return cancelled;
+      case JobState::Expired:
+        return expired;
+      case JobState::Rejected:
+      default:
+        return rejected;
+    }
+}
+
+/** The registry's counters and gauges as (name, value) rows. */
+std::vector<std::pair<std::string, uint64_t>>
+metricsSnapshot()
+{
+    std::vector<std::pair<std::string, uint64_t>> kv;
+    for (const obs::MetricSnapshot &m :
+         obs::MetricsRegistry::global().snapshot()) {
+        switch (m.kind) {
+          case obs::MetricKind::Counter:
+            kv.emplace_back(m.name, m.count);
+            break;
+          case obs::MetricKind::Gauge:
+            kv.emplace_back(m.name,
+                            static_cast<uint64_t>(m.gaugeValue));
+            break;
+          case obs::MetricKind::Histogram:
+            break; // counters/gauges only (see StatsReply)
+        }
+    }
+    return kv;
+}
+
+uint64_t
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+            .count());
+}
+
+} // namespace
+
+QuestServer::QuestServer(ServerConfig config)
+    : cfg(std::move(config)), queue(cfg.queueCapacity)
+{
+    const unsigned budget = std::max(
+        1u, cfg.threads == 0 ? ThreadPool::hardwareConcurrency()
+                             : cfg.threads);
+    pool = std::make_unique<ThreadPool>(budget - 1);
+
+    if (!cfg.cacheDir.empty()) {
+        cache::CacheConfig cc;
+        cc.dir = cfg.cacheDir;
+        cc.maxBytes = cfg.cacheMaxBytes;
+        diskCache = std::make_unique<cache::SynthesisCache>(cc);
+    }
+
+    if (!cfg.stateDir.empty()) {
+        std::filesystem::create_directories(cfg.stateDir);
+        journal = std::make_unique<resilience::Journal>(
+            cfg.stateDir + "/service.qrj");
+        replayJournal();
+    }
+
+    const unsigned executors = std::max(1u, cfg.executors);
+    executorThreads.reserve(executors);
+    for (unsigned e = 0; e < executors; ++e)
+        executorThreads.emplace_back([this] { executorLoop(); });
+}
+
+QuestServer::~QuestServer()
+{
+    stop(true);
+}
+
+void
+QuestServer::replayJournal()
+{
+    // Submits without a terminal record were in flight when the
+    // previous daemon died: re-enqueue them. Their per-job QUEST
+    // checkpoint journals make the re-run replay completed block
+    // syntheses byte-identically instead of recomputing.
+    static auto &replayed = obs::MetricsRegistry::global().counter(
+        names::kMetricServiceJobsReplayed);
+
+    std::map<uint64_t, SubmitRequest> pending;
+    std::map<uint64_t, bool> terminal;
+    uint64_t maxId = 0;
+    for (const resilience::JournalRecord &rec : journal->records()) {
+        try {
+            ByteReader r(rec.payload);
+            const uint64_t id = r.u64();
+            maxId = std::max(maxId, id);
+            if (rec.type == kRecSubmit)
+                pending[id] = SubmitRequest::decode(r);
+            else if (rec.type == kRecTerminal)
+                terminal[id] = true;
+        } catch (const SerializeError &e) {
+            warn("service journal: skipping undecodable record: ",
+                 e.what());
+        }
+    }
+    nextId = maxId + 1;
+
+    for (auto &[id, request] : pending) {
+        if (terminal.count(id))
+            continue;
+        auto job = std::make_shared<Job>(&serverCancel);
+        job->id = id;
+        job->seq = nextSeq++;
+        job->request = std::move(request);
+        job->resumed = true;
+        job->admitted = std::chrono::steady_clock::now();
+        if (job->request.deadlineSeconds > 0) {
+            // The original admission time is gone with the old
+            // process; the deadline re-arms from the restart.
+            job->deadline = resilience::Deadline::after(
+                job->request.deadlineSeconds);
+        }
+        jobs[job->id] = job;
+        if (queue.tryPush(job)) {
+            replayed.increment();
+            ++replayedCount;
+            inform("service: replaying in-flight job ", job->id);
+        } else {
+            job->state = JobState::Rejected;
+            job->exitCode = names::kExitResource;
+            job->detail = "queue full during journal replay";
+            job->completionSeq = ++completionCounter;
+            ByteWriter w;
+            w.u64(job->id);
+            w.u8(static_cast<uint8_t>(JobState::Rejected));
+            w.i32(job->exitCode);
+            journal->append(kRecTerminal, w.take());
+            terminalCounter(JobState::Rejected).increment();
+        }
+    }
+    setQueueDepthGauge();
+}
+
+void
+QuestServer::start()
+{
+    listener = std::make_unique<Listener>(cfg.socketPath);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void
+QuestServer::attach(int fd)
+{
+    std::lock_guard<std::mutex> lock(connMu);
+    connFds.push_back(fd);
+    connThreads.emplace_back([this, fd] { serveConnection(fd); });
+}
+
+void
+QuestServer::requestStop(bool drain)
+{
+    std::lock_guard<std::mutex> lock(stateMu);
+    if (!stopping.exchange(true))
+        drainOnStop = drain;
+    stateCv.notify_all();
+}
+
+void
+QuestServer::stop(bool drain)
+{
+    requestStop(drain);
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        if (stopped)
+            return;
+        stopped = true;
+        drain = drainOnStop;
+    }
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+    if (listener)
+        listener->close();
+
+    if (!drain) {
+        // Cancel queued *and* running jobs: every job token is a
+        // child of the server token, executors see the cancellation
+        // at their next safe point and finalize as Cancelled.
+        serverCancel.cancel();
+    }
+    queue.close();
+    for (std::thread &t : executorThreads)
+        t.join();
+    executorThreads.clear();
+
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        threads.swap(connThreads);
+        for (int fd : connFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+QuestServer::waitStopRequested()
+{
+    std::unique_lock<std::mutex> lock(stateMu);
+    stateCv.wait(lock, [&] { return stopping.load(); });
+}
+
+void
+QuestServer::acceptLoop()
+{
+    while (!stopping.load()) {
+        const int fd = listener->acceptConnection(50);
+        if (fd < 0)
+            continue; // timeout or (injected) accept failure
+        if (stopping.load()) {
+            ::close(fd);
+            break;
+        }
+        attach(fd);
+    }
+}
+
+void
+QuestServer::serveConnection(int fd)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &connections =
+        registry.counter(names::kMetricServiceConnections);
+    static auto &rejectedFrames =
+        registry.counter(names::kMetricServiceFramesRejected);
+    connections.increment();
+
+    bool keep = true;
+    while (keep) {
+        RecvResult r = recvFrame(fd, cfg.maxFrameBytes);
+        if (r.status == RecvStatus::Eof ||
+            r.status == RecvStatus::IoError) {
+            break;
+        }
+        if (r.status != RecvStatus::Ok) {
+            // Malformed, oversized or version-mismatched framing:
+            // reply with a taxonomy-coded error, then drop the
+            // connection (resynchronizing a byte stream after a bad
+            // length prefix is guesswork).
+            rejectedFrames.increment();
+            ErrorReply err;
+            err.exitCode = names::kExitInvalidInput;
+            err.message = r.error;
+            sendFrame(fd, MsgType::Error, encodePayload(err));
+            break;
+        }
+        keep = dispatch(fd, r.frame);
+    }
+
+    std::lock_guard<std::mutex> lock(connMu);
+    ::close(fd);
+    connFds.erase(std::remove(connFds.begin(), connFds.end(), fd),
+                  connFds.end());
+}
+
+bool
+QuestServer::dispatch(int fd, const Frame &frame)
+{
+    static auto &rejectedFrames =
+        obs::MetricsRegistry::global().counter(
+            names::kMetricServiceFramesRejected);
+    try {
+        switch (frame.type) {
+          case MsgType::Submit: {
+            const SubmitReply reply = handleSubmit(
+                decodePayload<SubmitRequest>(frame.payload));
+            return sendFrame(fd, MsgType::SubmitReply,
+                             encodePayload(reply));
+          }
+          case MsgType::Status: {
+            const StatusRequest req =
+                decodePayload<StatusRequest>(frame.payload);
+            return sendFrame(fd, MsgType::StatusReply,
+                             encodePayload(statusOf(req.jobId)));
+          }
+          case MsgType::Result: {
+            const ResultReply reply = handleResult(
+                decodePayload<ResultRequest>(frame.payload));
+            return sendFrame(fd, MsgType::ResultReply,
+                             encodePayload(reply));
+          }
+          case MsgType::Cancel: {
+            const CancelRequest req =
+                decodePayload<CancelRequest>(frame.payload);
+            return sendFrame(fd, MsgType::CancelReply,
+                             encodePayload(handleCancel(req.jobId)));
+          }
+          case MsgType::Stats:
+            return sendFrame(fd, MsgType::StatsReply,
+                             encodePayload(handleStats()));
+          case MsgType::Shutdown: {
+            const ShutdownRequest req =
+                decodePayload<ShutdownRequest>(frame.payload);
+            sendFrame(fd, MsgType::ShutdownReply, {});
+            requestStop(req.drain);
+            return false;
+          }
+          default: {
+            rejectedFrames.increment();
+            ErrorReply err;
+            err.exitCode = names::kExitInvalidInput;
+            err.message = std::string("unexpected frame type '") +
+                          msgTypeName(frame.type) + "'";
+            sendFrame(fd, MsgType::Error, encodePayload(err));
+            return false;
+          }
+        }
+    } catch (const SerializeError &e) {
+        rejectedFrames.increment();
+        ErrorReply err;
+        err.exitCode = names::kExitInvalidInput;
+        err.message = std::string("bad ") + msgTypeName(frame.type) +
+                      " payload: " + e.what();
+        sendFrame(fd, MsgType::Error, encodePayload(err));
+        return false;
+    }
+}
+
+SubmitReply
+QuestServer::handleSubmit(const SubmitRequest &request)
+{
+    static auto &submitted = obs::MetricsRegistry::global().counter(
+        names::kMetricServiceJobsSubmitted);
+
+    SubmitReply reply;
+    if (stopping.load()) {
+        terminalCounter(JobState::Rejected).increment();
+        reply.detail = "server is shutting down";
+        return reply;
+    }
+
+    auto job = std::make_shared<Job>(&serverCancel);
+    job->request = request;
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        job->id = nextId++;
+        job->seq = nextSeq++;
+        job->admitted = std::chrono::steady_clock::now();
+        if (request.deadlineSeconds > 0) {
+            job->deadline =
+                resilience::Deadline::after(request.deadlineSeconds);
+        }
+        jobs[job->id] = job;
+        if (journal) {
+            ByteWriter w;
+            w.u64(job->id);
+            request.encode(w);
+            journal->append(kRecSubmit, w.take());
+        }
+        if (!queue.tryPush(job)) {
+            // Load shedding: the bounded queue is the admission
+            // valve, and the refusal maps to the `resource` code.
+            job->state = JobState::Rejected;
+            job->exitCode = names::kExitResource;
+            job->detail = "queue full (capacity " +
+                          std::to_string(cfg.queueCapacity) + ")";
+            job->completionSeq = ++completionCounter;
+            if (journal) {
+                ByteWriter w;
+                w.u64(job->id);
+                w.u8(static_cast<uint8_t>(JobState::Rejected));
+                w.i32(job->exitCode);
+                journal->append(kRecTerminal, w.take());
+            }
+            terminalCounter(JobState::Rejected).increment();
+            stateCv.notify_all();
+            reply.jobId = job->id;
+            reply.state = JobState::Rejected;
+            reply.detail = job->detail;
+            return reply;
+        }
+    }
+    submitted.increment();
+    setQueueDepthGauge();
+    reply.jobId = job->id;
+    reply.accepted = true;
+    reply.state = JobState::Queued;
+    return reply;
+}
+
+JobStatus
+QuestServer::statusOf(uint64_t jobId) const
+{
+    std::lock_guard<std::mutex> lock(stateMu);
+    JobStatus status;
+    status.jobId = jobId;
+    auto it = jobs.find(jobId);
+    if (it == jobs.end())
+        return status;
+    const Job &job = *it->second;
+    status.known = true;
+    status.state = job.state;
+    status.exitCode = exitCodeForJobState(job.state, job.exitCode);
+    status.completionSeq = job.completionSeq;
+    status.detail = job.detail;
+    if (job.state == JobState::Queued) {
+        const int pos = queue.positionOf(jobId);
+        status.queuePosition =
+            pos < 0 ? 0 : static_cast<uint32_t>(pos);
+    }
+    return status;
+}
+
+JobStatus
+QuestServer::waitTerminal(uint64_t jobId, double timeoutSeconds)
+{
+    {
+        std::unique_lock<std::mutex> lock(stateMu);
+        auto terminal = [&] {
+            auto it = jobs.find(jobId);
+            return it == jobs.end() ||
+                   isTerminalJobState(it->second->state);
+        };
+        if (timeoutSeconds > 0) {
+            stateCv.wait_for(
+                lock, std::chrono::duration<double>(timeoutSeconds),
+                terminal);
+        } else {
+            stateCv.wait(lock, terminal);
+        }
+    }
+    return statusOf(jobId);
+}
+
+ResultReply
+QuestServer::handleResult(const ResultRequest &request)
+{
+    if (request.wait)
+        waitTerminal(request.jobId, request.timeoutSeconds);
+
+    std::lock_guard<std::mutex> lock(stateMu);
+    auto it = jobs.find(request.jobId);
+    if (it == jobs.end()) {
+        ResultReply reply;
+        reply.status.jobId = request.jobId;
+        return reply;
+    }
+    const Job &job = *it->second;
+    ResultReply reply;
+    if (isTerminalJobState(job.state))
+        reply = job.result; // summary + samples + metrics snapshot
+    reply.status.jobId = job.id;
+    reply.status.known = true;
+    reply.status.state = job.state;
+    reply.status.exitCode =
+        exitCodeForJobState(job.state, job.exitCode);
+    reply.status.completionSeq = job.completionSeq;
+    reply.status.detail = job.detail;
+    return reply;
+}
+
+CancelReply
+QuestServer::handleCancel(uint64_t jobId)
+{
+    CancelReply reply;
+    reply.jobId = jobId;
+
+    std::shared_ptr<Job> job;
+    JobState observed = JobState::Queued;
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        auto it = jobs.find(jobId);
+        if (it == jobs.end())
+            return reply; // Unknown
+        job = it->second;
+        observed = job->state;
+    }
+
+    if (isTerminalJobState(observed)) {
+        reply.outcome = CancelOutcome::AlreadyDone;
+        return reply;
+    }
+    if (observed == JobState::Queued && queue.remove(jobId)) {
+        // Dequeued before it ever ran: the job never reaches an
+        // executor, the pool, or a Budget poll.
+        job->cancel.cancel();
+        finalize(job, JobState::Cancelled, names::kExitCancelled,
+                 "cancelled while queued");
+        setQueueDepthGauge();
+        reply.outcome = CancelOutcome::Dequeued;
+        return reply;
+    }
+    // Running (or popped concurrently with this cancel): fire the
+    // token; the pipeline stops at its next safe point and the
+    // executor finalizes the job as Cancelled.
+    job->cancel.cancel();
+    reply.outcome = CancelOutcome::Signalled;
+    return reply;
+}
+
+StatsReply
+QuestServer::handleStats() const
+{
+    StatsReply reply;
+    reply.stats = metricsSnapshot();
+    return reply;
+}
+
+void
+QuestServer::executorLoop()
+{
+    while (std::shared_ptr<Job> job = queue.pop())
+        runJob(job);
+}
+
+void
+QuestServer::runJob(const std::shared_ptr<Job> &job)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &queueMs =
+        registry.histogram(names::kMetricServiceJobQueueMs);
+    static auto &runMs =
+        registry.histogram(names::kMetricServiceJobRunMs);
+    queueMs.record(millisSince(job->admitted));
+    setQueueDepthGauge();
+
+    if (job->cancel.cancelled()) {
+        finalize(job, JobState::Cancelled, names::kExitCancelled,
+                 "cancelled while queued");
+        return;
+    }
+    if (job->deadline.expired()) {
+        finalize(job, JobState::Expired, names::kExitTimeout,
+                 "deadline expired while queued");
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stateMu);
+        if (isTerminalJobState(job->state))
+            return;
+        job->state = JobState::Running;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+
+    QuestConfig jc =
+        cfg.base ? applyCompileOptions(*cfg.base, job->request.options)
+                 : compileConfig(job->request.options);
+    jc.pool = pool.get();
+    if (diskCache)
+        jc.sharedCache = diskCache.get();
+    jc.cancel = &job->cancel;
+    if (!cfg.stateDir.empty()) {
+        jc.checkpointDir =
+            cfg.stateDir + "/jobs/" + std::to_string(job->id);
+        jc.resume = job->resumed;
+    }
+    // A service job's budget is a contract, not a hint: run under
+    // Fail so a fired deadline surfaces as Expired and a fired
+    // cancel token as Cancelled, instead of a silently degraded
+    // ensemble a tenant cannot tell from a full compile.
+    jc.deadlinePolicy = DeadlinePolicy::Fail;
+    if (!job->deadline.isNever()) {
+        jc.runTimeoutSeconds =
+            std::max(job->deadline.remainingSeconds(), 1e-9);
+    }
+
+    try {
+        Circuit circuit;
+        try {
+            circuit = parseQasm(job->request.qasm);
+        } catch (const QasmError &e) {
+            throw resilience::QuestError(
+                resilience::ErrorCategory::InvalidInput,
+                std::string("QASM parse error: ") + e.what());
+        }
+        QuestPipeline pipeline(jc);
+        const QuestResult result = pipeline.run(circuit);
+
+        // The executor is the only writer of job->result until
+        // finalize() publishes the terminal state under stateMu.
+        job->result.qubits =
+            static_cast<uint32_t>(result.original.numQubits());
+        job->result.originalCnots = result.originalCnots;
+        job->result.blocks = result.blocks.size();
+        job->result.okBlocks = result.okBlocks();
+        job->result.threshold = result.threshold;
+        job->result.samples.clear();
+        for (const ApproxSample &s : result.samples) {
+            SampleResult sample;
+            sample.qasm = toQasm(s.circuit);
+            sample.cnotCount = s.cnotCount;
+            sample.distanceBound = s.distanceBound;
+            job->result.samples.push_back(std::move(sample));
+        }
+        job->result.metrics = metricsSnapshot();
+        runMs.record(millisSince(started));
+        finalize(job, JobState::Done, 0, "");
+    } catch (const resilience::QuestError &e) {
+        runMs.record(millisSince(started));
+        using resilience::ErrorCategory;
+        switch (e.category()) {
+          case ErrorCategory::Timeout:
+            finalize(job, JobState::Expired, names::kExitTimeout,
+                     e.describe());
+            break;
+          case ErrorCategory::Cancelled:
+            finalize(job, JobState::Cancelled, names::kExitCancelled,
+                     e.describe());
+            break;
+          default:
+            finalize(job, JobState::Failed, e.exitCode(),
+                     e.describe());
+            break;
+        }
+    } catch (const std::exception &e) {
+        runMs.record(millisSince(started));
+        finalize(job, JobState::Failed, names::kExitInternal,
+                 e.what());
+    }
+}
+
+bool
+QuestServer::finalize(const std::shared_ptr<Job> &job, JobState state,
+                      int exitCode, const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(stateMu);
+    if (isTerminalJobState(job->state))
+        return false;
+    job->state = state;
+    job->exitCode = exitCode;
+    job->detail = detail;
+    job->completionSeq = ++completionCounter;
+    if (journal) {
+        ByteWriter w;
+        w.u64(job->id);
+        w.u8(static_cast<uint8_t>(state));
+        w.i32(exitCode);
+        journal->append(kRecTerminal, w.take());
+    }
+    terminalCounter(state).increment();
+    stateCv.notify_all();
+    return true;
+}
+
+void
+QuestServer::setQueueDepthGauge()
+{
+    static auto &depth = obs::MetricsRegistry::global().gauge(
+        names::kMetricServiceQueueDepth);
+    depth.set(static_cast<int64_t>(queue.depth()));
+}
+
+} // namespace quest::service

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * quest_served's engine: a multi-tenant compile server over QSV1.
+ *
+ * One QuestServer owns exactly one of each expensive resource and
+ * shares it across every job (docs/ARCHITECTURE.md "Compile service
+ * layer"):
+ *
+ *   - one cooperative ThreadPool — injected into each job's pipeline
+ *     run (QuestConfig::pool), so N concurrent jobs share one
+ *     machine-wide thread budget instead of oversubscribing N-fold;
+ *   - one persistent SynthesisCache — injected as the shared hook
+ *     (QuestConfig::sharedCache), so identical block unitaries from
+ *     *different* tenants' jobs synthesize once (cross-job dedup);
+ *   - one QRJ1 service journal (stateDir/service.qrj) recording every
+ *     submit and every terminal transition, plus one per-job QUEST
+ *     checkpoint journal (stateDir/jobs/<id>) — a restarted daemon
+ *     re-enqueues submits without a terminal record and resumes their
+ *     block syntheses byte-identically.
+ *
+ * Jobs flow submit → bounded priority queue → one of E executor
+ * threads → terminal state. Admission control is the queue bound:
+ * a full queue rejects the submit with the `resource` exit code
+ * (load shedding), and per-job deadlines ride the job through
+ * resilience::Budget with DeadlinePolicy::Fail. Cancelling a queued
+ * job removes it from the queue directly — it never touches the pool
+ * or polls a Budget. Delivery is at-most-once: a job whose terminal
+ * record was written before a crash is not re-run, and its result
+ * payload is not retained across the restart.
+ */
+
+#ifndef QUEST_SERVICE_SERVER_HH
+#define QUEST_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "quest/config.hh"
+#include "resilience/budget.hh"
+#include "resilience/journal.hh"
+#include "resilience/thread_pool.hh"
+#include "service/queue.hh"
+#include "service/socket.hh"
+
+namespace quest {
+namespace cache {
+class SynthesisCache;
+} // namespace cache
+} // namespace quest
+
+namespace quest::service {
+
+/** One job's full server-side record. The identity/request fields
+ *  are immutable after admission; the lifecycle fields are guarded
+ *  by QuestServer's state mutex. */
+struct Job
+{
+    explicit Job(const resilience::CancelToken *parent)
+        : cancel(parent)
+    {}
+
+    uint64_t id = 0;
+    uint64_t seq = 0; //!< submission order (queue tiebreak)
+    SubmitRequest request;
+    bool resumed = false; //!< re-enqueued by crash replay
+    resilience::CancelToken cancel;
+    resilience::Deadline deadline; //!< armed at admission
+    std::chrono::steady_clock::time_point admitted;
+
+    // Guarded by QuestServer::stateMu.
+    JobState state = JobState::Queued;
+    int exitCode = -1;
+    std::string detail;
+    uint64_t completionSeq = 0;
+    ResultReply result;
+};
+
+/** Everything a QuestServer needs to run. */
+struct ServerConfig
+{
+    /** Unix-domain socket path; empty for an attach()-only server
+     *  (tests drive it over socketpair fds). */
+    std::string socketPath;
+
+    /** Durable state root (service journal + per-job checkpoints);
+     *  empty disables crash-safe replay. */
+    std::string stateDir;
+
+    /** Shared persistent synthesis cache; empty disables it. */
+    std::string cacheDir;
+    uint64_t cacheMaxBytes = uint64_t{1} << 30;
+
+    /** Shared pool budget in threads (0 = all cores). */
+    unsigned threads = 0;
+
+    /** Executor threads = jobs compiled concurrently. */
+    unsigned executors = 2;
+
+    /** Queue bound: submits past it are Rejected (load shedding). */
+    size_t queueCapacity = 64;
+
+    /** Per-frame payload cap forwarded to recvFrame(). */
+    uint32_t maxFrameBytes = kDefaultMaxPayloadBytes;
+
+    /**
+     * Base QuestConfig jobs start from before their CompileOptions
+     * apply. Defaults to baseCompileConfig() — quest_compile's
+     * config, the byte-identity anchor. Benches override it to run
+     * under smoke budgets.
+     */
+    std::optional<QuestConfig> base;
+};
+
+/** The compile service (see the file comment). */
+class QuestServer
+{
+  public:
+    /** Opens state (journal replay happens here) and starts the
+     *  executor threads. Throws QuestError(Io) on unusable state
+     *  or cache directories. */
+    explicit QuestServer(ServerConfig config);
+
+    /** stop(true) unless already stopped. */
+    ~QuestServer();
+
+    QuestServer(const QuestServer &) = delete;
+    QuestServer &operator=(const QuestServer &) = delete;
+
+    /** Bind the socket and start accepting connections. Throws
+     *  QuestError(Io) when the socket cannot be bound. */
+    void start();
+
+    /** Serve one already-connected stream fd (ownership passes to
+     *  the server). Tests drive the full protocol over socketpair. */
+    void attach(int fd);
+
+    /**
+     * Flag the server as stopping without joining anything —
+     * callable from a connection thread (the Shutdown handler).
+     * With @p drain, queued jobs still run to completion; without
+     * it, queued and running jobs are cancelled.
+     */
+    void requestStop(bool drain);
+
+    /** Full shutdown: requestStop(@p drain), then join the accept,
+     *  executor and connection threads. Idempotent. */
+    void stop(bool drain = true);
+
+    /** Block until requestStop() has been called (daemon main). */
+    void waitStopRequested();
+
+    bool stopRequested() const { return stopping.load(); }
+
+    /** The externally visible state of one job. */
+    JobStatus statusOf(uint64_t jobId) const;
+
+    /** Block until @p jobId is terminal (or @p timeoutSeconds runs
+     *  out, 0 = unbounded). Returns its final status. */
+    JobStatus waitTerminal(uint64_t jobId, double timeoutSeconds = 0);
+
+    size_t queueDepth() const { return queue.depth(); }
+
+    /** Jobs re-enqueued from the service journal at startup. */
+    uint64_t replayedJobs() const { return replayedCount; }
+
+    const std::string &socketPath() const { return cfg.socketPath; }
+
+  private:
+    void replayJournal();
+    void acceptLoop();
+    void serveConnection(int fd);
+    bool dispatch(int fd, const Frame &frame);
+
+    SubmitReply handleSubmit(const SubmitRequest &request);
+    ResultReply handleResult(const ResultRequest &request);
+    CancelReply handleCancel(uint64_t jobId);
+    StatsReply handleStats() const;
+
+    void executorLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+
+    /** Transition @p job to terminal state @p state (idempotent;
+     *  returns false when it already was terminal). Appends the
+     *  terminal journal record, bumps the per-state counter and
+     *  wakes result waiters. */
+    bool finalize(const std::shared_ptr<Job> &job, JobState state,
+                  int exitCode, const std::string &detail);
+
+    void setQueueDepthGauge();
+
+    ServerConfig cfg;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<cache::SynthesisCache> diskCache;
+    std::unique_ptr<resilience::Journal> journal; //!< under stateMu
+
+    JobQueue queue;
+    resilience::CancelToken serverCancel;
+
+    mutable std::mutex stateMu;
+    std::condition_variable stateCv;
+    std::map<uint64_t, std::shared_ptr<Job>> jobs;
+    uint64_t nextId = 1;
+    uint64_t nextSeq = 1;
+    uint64_t completionCounter = 0;
+    uint64_t replayedCount = 0;
+
+    std::atomic<bool> stopping{false};
+    bool drainOnStop = true;   //!< under stateMu
+    bool stopped = false;      //!< under stateMu (join-once latch)
+
+    std::unique_ptr<Listener> listener;
+    std::thread acceptThread;
+    std::vector<std::thread> executorThreads;
+
+    std::mutex connMu;
+    std::vector<std::thread> connThreads; //!< under connMu
+    std::vector<int> connFds;             //!< under connMu, live only
+};
+
+} // namespace quest::service
+
+#endif // QUEST_SERVICE_SERVER_HH

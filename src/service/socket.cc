@@ -1,0 +1,275 @@
+#include "service/socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "util/names.hh"
+
+namespace quest::service {
+
+namespace {
+
+/** Read exactly @p n bytes. Returns the bytes read (short only at
+ *  EOF) or -1 on a read error. */
+ssize_t
+readExact(int fd, uint8_t *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r > 0) {
+            got += static_cast<size_t>(r);
+            continue;
+        }
+        if (r == 0)
+            break; // EOF
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+    return static_cast<ssize_t>(got);
+}
+
+bool
+writeAll(int fd, const uint8_t *buf, size_t n)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+uint16_t
+le16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] |
+                                 (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t
+le32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+le64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+RecvResult
+fail(RecvStatus status, std::string error)
+{
+    RecvResult r;
+    r.status = status;
+    r.error = std::move(error);
+    return r;
+}
+
+} // namespace
+
+RecvResult
+recvFrame(int fd, uint32_t maxPayloadBytes)
+{
+    uint8_t header[kFrameHeaderBytes];
+    ssize_t got = readExact(fd, header, sizeof header);
+    if (got < 0)
+        return fail(RecvStatus::IoError,
+                    std::string("read failed: ") +
+                        std::strerror(errno));
+    if (got == 0)
+        return fail(RecvStatus::Eof, "connection closed");
+    if (got < static_cast<ssize_t>(sizeof header))
+        return fail(RecvStatus::Malformed, "truncated frame header");
+
+    if (std::memcmp(header, kFrameMagic, sizeof kFrameMagic) != 0)
+        return fail(RecvStatus::Malformed,
+                    "bad frame magic (want \"QSV1\")");
+    const uint16_t version = le16(header + 4);
+    if (version != kProtocolVersion) {
+        return fail(RecvStatus::VersionMismatch,
+                    "protocol version mismatch: got " +
+                        std::to_string(version) +
+                        ", this peer speaks " +
+                        std::to_string(kProtocolVersion));
+    }
+    const uint16_t type = le16(header + 6);
+    const uint32_t length = le32(header + 8);
+    if (length > maxPayloadBytes) {
+        return fail(RecvStatus::Oversized,
+                    "oversized frame payload: " +
+                        std::to_string(length) + " bytes exceeds the " +
+                        std::to_string(maxPayloadBytes) + "-byte cap");
+    }
+
+    std::vector<uint8_t> body(static_cast<size_t>(length) +
+                              kFrameTrailerBytes);
+    got = readExact(fd, body.data(), body.size());
+    if (got < 0)
+        return fail(RecvStatus::IoError,
+                    std::string("read failed: ") +
+                        std::strerror(errno));
+    if (got < static_cast<ssize_t>(body.size()))
+        return fail(RecvStatus::Malformed, "torn frame: payload cut "
+                                           "short by connection close");
+
+    const uint64_t want = le64(body.data() + length);
+    const uint64_t got_sum = fnv1a64(body.data(), length);
+    if (want != got_sum)
+        return fail(RecvStatus::Malformed,
+                    "frame payload checksum mismatch");
+
+    RecvResult result;
+    result.status = RecvStatus::Ok;
+    result.frame.type = static_cast<MsgType>(type);
+    result.frame.payload.assign(body.begin(),
+                                body.begin() + length);
+    return result;
+}
+
+bool
+sendFrame(int fd, MsgType type, const std::vector<uint8_t> &payload)
+{
+    if (QUEST_FAULT_POINT(names::kFaultServiceWrite))
+        return false; // simulated torn write: drop the connection
+    const std::vector<uint8_t> frame = encodeFrame(type, payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+Listener::Listener(const std::string &path) : sockPath(path)
+{
+    using resilience::ErrorCategory;
+    using resilience::QuestError;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "socket path too long (" +
+                             std::to_string(path.size()) + " > " +
+                             std::to_string(sizeof addr.sun_path - 1) +
+                             "): " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        throw QuestError(ErrorCategory::Io,
+                         std::string("socket: ") +
+                             std::strerror(errno));
+    }
+    ::unlink(path.c_str()); // stale socket from a killed daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+        throw QuestError(ErrorCategory::Io,
+                         "cannot listen on '" + path + "': " + what);
+    }
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+int
+Listener::acceptConnection(int timeoutMs)
+{
+    if (fd < 0)
+        return -1;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeoutMs);
+    if (ready <= 0)
+        return -1; // timeout, EINTR, or poll error: caller re-polls
+    const int conn = ::accept4(fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0)
+        return -1;
+    if (QUEST_FAULT_POINT(names::kFaultServiceAccept)) {
+        // Simulated accept failure: the client sees its fresh
+        // connection drop and may retry; the daemon carries on.
+        ::close(conn);
+        return -1;
+    }
+    return conn;
+}
+
+void
+Listener::close()
+{
+    if (fd < 0)
+        return;
+    ::close(fd);
+    fd = -1;
+    ::unlink(sockPath.c_str());
+}
+
+int
+connectTo(const std::string &path, double timeoutSeconds)
+{
+    using resilience::ErrorCategory;
+    using resilience::QuestError;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        throw QuestError(ErrorCategory::InvalidInput,
+                         "socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const auto give_up =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeoutSeconds));
+    std::string last_error = "timed out";
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            throw QuestError(ErrorCategory::Io,
+                             std::string("socket: ") +
+                                 std::strerror(errno));
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            return fd;
+        }
+        last_error = std::strerror(errno);
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= give_up)
+            break;
+        // The daemon may still be binding; retry shortly.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    throw QuestError(ErrorCategory::Io, "cannot connect to '" + path +
+                                            "': " + last_error);
+}
+
+} // namespace quest::service

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Local stream-socket transport for QSV1 frames: a unix-domain
+ * listener, a connect helper, and blocking frame send/receive over a
+ * connected fd.
+ *
+ * The receive path never throws on bad peer bytes — a daemon must
+ * survive any garbage a client writes — so recvFrame() classifies the
+ * defect (malformed, version mismatch, oversized, EOF, I/O error)
+ * and the server turns it into an Error reply plus a counted
+ * rejection. The failure-prone syscalls carry fault points
+ * (`service.accept`, `service.write`) so the resilience suite can
+ * prove a dropped accept or a torn write degrades to one closed
+ * connection, never a wedged daemon.
+ */
+
+#ifndef QUEST_SERVICE_SOCKET_HH
+#define QUEST_SERVICE_SOCKET_HH
+
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace quest::service {
+
+/** Why recvFrame() did not produce a frame. */
+enum class RecvStatus {
+    Ok,
+    Eof,             //!< clean close at a frame boundary
+    Malformed,       //!< bad magic, truncation, checksum, bad payload
+    VersionMismatch, //!< well-framed but a different QSV version
+    Oversized,       //!< length prefix exceeds the payload cap
+    IoError,         //!< read(2) failed
+};
+
+/** One receive attempt: the frame on Ok, a diagnostic otherwise. */
+struct RecvResult
+{
+    RecvStatus status = RecvStatus::IoError;
+    Frame frame;
+    std::string error;
+};
+
+/**
+ * Read exactly one frame from @p fd (blocking). Header and payload
+ * are validated as in decodeFrame(); mid-frame EOF is Malformed
+ * (a torn frame), EOF before any header byte is Eof.
+ */
+RecvResult recvFrame(int fd,
+                     uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes);
+
+/**
+ * Write one whole frame to @p fd. Returns false when the write fails
+ * (EPIPE, a torn connection, or an injected `service.write` fault);
+ * the caller's contract is then to drop the connection.
+ */
+bool sendFrame(int fd, MsgType type,
+               const std::vector<uint8_t> &payload);
+
+/**
+ * A bound, listening unix-domain stream socket. The constructor
+ * unlinks any stale socket file at @p path first; close() (and the
+ * destructor) unlink it again.
+ */
+class Listener
+{
+  public:
+    /** Throws QuestError(Io) when bind/listen fails (e.g. the path
+     *  exceeds sockaddr_un limits or the directory is missing). */
+    explicit Listener(const std::string &path);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Wait up to @p timeoutMs for one connection. Returns the
+     * connected fd, or -1 on timeout, a transient accept failure, or
+     * an injected `service.accept` fault (the connection, if any,
+     * is closed — the client sees a drop and may retry).
+     */
+    int acceptConnection(int timeoutMs);
+
+    /** Close the listening socket and unlink the path (idempotent). */
+    void close();
+
+    const std::string &path() const { return sockPath; }
+
+  private:
+    int fd = -1;
+    std::string sockPath;
+};
+
+/**
+ * Connect to the listener at @p path, retrying a missing or
+ * not-yet-listening socket until @p timeoutSeconds elapses (a daemon
+ * that was just spawned needs a moment to bind). Throws
+ * QuestError(Io) when the deadline passes without a connection.
+ */
+int connectTo(const std::string &path, double timeoutSeconds);
+
+} // namespace quest::service
+
+#endif // QUEST_SERVICE_SOCKET_HH

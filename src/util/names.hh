@@ -99,15 +99,41 @@ inline constexpr const char kMetricSynthEarlyStops[] =
 inline constexpr const char kMetricSynthWorkspaceReuses[] =
     "synth.workspace_reuses";
 
+// Compile service (src/service): job lifecycle and framing.
+inline constexpr const char kMetricServiceJobsSubmitted[] =
+    "service.jobs.submitted";
+inline constexpr const char kMetricServiceJobsDone[] =
+    "service.jobs.done";
+inline constexpr const char kMetricServiceJobsFailed[] =
+    "service.jobs.failed";
+inline constexpr const char kMetricServiceJobsCancelled[] =
+    "service.jobs.cancelled";
+inline constexpr const char kMetricServiceJobsRejected[] =
+    "service.jobs.rejected";
+inline constexpr const char kMetricServiceJobsExpired[] =
+    "service.jobs.expired";
+inline constexpr const char kMetricServiceJobsReplayed[] =
+    "service.jobs.replayed";
+inline constexpr const char kMetricServiceConnections[] =
+    "service.connections";
+inline constexpr const char kMetricServiceFramesRejected[] =
+    "service.frames.rejected";
+
 // ---- Metrics: gauges ---------------------------------------------
 
 inline constexpr const char kMetricBlocks[] = "quest.blocks";
 inline constexpr const char kMetricSamples[] = "quest.samples";
+inline constexpr const char kMetricServiceQueueDepth[] =
+    "service.queue.depth";
 
 // ---- Metrics: histograms -----------------------------------------
 
 inline constexpr const char kMetricLbfgsIterationsPerCall[] =
     "lbfgs.iterations_per_call";
+inline constexpr const char kMetricServiceJobQueueMs[] =
+    "service.job.queue_ms";
+inline constexpr const char kMetricServiceJobRunMs[] =
+    "service.job.run_ms";
 
 // ---- Dynamic metric prefixes -------------------------------------
 
@@ -128,6 +154,8 @@ inline constexpr const char kFaultSynthBlockDiverge[] =
     "synth.block.diverge";
 inline constexpr const char kFaultSynthBlockTimeout[] =
     "synth.block.timeout";
+inline constexpr const char kFaultServiceAccept[] = "service.accept";
+inline constexpr const char kFaultServiceWrite[] = "service.write";
 
 // ---- Process exit codes (QuestError taxonomy) --------------------
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -30,6 +31,9 @@
 #include "resilience/fault.hh"
 #include "resilience/journal.hh"
 #include "resilience/thread_pool.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "service/socket.hh"
 #include "synth/lbfgs.hh"
 #include "util/sha256.hh"
 
@@ -660,6 +664,70 @@ TEST(CacheFaults, LoadReadFaultIsAMissNotAThrow)
     // store repopulates it.
     c.store(key, tinyOutput());
     EXPECT_TRUE(c.load(key).has_value());
+}
+
+// ---- Service fault sites -------------------------------------------
+
+TEST(ServiceFaults, WriteFaultDropsOneFrameNotTheSocket)
+{
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    const uint64_t before = counterValue("fault.service.write");
+    {
+        ScopedFaultPlan plan("service.write:once");
+        // The faulted send reports failure before writing a single
+        // byte — the caller's contract is to drop that connection,
+        // never to leave a torn frame on the wire.
+        EXPECT_FALSE(
+            service::sendFrame(sv[0], service::MsgType::Stats, {}));
+        EXPECT_EQ(counterValue("fault.service.write"), before + 1);
+        // `once` has burned: the very next send goes through whole.
+        EXPECT_TRUE(
+            service::sendFrame(sv[0], service::MsgType::Stats, {}));
+    }
+    const service::RecvResult got = service::recvFrame(sv[1]);
+    EXPECT_EQ(got.status, service::RecvStatus::Ok);
+    EXPECT_EQ(got.frame.type, service::MsgType::Stats);
+    EXPECT_TRUE(got.frame.payload.empty());
+    // Exactly one frame crossed: the next read sees a clean EOF once
+    // the writer hangs up, not half of the dropped frame.
+    close(sv[0]);
+    EXPECT_EQ(service::recvFrame(sv[1]).status,
+              service::RecvStatus::Eof);
+    close(sv[1]);
+}
+
+TEST(ServiceFaults, AcceptFaultDropsOneConnectionDaemonSurvives)
+{
+    TempDir dir;
+    service::ServerConfig config;
+    config.socketPath = (dir.path / "served.sock").string();
+    config.executors = 1;
+    service::QuestServer server(config);
+    server.start();
+
+    const uint64_t before = counterValue("fault.service.accept");
+    {
+        ScopedFaultPlan plan("service.accept:once");
+        // The first connection is accepted and immediately dropped by
+        // the injected fault. The client's connect(2) itself succeeds
+        // (the listener backlog took it), so the failure surfaces on
+        // the first round trip as a closed connection.
+        service::QuestClient victim =
+            service::QuestClient::connect(config.socketPath);
+        EXPECT_THROW(victim.stats(), QuestError);
+        EXPECT_EQ(counterValue("fault.service.accept"), before + 1);
+
+        // `once` has burned: a retry connection is served normally by
+        // the same daemon — one dropped accept never wedges it.
+        service::QuestClient retry =
+            service::QuestClient::connect(config.socketPath);
+        const service::StatsReply stats = retry.stats();
+        EXPECT_FALSE(stats.stats.empty());
+    }
+    EXPECT_EQ(counterValue("fault.service.accept"), before + 1);
+    server.stop();
 }
 
 } // namespace

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * quest_client — command-line QSV1 client for quest_served.
+ *
+ * Usage:
+ *   quest_client --socket <path> <command> [args]
+ *
+ * Commands:
+ *   submit [options] <input.qasm> [output-dir]
+ *       Submit a job and wait for its result. With an output
+ *       directory the selected samples land in samples/sample_<s>.qasm
+ *       exactly as quest_compile would write them (byte-identical for
+ *       the same input and options). Options:
+ *         --threshold t  --max-samples m  --max-layers l
+ *         --block-size k --seed s         --priority p
+ *         --deadline sec (per-job wall-clock budget)
+ *         --async        print the job id and return immediately
+ *   status <job-id>      print one job's state
+ *   result <job-id> [output-dir]   wait for and print a job's result
+ *   cancel <job-id>      cancel a queued or running job
+ *   stats                print the daemon's counters and gauges
+ *   shutdown [--no-drain]  stop the daemon (drain by default)
+ *
+ * The exit code is the job's terminal exit code (0 done, 12 expired,
+ * 13 cancelled, 15 rejected, ... — docs/REGISTRY.md "Job states"),
+ * so scripting against the service matches scripting quest_compile.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "resilience/error.hh"
+#include "service/client.hh"
+#include "util/logging.hh"
+#include "util/names.hh"
+
+namespace {
+
+using namespace quest;
+using service::QuestClient;
+
+int
+usage()
+{
+    std::cerr << "usage: quest_client --socket <path> <command>\n"
+              << "commands:\n"
+              << "  submit [options] <input.qasm> [output-dir]\n"
+              << "  status <job-id>\n"
+              << "  result <job-id> [output-dir]\n"
+              << "  cancel <job-id>\n"
+              << "  stats\n"
+              << "  shutdown [--no-drain]\n";
+    return 2;
+}
+
+void
+printStatus(const service::JobStatus &status)
+{
+    if (!status.known) {
+        std::cout << "job " << status.jobId << ": unknown\n";
+        return;
+    }
+    std::cout << "job " << status.jobId << ": "
+              << service::jobStateName(status.state);
+    if (status.state == service::JobState::Queued)
+        std::cout << " (position " << status.queuePosition << ")";
+    if (service::isTerminalJobState(status.state))
+        std::cout << " (exit code " << status.exitCode << ")";
+    if (!status.detail.empty())
+        std::cout << ": " << status.detail;
+    std::cout << "\n";
+}
+
+/** Print a Done job's summary; write samples when @p outDir is set.
+ *  Returns the job's exit code. */
+int
+printResult(const service::ResultReply &reply,
+            const std::string &outDir)
+{
+    printStatus(reply.status);
+    if (reply.status.state != service::JobState::Done)
+        return reply.status.known ? reply.status.exitCode
+                                  : names::kExitInvalidInput;
+
+    std::cout << "qubits: " << reply.qubits << "\n"
+              << "original cnots: " << reply.originalCnots << "\n"
+              << "blocks: " << reply.blocks << "\n"
+              << "ok blocks: " << reply.okBlocks << "\n"
+              << "threshold: " << reply.threshold << "\n"
+              << "samples: " << reply.samples.size() << "\n";
+    for (size_t s = 0; s < reply.samples.size(); ++s) {
+        std::cout << "  sample " << s << ": "
+                  << reply.samples[s].cnotCount << " cnots, bound "
+                  << reply.samples[s].distanceBound << "\n";
+    }
+    if (!outDir.empty()) {
+        namespace fs = std::filesystem;
+        fs::create_directories(fs::path(outDir) / "samples");
+        for (size_t s = 0; s < reply.samples.size(); ++s) {
+            const fs::path path =
+                fs::path(outDir) / "samples" /
+                ("sample_" + std::to_string(s) + ".qasm");
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write ", path.string());
+            out << reply.samples[s].qasm;
+        }
+        std::cout << "samples written to " << outDir << "\n";
+    }
+    return 0;
+}
+
+int
+runSubmit(QuestClient &client, const std::vector<std::string> &args)
+{
+    service::SubmitRequest request;
+    int32_t priority = 0;
+    bool async = false;
+    std::vector<std::string> positionals;
+
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!arg.starts_with("--")) {
+            positionals.push_back(arg);
+            continue;
+        }
+        if (arg == "--async") {
+            async = true;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            std::cerr << "option " << arg << " needs a value\n";
+            return usage();
+        }
+        const std::string value = args[++i];
+        try {
+            if (arg == "--threshold") {
+                request.options.threshold = std::stod(value);
+            } else if (arg == "--max-samples") {
+                request.options.maxSamples = std::stoi(value);
+            } else if (arg == "--max-layers") {
+                request.options.maxLayers = std::stoi(value);
+            } else if (arg == "--block-size") {
+                request.options.blockSize = std::stoi(value);
+            } else if (arg == "--seed") {
+                request.options.seed = std::stoull(value);
+            } else if (arg == "--priority") {
+                priority = std::stoi(value);
+            } else if (arg == "--deadline") {
+                request.deadlineSeconds = std::stod(value);
+            } else {
+                std::cerr << "unknown option: " << arg << "\n";
+                return usage();
+            }
+        } catch (const std::exception &) {
+            std::cerr << "bad value for " << arg << ": " << value
+                      << "\n";
+            return usage();
+        }
+    }
+    if (positionals.empty() || positionals.size() > 2)
+        return usage();
+    request.priority = priority;
+
+    std::ifstream in(positionals[0]);
+    if (!in) {
+        throw resilience::QuestError(
+            resilience::ErrorCategory::Io,
+            "cannot open '" + positionals[0] + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    request.qasm = buffer.str();
+
+    const service::SubmitReply reply = client.submit(request);
+    if (!reply.accepted) {
+        std::cerr << "quest_client: submit rejected: " << reply.detail
+                  << "\n";
+        return names::kExitResource;
+    }
+    if (async) {
+        std::cout << "job " << reply.jobId << ": queued\n";
+        return 0;
+    }
+    return printResult(client.result(reply.jobId),
+                       positionals.size() == 2 ? positionals[1] : "");
+}
+
+int
+runClient(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string command;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket" && command.empty()) {
+            if (i + 1 >= argc)
+                return usage();
+            socket_path = argv[++i];
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (socket_path.empty() || command.empty())
+        return usage();
+
+    QuestClient client = QuestClient::connect(socket_path);
+
+    if (command == "submit")
+        return runSubmit(client, args);
+    if (command == "status") {
+        if (args.size() != 1)
+            return usage();
+        printStatus(client.status(std::stoull(args[0])));
+        return 0;
+    }
+    if (command == "result") {
+        if (args.empty() || args.size() > 2)
+            return usage();
+        return printResult(client.result(std::stoull(args[0])),
+                           args.size() == 2 ? args[1] : "");
+    }
+    if (command == "cancel") {
+        if (args.size() != 1)
+            return usage();
+        const service::CancelReply reply =
+            client.cancelJob(std::stoull(args[0]));
+        const char *outcome = "unknown job";
+        switch (reply.outcome) {
+          case service::CancelOutcome::Dequeued:
+            outcome = "dequeued before running";
+            break;
+          case service::CancelOutcome::Signalled:
+            outcome = "cancellation signalled";
+            break;
+          case service::CancelOutcome::AlreadyDone:
+            outcome = "already terminal";
+            break;
+          case service::CancelOutcome::Unknown:
+            break;
+        }
+        std::cout << "job " << reply.jobId << ": " << outcome << "\n";
+        return 0;
+    }
+    if (command == "stats") {
+        for (const auto &[name, value] : client.stats().stats)
+            std::cout << name << " " << value << "\n";
+        return 0;
+    }
+    if (command == "shutdown") {
+        const bool drain =
+            args.empty() || args[0] != "--no-drain";
+        client.shutdown(drain);
+        std::cout << "shutdown requested ("
+                  << (drain ? "drain" : "no drain") << ")\n";
+        return 0;
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runClient(argc, argv);
+    } catch (const quest::resilience::QuestError &e) {
+        std::cerr << "quest_client: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "quest_client: internal: " << e.what() << "\n";
+        return quest::resilience::exitCodeFor(
+            quest::resilience::ErrorCategory::Internal);
+    }
+}

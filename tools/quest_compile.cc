@@ -58,6 +58,7 @@
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
 #include "resilience/error.hh"
+#include "service/job.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -101,11 +102,10 @@ usage()
 int
 runCompile(int argc, char **argv)
 {
-    QuestConfig config;
-    config.synth.beamWidth = 1;
-    config.synth.inst.multistarts = 2;
-    config.synth.inst.lbfgs.maxIterations = 300;
-    config.synth.stallLevels = 8;
+    // The shared base config (service/job.hh): quest_served jobs
+    // start from the same knobs, which is what makes a served result
+    // byte-identical to a local quest_compile of the same input.
+    QuestConfig config = service::baseCompileConfig();
 
     std::vector<std::string> positionals;
     std::string trace_path;
