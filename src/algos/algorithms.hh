@@ -62,7 +62,8 @@ Circuit vqe(int n_qubits, int layers = 2, uint64_t seed = 13);
  * Trotterized transverse-field Ising model evolution (z-coupling
  * only), following ArQTiC [Bassman et al. 2021]:
  * H = -J sum Z_i Z_{i+1} - h sum X_i, first-order Trotter with
- * @p steps steps of size @p dt.
+ * @p steps steps of size @p dt (dimensionless simulated time per
+ * step); @p coupling is J and @p field is h in the same units.
  */
 Circuit tfim(int n_spins, int steps, double dt = 0.1, double coupling = 1.0,
              double field = 1.0);
@@ -81,9 +82,9 @@ Circuit xy(int n_spins, int steps, double dt = 0.1, double coupling = 1.0,
 /** A named benchmark instance in the evaluation suite. */
 struct BenchmarkSpec
 {
-    std::string name;      //!< e.g. "tfim_4"
-    int nQubits;
-    std::function<Circuit()> build;
+    std::string name;      //!< stable id, e.g. "tfim_4" (quest_gen)
+    int nQubits;           //!< circuit width in qubits
+    std::function<Circuit()> build; //!< deterministic generator
 };
 
 /**
@@ -95,7 +96,15 @@ std::vector<BenchmarkSpec> standardSuite();
 /** The subset of the suite that fits on a 5-qubit device (Fig. 10). */
 std::vector<BenchmarkSpec> manilaSuite();
 
-/** Find a spec by name (panics if absent). */
+/**
+ * The 64/96/128-qubit scaling suite (TFIM, QAOA and adder at each
+ * width) for the QGo-style block-only `--large` pipeline mode —
+ * far past what statevector simulation or SelectionMode::Full can
+ * reach. Used by bench/scaling.cc and exported by quest_gen.
+ */
+std::vector<BenchmarkSpec> largeSuite();
+
+/** Find a spec by name in @p suite (panics if absent). */
 const BenchmarkSpec &findSpec(const std::vector<BenchmarkSpec> &suite,
                               const std::string &name);
 

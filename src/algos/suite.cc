@@ -42,6 +42,31 @@ manilaSuite()
     return suite;
 }
 
+std::vector<BenchmarkSpec>
+largeSuite()
+{
+    // The scaling suite: three algorithm families whose structure
+    // stays block-friendly at width — Trotterized TFIM (repeated
+    // identical blocks, the best case for synthesis dedup), QAOA
+    // MaxCut (seeded random chords, the adversarial case), and the
+    // Cuccaro adder (deep sequential carries). All widths are even,
+    // as adder() requires.
+    std::vector<BenchmarkSpec> suite;
+    for (int n : {64, 96, 128}) {
+        const std::string w = std::to_string(n);
+        suite.push_back({"tfim_" + w, n, [n]() {
+            return tfim(n, 10);
+        }});
+        suite.push_back({"qaoa_" + w, n, [n]() {
+            return qaoa(n, 2);
+        }});
+        suite.push_back({"adder_" + w, n, [n]() {
+            return adder(n);
+        }});
+    }
+    return suite;
+}
+
 const BenchmarkSpec &
 findSpec(const std::vector<BenchmarkSpec> &suite, const std::string &name)
 {

@@ -45,4 +45,16 @@ jsd(const Distribution &p, const Distribution &q)
     return std::sqrt(std::max(0.0, value));
 }
 
+double
+outputDistanceEstimate(double process_distance_bound)
+{
+    QUEST_ASSERT(process_distance_bound >= 0.0,
+                 "negative process-distance bound");
+    // TVD lives in [0, 1]; the HS process distance in [0, 2]. The
+    // identity map, clamped, is the paper's empirical proxy: observed
+    // output TVD stays at or below the process-distance bound across
+    // the Fig. 7/9 workloads.
+    return std::min(process_distance_bound, 1.0);
+}
+
 } // namespace quest

@@ -27,6 +27,18 @@ double klDivergence(const Distribution &p, const Distribution &q);
  */
 double jsd(const Distribution &p, const Distribution &q);
 
+/**
+ * Bound-based output-distance estimator for circuits too wide to
+ * simulate: maps a Theorem-1 HS process-distance bound (>= 0) to a
+ * heuristic output-TVD proxy in [0, 1]. This is the paper's
+ * empirical observation (Figs. 7/9: output TVD tracks well below the
+ * process-distance bound), *not* a certified bound — the rigorous
+ * worst-case conversion carries a sqrt(2^n) factor that is vacuous
+ * at large n. O(1); the only output-distance path available in
+ * SelectionMode::BlockBound, where nothing of src/sim may run.
+ */
+double outputDistanceEstimate(double process_distance_bound);
+
 } // namespace quest
 
 #endif // QUEST_METRICS_OUTPUT_DISTANCE_HH

@@ -55,7 +55,7 @@ std::array<uint8_t, Sha256::kDigestSize>
 runFingerprint(const Circuit &original, const QuestConfig &cfg)
 {
     ByteWriter w;
-    w.str("quest-checkpoint-v1");
+    w.str("quest-checkpoint-v2");
     cache::encodeCircuit(w, original);
 
     w.i32(cfg.maxBlockSize);
@@ -64,6 +64,7 @@ runFingerprint(const Circuit &original, const QuestConfig &cfg)
     w.i32(cfg.maxSamples);
     w.f64(cfg.cnotWeight);
     w.i32(cfg.maxApproxPerBlock);
+    w.u8(static_cast<uint8_t>(cfg.selectionMode));
     w.u64(cfg.seed);
 
     const SynthConfig &s = cfg.synth;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "anneal/dual_annealing.hh"
+#include "quest/mode.hh"
 #include "resilience/budget.hh"
 #include "synth/leap_synthesizer.hh"
 
@@ -66,6 +67,16 @@ struct QuestConfig
 
     /** Cap on approximations kept per block (bounds annealer cost). */
     int maxApproxPerBlock = 24;
+
+    /**
+     * How the selected ensemble is certified (quest/mode.hh). Full
+     * (default) measures the exact full-circuit process distance of
+     * every sample and is limited to kMaxFullCertQubits; BlockBound
+     * (`quest_compile --large`) reports only the Theorem-1 bound and
+     * never builds a full unitary or statevector, scaling to
+     * hundreds of qubits. Identical samples are selected either way.
+     */
+    SelectionMode selectionMode = SelectionMode::Full;
 
     /** Per-block synthesis settings. */
     SynthConfig synth;

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Selection/verification modes of the QUEST pipeline.
+ *
+ * Both modes run the same STEP-3 selection: the annealing objective
+ * scores candidate ensembles purely from the per-block distance/CNOT
+ * tables via the Theorem-1 additive bound, so the *selected samples
+ * are identical* in either mode for the same circuit and config. The
+ * modes differ only in how the result is certified afterwards.
+ */
+
+#ifndef QUEST_QUEST_MODE_HH
+#define QUEST_QUEST_MODE_HH
+
+namespace quest {
+
+/** How the pipeline certifies the selected ensemble. */
+enum class SelectionMode {
+    /**
+     * Small-circuit mode (default): in addition to the Theorem-1
+     * bound, measure the exact full-circuit HS process distance of
+     * every selected sample against the lowered original (via
+     * src/sim's dense unitary builder) and record it in
+     * ApproxSample::measuredDistance. Exponential in qubit count —
+     * the pipeline rejects circuits wider than
+     * @ref kMaxFullCertQubits with QuestError(InvalidInput).
+     */
+    Full = 0,
+
+    /**
+     * Large-circuit mode (`quest_compile --large`), after QGo: never
+     * construct a full unitary or statevector (src/sim is untouched;
+     * the `sim.unitary_builds` / `sim.statevector_builds` counters
+     * stay flat). Verification degrades to the structural per-block
+     * checks plus the reported Theorem-1 bound certificate
+     * (QuestResult::certificate). Scales to hundreds of qubits.
+     */
+    BlockBound = 1,
+};
+
+/**
+ * Widest circuit the Full-mode measured certificate accepts: the
+ * dense unitary builder's own limit (a 2^n x 2^n matrix; 14 qubits
+ * is ~4 GiB). Wider circuits must use SelectionMode::BlockBound.
+ */
+inline constexpr int kMaxFullCertQubits = 14;
+
+/** Stable lower-case name ("full", "block-bound"). */
+inline const char *
+selectionModeName(SelectionMode mode)
+{
+    return mode == SelectionMode::BlockBound ? "block-bound" : "full";
+}
+
+} // namespace quest
+
+#endif // QUEST_QUEST_MODE_HH

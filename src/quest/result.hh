@@ -11,6 +11,7 @@
 
 #include "ir/circuit.hh"
 #include "partition/scan_partitioner.hh"
+#include "quest/mode.hh"
 
 namespace quest {
 
@@ -52,8 +53,50 @@ struct ApproxSample
 {
     std::vector<int> choice;   //!< approximation index per block
     Circuit circuit;           //!< assembled full circuit
-    size_t cnotCount = 0;
+    size_t cnotCount = 0;      //!< CNOT count of @ref circuit
     double distanceBound = 0.0; //!< Sec. 3.8 bound: sum of block dists
+
+    /**
+     * Exact full-circuit HS process distance to the lowered original,
+     * measured in SelectionMode::Full only; negative means "not
+     * measured" (BlockBound mode, or the run budget fired first).
+     * Theorem 1 guarantees measuredDistance <= distanceBound.
+     */
+    double measuredDistance = -1.0;
+
+    /** True when @ref measuredDistance holds a measured value. */
+    bool measured() const { return measuredDistance >= 0.0; }
+};
+
+/**
+ * The certificate reported with every result: what the Theorem-1
+ * additive bound promises about the selected ensemble, and — in
+ * SelectionMode::Full — how the measured full-circuit distances
+ * compare. All distances are Hilbert-Schmidt process distances in
+ * [0, 2]; @ref outputEstimate is a heuristic output-TVD proxy in
+ * [0, 1] (metrics/output_distance.hh), not a guarantee.
+ */
+struct BoundCertificate
+{
+    SelectionMode mode = SelectionMode::Full; //!< how it was produced
+
+    /** Bound ceiling the selection enforced (QuestResult::threshold). */
+    double threshold = 0.0;
+
+    /** Largest Sec. 3.8 bound over the selected samples. */
+    double maxBound = 0.0;
+
+    /** Mean Sec. 3.8 bound over the selected samples. */
+    double meanBound = 0.0;
+
+    /** outputDistanceEstimate(maxBound): heuristic TVD proxy. */
+    double outputEstimate = 0.0;
+
+    /** Samples with a measured full-circuit distance (Full mode). */
+    int measuredSamples = 0;
+
+    /** Largest measured distance; negative when none was measured. */
+    double maxMeasured = -1.0;
 };
 
 /** Everything the pipeline produced. */
@@ -74,7 +117,13 @@ struct QuestResult
     std::vector<ApproxSample> samples;
 
     double threshold = 0.0;    //!< bound threshold used for selection
-    size_t originalCnots = 0;
+    size_t originalCnots = 0;  //!< CNOT count of the lowered input
+
+    /** Mode this result was produced under (quest/mode.hh). */
+    SelectionMode selectionMode = SelectionMode::Full;
+
+    /** The Theorem-1 bound certificate for the selected ensemble. */
+    BoundCertificate certificate;
 
     /** Per-block synthesis outcome (duplicate blocks share their
      *  canonical block's outcome). Invariant, asserted by tests:

@@ -72,6 +72,7 @@ applyCompileOptions(QuestConfig config, const CompileOptions &options)
     config.synth.maxLayers = options.maxLayers;
     config.maxBlockSize = options.blockSize;
     config.seed = options.seed;
+    config.selectionMode = options.selectionMode;
     return config;
 }
 

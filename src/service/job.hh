@@ -64,6 +64,11 @@ struct CompileOptions
     int maxLayers = 16;     //!< synthesis layer cap
     int blockSize = 4;      //!< partition width
     uint64_t seed = 99;     //!< master seed
+
+    /** Certification mode (quest/mode.hh): Full measures every
+     *  sample's exact distance (<= 14 qubits); BlockBound is the
+     *  `--large` block-only mode for wide circuits. */
+    SelectionMode selectionMode = SelectionMode::Full;
 };
 
 /**

@@ -104,6 +104,7 @@ encodeOptions(ByteWriter &w, const CompileOptions &o)
     w.i32(o.maxLayers);
     w.i32(o.blockSize);
     w.u64(o.seed);
+    w.u8(static_cast<uint8_t>(o.selectionMode));
 }
 
 CompileOptions
@@ -115,6 +116,11 @@ decodeOptions(ByteReader &r)
     o.maxLayers = r.i32();
     o.blockSize = r.i32();
     o.seed = r.u64();
+    const uint8_t mode = r.u8();
+    if (mode > static_cast<uint8_t>(SelectionMode::BlockBound))
+        throw SerializeError("bad selection mode " +
+                             std::to_string(mode));
+    o.selectionMode = static_cast<SelectionMode>(mode);
     return o;
 }
 

@@ -37,7 +37,10 @@
 namespace quest::service {
 
 inline constexpr uint8_t kFrameMagic[4] = {'Q', 'S', 'V', '1'};
-inline constexpr uint16_t kProtocolVersion = 1;
+// Version 2 appended the selection-mode byte to CompileOptions; a
+// version-1 peer gets a clean version-mismatch error, not a garbled
+// decode.
+inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameTrailerBytes = 8;
 

@@ -13,6 +13,11 @@ StateVector::StateVector(int n_qubits)
 {
     QUEST_ASSERT(n_qubits >= 1 && n_qubits <= 26,
                  "statevector qubit count out of range: ", n_qubits);
+    // Counted so large-circuit (BlockBound) runs can prove they never
+    // allocated a full state (the counter must stay flat).
+    static auto &builds = obs::MetricsRegistry::global().counter(
+        names::kMetricSimStatevectorBuilds);
+    builds.increment();
     amps[0] = Complex(1.0, 0.0);
 }
 

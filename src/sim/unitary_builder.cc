@@ -1,6 +1,8 @@
 #include "sim/unitary_builder.hh"
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/names.hh"
 
 namespace quest {
 
@@ -70,6 +72,11 @@ buildUnitary(const Circuit &circuit)
 {
     const int n = circuit.numQubits();
     QUEST_ASSERT(n <= 14, "buildUnitary limited to 14 qubits");
+    // Counted so large-circuit (BlockBound) runs can prove they never
+    // built a full unitary (the counter must stay flat).
+    static auto &builds = obs::MetricsRegistry::global().counter(
+        names::kMetricSimUnitaryBuilds);
+    builds.increment();
     Matrix u = Matrix::identity(size_t{1} << n);
     for (const Gate &g : circuit) {
         if (g.type == GateType::Barrier || g.type == GateType::Measure)

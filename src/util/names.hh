@@ -74,6 +74,10 @@ inline constexpr const char kMetricAnnealNanObjectives[] =
 inline constexpr const char kMetricSimGateApplies[] = "sim.gate_applies";
 inline constexpr const char kMetricSimBytesTouched[] =
     "sim.bytes_touched";
+inline constexpr const char kMetricSimStatevectorBuilds[] =
+    "sim.statevector_builds";
+inline constexpr const char kMetricSimUnitaryBuilds[] =
+    "sim.unitary_builds";
 
 // L-BFGS optimizer (src/synth).
 inline constexpr const char kMetricLbfgsCalls[] = "lbfgs.calls";

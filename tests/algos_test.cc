@@ -267,5 +267,35 @@ TEST(Suite, EveryCircuitLowersToNative)
     }
 }
 
+TEST(Suite, LargeSuiteCoversScalingWidths)
+{
+    auto suite = algos::largeSuite();
+    ASSERT_EQ(suite.size(), 9u);
+    // tfim/qaoa/adder at each of 64/96/128 qubits, in width order.
+    for (int w : {64, 96, 128}) {
+        const std::string suffix = "_" + std::to_string(w);
+        for (const char *family : {"tfim", "qaoa", "adder"}) {
+            const auto &spec =
+                algos::findSpec(suite, family + suffix);
+            EXPECT_EQ(spec.nQubits, w) << spec.name;
+        }
+    }
+    // Generators are deterministic and genuinely wide: building
+    // twice yields gate-identical circuits spanning every wire.
+    for (const auto &spec : suite) {
+        Circuit a = spec.build();
+        Circuit b = spec.build();
+        EXPECT_EQ(a.numQubits(), spec.nQubits) << spec.name;
+        ASSERT_EQ(a.size(), b.size()) << spec.name;
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(a[i].type == b[i].type &&
+                        a[i].qubits == b[i].qubits &&
+                        a[i].params == b[i].params)
+                << spec.name << " gate " << i;
+        }
+        EXPECT_GT(a.size(), 0u) << spec.name;
+    }
+}
+
 } // namespace
 } // namespace quest

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -21,8 +22,9 @@
 #include "quest/bound.hh"
 #include "quest/ensemble.hh"
 #include "quest/pipeline.hh"
-#include "sim/simulator.hh"
+#include "resilience/error.hh"
 #include "resilience/thread_pool.hh"
+#include "sim/simulator.hh"
 
 namespace quest {
 namespace {
@@ -404,6 +406,131 @@ TEST(Pipeline, SingleSharedPoolBoundsTotalThreads)
     QuestResult r = QuestPipeline(cfg).run(algos::tfim(5, 2));
     EXPECT_GE(r.samples.size(), 1u);
     EXPECT_LE(ThreadPool::peakLiveWorkers(), baseline + cfg.threads - 1);
+}
+
+// ---- Selection modes (quest/mode.hh): Full vs BlockBound ----------
+
+TEST(SelectionModes, PickIdenticalEnsemblesWhereBothRun)
+{
+    // The annealing objective scores choices purely from the
+    // per-block tables, so the mode fork must not perturb selection:
+    // both modes pick byte-identical ensembles on a circuit small
+    // enough for Full mode.
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 6;
+    const Circuit circuit = algos::tfim(4, 3);
+
+    cfg.selectionMode = SelectionMode::Full;
+    QuestResult full = QuestPipeline(cfg).run(circuit);
+    cfg.selectionMode = SelectionMode::BlockBound;
+    QuestResult large = QuestPipeline(cfg).run(circuit);
+
+    expectSameResult(full, large);
+    EXPECT_EQ(full.selectionMode, SelectionMode::Full);
+    EXPECT_EQ(large.selectionMode, SelectionMode::BlockBound);
+
+    // Full measured every sample; BlockBound measured none.
+    ASSERT_FALSE(full.samples.empty());
+    for (const ApproxSample &s : full.samples)
+        EXPECT_TRUE(s.measured());
+    for (const ApproxSample &s : large.samples)
+        EXPECT_FALSE(s.measured());
+    EXPECT_EQ(full.certificate.measuredSamples,
+              static_cast<int>(full.samples.size()));
+    EXPECT_EQ(large.certificate.measuredSamples, 0);
+}
+
+TEST_F(PipelineFixture, CertificateBoundsTheMeasuredDistance)
+{
+    // The default mode is Full: every sample carries a measured
+    // distance, and Theorem 1 says the reported bound dominates it.
+    const QuestResult &r = result();
+    EXPECT_EQ(r.selectionMode, SelectionMode::Full);
+    const BoundCertificate &cert = r.certificate;
+    EXPECT_EQ(cert.mode, SelectionMode::Full);
+    EXPECT_DOUBLE_EQ(cert.threshold, r.threshold);
+
+    double max_bound = 0.0, max_measured = -1.0, bound_sum = 0.0;
+    for (const ApproxSample &s : r.samples) {
+        ASSERT_TRUE(s.measured());
+        EXPECT_LE(s.measuredDistance, s.distanceBound + 1e-9);
+        max_bound = std::max(max_bound, s.distanceBound);
+        max_measured = std::max(max_measured, s.measuredDistance);
+        bound_sum += s.distanceBound;
+    }
+    EXPECT_DOUBLE_EQ(cert.maxBound, max_bound);
+    EXPECT_DOUBLE_EQ(cert.maxMeasured, max_measured);
+    EXPECT_NEAR(cert.meanBound,
+                bound_sum / static_cast<double>(r.samples.size()),
+                1e-12);
+    EXPECT_LE(cert.maxMeasured, cert.maxBound + 1e-9);
+    EXPECT_GE(cert.outputEstimate, 0.0);
+    EXPECT_LE(cert.outputEstimate, 1.0);
+
+    // The sample's measured distance agrees with the reference
+    // implementation used by the Fig. 7 harness.
+    EXPECT_NEAR(r.samples[0].measuredDistance,
+                actualProcessDistance(r.original, r.samples[0].circuit),
+                1e-12);
+}
+
+TEST(SelectionModes, BlockBoundNeverBuildsFullUnitariesOrStates)
+{
+    // A 16-qubit circuit — beyond Full mode's 14-qubit ceiling — must
+    // compile in BlockBound mode without src/sim moving at all.
+    auto &registry = obs::MetricsRegistry::global();
+    auto &sv = registry.counter("sim.statevector_builds");
+    auto &un = registry.counter("sim.unitary_builds");
+    const uint64_t sv_before = sv.value();
+    const uint64_t un_before = un.value();
+
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 4;
+    cfg.maxSamples = 3;
+    cfg.selectionMode = SelectionMode::BlockBound;
+    QuestResult r = QuestPipeline(cfg).run(algos::tfim(16, 2));
+
+    EXPECT_EQ(sv.value(), sv_before);
+    EXPECT_EQ(un.value(), un_before);
+    EXPECT_GE(r.samples.size(), 1u);
+    EXPECT_EQ(r.original.numQubits(), 16);
+
+    // The bound certificate is still reported in full.
+    EXPECT_EQ(r.certificate.mode, SelectionMode::BlockBound);
+    EXPECT_GT(r.threshold, 0.0);
+    EXPECT_LE(r.certificate.maxBound, r.threshold + 1e-12);
+    EXPECT_EQ(r.certificate.maxMeasured, -1.0);
+}
+
+TEST(SelectionModes, FullModeRejectsCircuitsItCannotMeasure)
+{
+    QuestConfig cfg = leanConfig();
+    try {
+        QuestPipeline(cfg).run(algos::tfim(16, 1));
+        FAIL() << "expected QuestError(InvalidInput)";
+    } catch (const resilience::QuestError &e) {
+        EXPECT_EQ(e.category(),
+                  resilience::ErrorCategory::InvalidInput);
+        EXPECT_NE(std::string(e.what()).find("--large"),
+                  std::string::npos)
+            << "the error must point at the --large escape hatch";
+    }
+}
+
+TEST(SelectionModes, BlockBoundDeterministicAcrossThreadCounts)
+{
+    QuestConfig cfg = leanConfig();
+    cfg.synth.maxLayers = 4;
+    cfg.maxSamples = 3;
+    cfg.selectionMode = SelectionMode::BlockBound;
+    const Circuit circuit = algos::tfim(12, 2);
+
+    cfg.threads = 1;
+    QuestResult one = QuestPipeline(cfg).run(circuit);
+    cfg.threads = 4;
+    QuestResult four = QuestPipeline(cfg).run(circuit);
+    expectSameResult(one, four);
+    EXPECT_EQ(one.certificate.maxBound, four.certificate.maxBound);
 }
 
 } // namespace

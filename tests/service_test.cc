@@ -107,7 +107,7 @@ TEST(Qsv1Frame, GoldenStatusRequestBytes)
         encodeFrame(MsgType::Status, encodePayload(request));
     EXPECT_EQ(toHex(frame.data(), frame.size()),
               "51535631"          // magic "QSV1"
-              "0100"              // version 1
+              "0200"              // version 2
               "0300"              // type 3 (status)
               "08000000"          // payload length 8
               "0700000000000000"  // u64 jobId = 7
@@ -125,6 +125,7 @@ TEST(Qsv1Frame, EncodeDecodeBijection)
     request.options.maxLayers = 9;
     request.options.blockSize = 3;
     request.options.seed = 0xdeadbeefcafe;
+    request.options.selectionMode = SelectionMode::BlockBound;
     request.qasm = tinyQasm(0.3);
 
     const std::vector<uint8_t> frame =
@@ -141,6 +142,8 @@ TEST(Qsv1Frame, EncodeDecodeBijection)
     EXPECT_EQ(back.options.maxLayers, request.options.maxLayers);
     EXPECT_EQ(back.options.blockSize, request.options.blockSize);
     EXPECT_EQ(back.options.seed, request.options.seed);
+    EXPECT_EQ(back.options.selectionMode,
+              request.options.selectionMode);
     EXPECT_EQ(back.qasm, request.qasm);
 
     // Re-encoding the decoded message reproduces the frame bytes.
@@ -235,14 +238,14 @@ TEST(Qsv1Frame, VersionMismatchRejected)
     request.jobId = 7;
     std::vector<uint8_t> frame =
         encodeFrame(MsgType::Status, encodePayload(request));
-    frame[4] = 2; // version 2
+    frame[4] = 1; // version 1 (pre-selection-mode)
     try {
         decodeFrame(frame.data(), frame.size());
         FAIL() << "version mismatch must throw";
     } catch (const SerializeError &e) {
         const std::string what = e.what();
         EXPECT_NE(what.find("version mismatch"), std::string::npos);
-        EXPECT_NE(what.find("got 2"), std::string::npos);
+        EXPECT_NE(what.find("got 1"), std::string::npos);
     }
 }
 
@@ -262,6 +265,18 @@ TEST(Qsv1Frame, BadEnumValuesRejected)
     std::vector<uint8_t> payload = encodePayload(reply);
     payload[9] = 99; // state byte past JobState::Expired
     EXPECT_THROW(decodePayload<SubmitReply>(payload), SerializeError);
+}
+
+TEST(Qsv1Frame, BadSelectionModeRejected)
+{
+    SubmitRequest request;
+    request.qasm = tinyQasm(0.3);
+    std::vector<uint8_t> payload = encodePayload(request);
+    // priority(4) + deadline(8) + threshold(8) + maxSamples(4) +
+    // maxLayers(4) + blockSize(4) + seed(8) = offset 40.
+    payload[40] = 9; // selection-mode byte past BlockBound
+    EXPECT_THROW(decodePayload<SubmitRequest>(payload),
+                 SerializeError);
 }
 
 TEST(Qsv1Socket, RecvStatusesOverSocketpair)

@@ -1,9 +1,19 @@
 #!/usr/bin/env python3
-"""Check that relative markdown links in the repo's docs resolve.
+"""Check that the repo's docs stay truthful: links, anchors, paths.
 
-Scans every top-level *.md plus docs/*.md for [text](target) links and
-verifies each relative target exists (anchors and external URLs are
-skipped). Exits 1 listing every broken link. Run from anywhere:
+Scans every top-level *.md plus docs/*.md and verifies
+
+  - [text](target) relative links resolve to an existing file;
+  - intra-doc anchors — both [x](#heading) and [x](FILE.md#heading) —
+    name a real heading in the target file (GitHub slug rules);
+  - code-path references (src/..., tools/..., bench/..., tests/...,
+    examples/..., docs/...) point at files or directories that exist,
+    so renames can't silently strand the prose. A bare stem like
+    src/quest/bound resolves through its .hh/.cc/.py siblings; line
+    suffixes (:123) and trailing punctuation are ignored, and tokens
+    containing placeholders (<...>, *, ...) are skipped.
+
+Exits 1 listing every violation. Run from anywhere:
 
     python3 tools/check_doc_links.py
 """
@@ -22,36 +32,107 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN = re.compile(r"`[^`]*`")
 CODE_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.M | re.S)
 
+HEADING = re.compile(r"^#{1,6}[ \t]+(.*?)[ \t]*$", re.M)
+
+# A code-path reference anywhere in the text (prose, spans, fences).
+# Restricted to the repo's real top-level trees so output listings
+# like out/samples/... are not flagged; the lookbehind keeps
+# build/examples/quickstart from matching at "examples/".
+CODE_PATH = re.compile(
+    r"(?<![\w/-])((?:src|tools|bench|tests|examples|docs)"
+    r"/[A-Za-z0-9_./*<>-]+)"
+)
+
+PATH_SUFFIXES = ("", ".hh", ".cc", ".py", ".md")
+
+
+# Meta/log files whose prose legitimately names paths that no longer
+# (or don't yet) exist: the PR log, the issue driver, paper notes.
+SKIP = {"ISSUE.md", "CHANGES.md", "SNIPPETS.md", "PAPER.md",
+        "PAPERS.md"}
+
 
 def doc_files():
-    yield from sorted(REPO.glob("*.md"))
+    for path in sorted(REPO.glob("*.md")):
+        if path.name not in SKIP:
+            yield path
     yield from sorted((REPO / "docs").glob("*.md"))
 
 
+def slugify(heading):
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dashes
+    for spaces. Markdown code spans and links reduce to their text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    """All valid anchor slugs in a markdown file (duplicate headings
+    get -1, -2, ... suffixes, as on GitHub)."""
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        text = CODE_FENCE.sub("", path.read_text())
+        for heading in HEADING.findall(text):
+            slug = slugify(heading)
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def code_path_ok(token):
+    token = token.rstrip(".,;:!?*")
+    token = re.sub(r":\d+$", "", token)
+    if "..." in token or "<" in token or "*" in token:
+        return True  # placeholder, not a concrete reference
+    if token.endswith("/"):
+        token = token[:-1]
+    for suffix in PATH_SUFFIXES:
+        if (REPO / (token + suffix)).exists():
+            return True
+    return False
+
+
 def check(path):
-    text = CODE_SPAN.sub("", CODE_FENCE.sub("", path.read_text()))
-    broken = []
-    for target in LINK.findall(text):
-        if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+    raw = path.read_text()
+    prose = CODE_SPAN.sub("", CODE_FENCE.sub("", raw))
+    problems = []
+
+    for target in LINK.findall(prose):
+        if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
             continue
-        if target.startswith("#"):  # in-page anchor
+        rel, sep, anchor = target.partition("#")
+        dest = path if not rel else (path.parent / rel)
+        if rel and not dest.exists():
+            problems.append(f"broken link -> {target}")
             continue
-        rel = target.split("#", 1)[0]
-        if not (path.parent / rel).exists():
-            broken.append(target)
-    return broken
+        if sep and dest.suffix == ".md":
+            if anchor not in anchors_of(dest.resolve()):
+                problems.append(f"broken anchor -> {target}")
+
+    for token in CODE_PATH.findall(raw):
+        if not code_path_ok(token):
+            problems.append(f"stale code path -> {token}")
+
+    return problems
 
 
 def main():
     failures = 0
     for path in doc_files():
-        for target in check(path):
-            print(f"{path.relative_to(REPO)}: broken link -> {target}")
+        for problem in check(path):
+            print(f"{path.relative_to(REPO)}: {problem}")
             failures += 1
     if failures:
-        print(f"{failures} broken link(s)")
+        print(f"{failures} doc violation(s)")
         return 1
-    print(f"all links resolve in {len(list(doc_files()))} files")
+    print(f"links, anchors and code paths all resolve in "
+          f"{len(list(doc_files()))} files")
     return 0
 
 

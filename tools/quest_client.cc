@@ -14,6 +14,8 @@
  *         --threshold t  --max-samples m  --max-layers l
  *         --block-size k --seed s         --priority p
  *         --deadline sec (per-job wall-clock budget)
+ *         --large        block-only (BlockBound) mode for 64+-qubit
+ *                        circuits (same as quest_compile --large)
  *         --async        print the job id and return immediately
  *   status <job-id>      print one job's state
  *   result <job-id> [output-dir]   wait for and print a job's result
@@ -131,6 +133,10 @@ runSubmit(QuestClient &client, const std::vector<std::string> &args)
         }
         if (arg == "--async") {
             async = true;
+            continue;
+        }
+        if (arg == "--large") {
+            request.options.selectionMode = SelectionMode::BlockBound;
             continue;
         }
         if (i + 1 >= args.size()) {

@@ -18,6 +18,10 @@
  * observability output) is printed.
  *
  * Options:
+ *   --large            block-only (BlockBound) mode for 64+-qubit
+ *                      circuits: select and certify via the Theorem-1
+ *                      bound only, never building a full unitary or
+ *                      statevector (docs/USER_GUIDE.md)
  *   --threshold <t>    per-block threshold (default 0.3)
  *   --max-samples <m>  ensemble size cap (default 16)
  *   --max-layers <l>   synthesis layer cap (default 16)
@@ -80,6 +84,8 @@ usage()
     std::cerr << "usage: quest_compile [options] <input.qasm>"
               << " [output-dir]\n"
               << "options:\n"
+              << "  --large          block-only mode for 64+-qubit "
+                 "circuits\n"
               << "  --threshold t    per-block threshold\n"
               << "  --max-samples m  ensemble size cap\n"
               << "  --max-layers l   synthesis layer cap\n"
@@ -121,6 +127,10 @@ runCompile(int argc, char **argv)
         }
         if (arg == "--stats") {
             print_stats = true;
+            continue;
+        }
+        if (arg == "--large") {
+            config.selectionMode = SelectionMode::BlockBound;
             continue;
         }
         if (arg == "--no-cache") {
@@ -254,6 +264,8 @@ runCompile(int argc, char **argv)
     std::ostringstream summary;
     summary << "input: " << input_path << "\n"
             << "qubits: " << result.original.numQubits() << "\n"
+            << "selection mode: "
+            << selectionModeName(result.selectionMode) << "\n"
             << "original cnots: " << result.originalCnots << "\n"
             << "blocks: " << result.blocks.size() << "\n"
             << "ok blocks: " << result.okBlocks() << "\n"
@@ -263,7 +275,26 @@ runCompile(int argc, char **argv)
     for (size_t s = 0; s < result.samples.size(); ++s) {
         summary << "  sample " << s << ": "
                 << result.samples[s].cnotCount << " cnots, bound "
-                << result.samples[s].distanceBound << "\n";
+                << result.samples[s].distanceBound;
+        if (result.samples[s].measured())
+            summary << ", measured "
+                    << result.samples[s].measuredDistance;
+        summary << "\n";
+    }
+    // The Theorem-1 certificate: what this run proved about the
+    // ensemble. The output-distance line is a heuristic estimate,
+    // not a guarantee (metrics/output_distance.hh).
+    const BoundCertificate &cert = result.certificate;
+    summary << "certificate max bound: " << cert.maxBound
+            << " (threshold " << cert.threshold << ")\n"
+            << "certificate mean bound: " << cert.meanBound << "\n"
+            << "certificate output-distance estimate: "
+            << cert.outputEstimate << "\n";
+    if (cert.measuredSamples > 0) {
+        summary << "certificate max measured distance: "
+                << cert.maxMeasured << " (" << cert.measuredSamples
+                << "/" << result.samples.size()
+                << " samples measured)\n";
     }
     // Cache attribution for this run (the counters are process-wide,
     // and quest_compile runs exactly one pipeline): misses are actual

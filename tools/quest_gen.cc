@@ -1,0 +1,111 @@
+/**
+ * @file
+ * quest_gen — export a named benchmark circuit as OpenQASM 2.0.
+ *
+ * The generators (src/algos) are the same deterministic builders the
+ * bench harnesses compile, so quest_gen is the quickest way to
+ * produce an input for quest_compile — including the 64/96/128-qubit
+ * scaling instances that motivate `quest_compile --large`
+ * (docs/USER_GUIDE.md walks through both).
+ *
+ * Usage:
+ *   quest_gen --list             list every available circuit name
+ *   quest_gen <name> [out.qasm]  write the circuit (stdout without a
+ *                                path)
+ *
+ * Exit codes: 0 success, 2 usage, 10 unknown circuit name, 11 I/O.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algos/algorithms.hh"
+#include "ir/qasm.hh"
+#include "resilience/error.hh"
+
+namespace {
+
+using namespace quest;
+
+/** Everything quest_gen can emit: the paper's small-circuit suite
+ *  plus the 64-128-qubit scaling suite. */
+std::vector<algos::BenchmarkSpec>
+allSpecs()
+{
+    std::vector<algos::BenchmarkSpec> specs = algos::standardSuite();
+    for (auto &spec : algos::largeSuite())
+        specs.push_back(std::move(spec));
+    return specs;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: quest_gen --list | quest_gen <name> "
+                 "[out.qasm]\n";
+    return 2;
+}
+
+int
+runGen(int argc, char **argv)
+{
+    const std::vector<algos::BenchmarkSpec> specs = allSpecs();
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args.size() > 2)
+        return usage();
+
+    if (args[0] == "--list") {
+        if (args.size() != 1)
+            return usage();
+        for (const auto &spec : specs)
+            std::cout << spec.name << " (" << spec.nQubits
+                      << " qubits)\n";
+        return 0;
+    }
+
+    const algos::BenchmarkSpec *found = nullptr;
+    for (const auto &spec : specs)
+        if (spec.name == args[0])
+            found = &spec;
+    if (!found) {
+        throw resilience::QuestError(
+            resilience::ErrorCategory::InvalidInput,
+            "unknown circuit '" + args[0] +
+                "' (quest_gen --list prints the choices)");
+    }
+
+    const std::string qasm = toQasm(found->build());
+    if (args.size() == 2) {
+        std::ofstream out(args[1]);
+        if (!out || !(out << qasm) || !out.flush()) {
+            throw resilience::QuestError(
+                resilience::ErrorCategory::Io,
+                "cannot write '" + args[1] + "'");
+        }
+        std::cout << found->name << ": " << found->nQubits
+                  << " qubits written to " << args[1] << "\n";
+    } else {
+        std::cout << qasm;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runGen(argc, argv);
+    } catch (const quest::resilience::QuestError &e) {
+        std::cerr << "quest_gen: " << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "quest_gen: internal: " << e.what() << "\n";
+        return quest::resilience::exitCodeFor(
+            quest::resilience::ErrorCategory::Internal);
+    }
+}
