@@ -12,8 +12,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <functional>
+#include <string>
 
 #include "algos/algorithms.hh"
 #include "anneal/dual_annealing.hh"
@@ -22,6 +25,7 @@
 #include "linalg/distance.hh"
 #include "sim/statevector.hh"
 #include "sim/unitary_builder.hh"
+#include "synth/batch/batched_hs_cost.hh"
 #include "synth/hs_cost.hh"
 #include "synth/instantiater.hh"
 #include "util/rng.hh"
@@ -261,18 +265,34 @@ msPerCall(int iters, const std::function<void()> &fn)
 
 /**
  * Instantiation-engine throughput table archived as
- * BENCH_instantiation.json: cost evaluations per second with and
- * without gradient for 2-4 qubit ansaetze, and multistart
- * instantiation latency serial vs on a worker pool.
+ * BENCH_instantiation.json. Every row carries an `engine` column —
+ * "scalar" is the classic per-start path (InstantiaterEngine::Scalar),
+ * "simd" the batched lane-lockstep engine (engine Auto) — and both
+ * engines are measured IN THE SAME RUN so the speedup ratio is
+ * machine-consistent: cost evaluations per second (per candidate for
+ * the batched cost), multistart instantiations per second at 2-5
+ * qubits, and the legacy serial/pool latency rows CI keys on.
+ *
+ * The n=2..4 cases run the specialized fixed-dim kernels; n=5 (dim
+ * 32) exercises both engines' generic runtime-dim kernels, and is
+ * also where evaluation dominates the serial per-iteration L-BFGS
+ * bookkeeping both engines share, so the end-to-end ratio approaches
+ * the raw per-eval ratio. Its repetition counts are scaled down to
+ * keep the full run's wall time in check.
  */
 Table
 instantiationTable()
 {
-    const int evals = quest::bench::smokeMode() ? 200 : 5000;
-    const int insts = quest::bench::smokeMode() ? 2 : 20;
+    const bool smoke = quest::bench::smokeMode();
+    constexpr size_t kLanes = synth::BatchedHsCost::kLanes;
 
-    Table table({"case", "metric", "value"});
-    for (int n = 2; n <= 4; ++n) {
+    Table table({"case", "engine", "metric", "value"});
+    for (int n = 2; n <= 5; ++n) {
+        const int scale = n == 5 ? 8 : 1;
+        const int evals = (smoke ? 200 : 5000) / scale;
+        const int batches = (smoke ? 50 : 1000) / scale;
+        const int insts = std::max(1, (smoke ? 2 : 20) / scale);
+        const std::string suffix = "_n" + std::to_string(n);
         Ansatz a = benchAnsatz(n, 2 * n);
         Matrix target = buildUnitary(lowerToNative(algos::tfim(n, 2)));
         HsCost cost(target, a);
@@ -286,24 +306,78 @@ instantiationTable()
         double ms = msPerCall(
             evals, [&] { benchmark::DoNotOptimize(
                              cost.evaluate(x, nullptr)); });
-        table.addRow({"hs_eval_n" + std::to_string(n), "evals_per_s",
+        table.addRow({"hs_eval" + suffix, "scalar", "evals_per_s",
                       Table::num(1000.0 / ms, 1)});
         ms = msPerCall(
             evals, [&] { benchmark::DoNotOptimize(
                              cost.evaluate(x, &grad)); });
-        table.addRow({"hs_eval_grad_n" + std::to_string(n),
-                      "evals_per_s", Table::num(1000.0 / ms, 1)});
+        table.addRow({"hs_eval_grad" + suffix, "scalar", "evals_per_s",
+                      Table::num(1000.0 / ms, 1)});
+
+        // Batched gradient evaluation: per-candidate throughput with
+        // all kLanes lanes live.
+        synth::BatchedHsCost batched(target, a);
+        std::array<std::vector<double>, kLanes> xsStore;
+        std::array<const std::vector<double> *, kLanes> xs{};
+        std::array<std::vector<double>, kLanes> gradStore;
+        std::array<std::vector<double> *, kLanes> grads{};
+        for (size_t l = 0; l < kLanes; ++l) {
+            xsStore[l].resize(x.size());
+            for (double &v : xsStore[l])
+                v = rng.uniform(-3.0, 3.0);
+            xs[l] = &xsStore[l];
+            grads[l] = &gradStore[l];
+        }
+        std::array<double, kLanes> f{};
+        batched.evaluateBatch(xs, f, grads);  // warm the arena
+        ms = msPerCall(batches, [&] {
+            batched.evaluateBatch(xs, f, grads);
+            benchmark::DoNotOptimize(f.data());
+        });
+        table.addRow({"hs_eval_grad" + suffix, "simd", "evals_per_s",
+                      Table::num(1000.0 / ms *
+                                     static_cast<double>(kLanes),
+                                 1)});
+
+        // End-to-end multistart instantiation, both engines, same
+        // target/ansatz/seed. Unreachable goal: every start runs to
+        // its iteration cap in both engines. Three waves of starts so
+        // the batched engine's lane refills are exercised and the
+        // final-wave lockstep tail is amortized, as in a real
+        // synthesis run where candidates keep arriving.
+        InstantiaterOptions iopts;
+        iopts.multistarts = 24;
+        iopts.lbfgs.maxIterations = smoke ? 40 : 100;
+        iopts.goal = 0.0;
+        iopts.engine = InstantiaterEngine::Scalar;
+        Rng srng(7);
+        ms = msPerCall(insts, [&] {
+            benchmark::DoNotOptimize(instantiate(target, a, srng, iopts));
+        });
+        table.addRow({"instantiate" + suffix, "scalar",
+                      "instantiations_per_sec",
+                      Table::num(1000.0 / ms, 2)});
+        iopts.engine = InstantiaterEngine::Auto;
+        Rng brng(7);
+        ms = msPerCall(insts, [&] {
+            benchmark::DoNotOptimize(instantiate(target, a, brng, iopts));
+        });
+        table.addRow({"instantiate" + suffix, "simd",
+                      "instantiations_per_sec",
+                      Table::num(1000.0 / ms, 2)});
     }
 
+    const int insts = smoke ? 2 : 20;
     Matrix target = buildUnitary(lowerToNative(algos::tfim(3, 1)));
     Ansatz a = Ansatz::initialLayer(3);
     a.addLayer(0, 1);
     a.addLayer(1, 2);
     InstantiaterOptions opts;
     opts.multistarts = 4;
-    opts.lbfgs.maxIterations = quest::bench::smokeMode() ? 40 : 100;
+    opts.lbfgs.maxIterations = smoke ? 40 : 100;
+    opts.engine = InstantiaterEngine::Scalar;
     Rng rng(7);
-    table.addRow({"instantiate_serial", "ms_per_call",
+    table.addRow({"instantiate_serial", "scalar", "ms_per_call",
                   Table::num(msPerCall(insts, [&] {
                                  benchmark::DoNotOptimize(
                                      instantiate(target, a, rng, opts));
@@ -311,7 +385,7 @@ instantiationTable()
                              3)});
     ThreadPool pool(3);
     opts.pool = &pool;
-    table.addRow({"instantiate_pool4", "ms_per_call",
+    table.addRow({"instantiate_pool4", "scalar", "ms_per_call",
                   Table::num(msPerCall(insts, [&] {
                                  benchmark::DoNotOptimize(
                                      instantiate(target, a, rng, opts));

@@ -56,10 +56,25 @@ void
 u3WithDerivatives(double theta, double phi, double lambda, Complex g[4],
                   Complex dg[3][4])
 {
+    // This runs once per U3 op per cost evaluation (and once per op
+    // per LANE in the batched engine) and the three argument
+    // reductions dominate it, so fuse each sin/cos pair into one
+    // sincos where libm provides it. glibc's sincos evaluates the
+    // same kernels as sin and cos, so the values — and therefore the
+    // scalar/batched engine parity — are unchanged.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    double c, s, cl, sl, cp, sp;
+    ::sincos(theta / 2.0, &s, &c);
+    ::sincos(lambda, &sl, &cl);
+    ::sincos(phi, &sp, &cp);
+    const Complex eil(cl, sl);
+    const Complex eip(cp, sp);
+#else
     const double c = std::cos(theta / 2.0);
     const double s = std::sin(theta / 2.0);
     const Complex eil = std::polar(1.0, lambda);
     const Complex eip = std::polar(1.0, phi);
+#endif
     const Complex eipl = eip * eil;
     const Complex i(0.0, 1.0);
     const Complex zero(0.0, 0.0);

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Lane-lockstep batched multistart driver behind instantiate().
+ *
+ * All multistarts of one instantiate() call share the same ansatz
+ * structure, so their cost evaluations batch perfectly: each live
+ * lane holds one start's L-BFGS run (lbfgs_machine.hh), every tick
+ * evaluates all lanes through one BatchedHsCost pass, finished lanes
+ * retire and refill from the pending starts. The serial-order
+ * best-of reduction stays in instantiate(); this driver only fills
+ * the same results/computed arrays the scalar paths fill, with
+ * bit-identical entries — so the selected result matches the scalar
+ * engine at any thread count (the batch runs on the calling thread
+ * and ignores the pool; the pool still parallelizes the synthesis
+ * tasks above it).
+ */
+
+#ifndef QUEST_SYNTH_BATCH_BATCH_INSTANTIATE_HH
+#define QUEST_SYNTH_BATCH_BATCH_INSTANTIATE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "synth/ansatz.hh"
+#include "synth/instantiater.hh"
+#include "synth/lbfgs.hh"
+#include "util/rng.hh"
+
+namespace quest::synth {
+
+/**
+ * Run every multistart through the batched engine. @p streams holds
+ * one pre-split RNG per start; @p lbfgsOptions already carries the
+ * merged call budget. Fills results[i]/computed[i] exactly as the
+ * scalar run_start would: computed stays 0 for starts skipped past
+ * the earliest goal index or cut off by the budget.
+ */
+void runBatchedMultistart(
+    const Matrix &target, const Ansatz &ansatz, std::vector<Rng> &streams,
+    const LbfgsOptions &lbfgsOptions, const InstantiaterOptions &options,
+    const std::optional<std::vector<double>> &warm_start,
+    std::vector<LbfgsResult> &results, std::vector<uint8_t> &computed);
+
+} // namespace quest::synth
+
+#endif // QUEST_SYNTH_BATCH_BATCH_INSTANTIATE_HH

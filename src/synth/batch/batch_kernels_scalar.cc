@@ -1,0 +1,37 @@
+/**
+ * Portable scalar-lane instantiation of the batched kernel bodies:
+ * the no-SIMD build's only table and the fallback on hosts without
+ * AVX2. Compiled with -ffp-contract=off like the SIMD units so a
+ * toolchain that enables FMA globally cannot contract the complex
+ * mul/add chains and break cross-engine bit-identity.
+ */
+
+#include "synth/batch/batch_kernels_impl.hh"
+#include "synth/batch/batch_kernels_tables.hh"
+
+namespace quest::kern::batch {
+
+namespace {
+
+struct VScalar
+{
+    using Reg = double;
+    static constexpr size_t width = 1;
+    static double load(const double *p) { return *p; }
+    static void store(double *p, double x) { *p = x; }
+    static double set1(double x) { return x; }
+    static double zero() { return 0.0; }
+    static double add(double a, double b) { return a + b; }
+    static double sub(double a, double b) { return a - b; }
+    static double mul(double a, double b) { return a * b; }
+};
+
+} // namespace
+
+const BatchKernelSet &
+scalarBatchKernelsFor(size_t dim)
+{
+    return impl::tableForDim<VScalar>(dim);
+}
+
+} // namespace quest::kern::batch

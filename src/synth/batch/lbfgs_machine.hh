@@ -1,0 +1,104 @@
+/**
+ * @file
+ * L-BFGS as an inverted-control state machine, for lane-lockstep
+ * batched minimization.
+ *
+ * lbfgsMinimize() (synth/lbfgs.cc) owns its loop and calls the
+ * objective; a batch of lockstep lanes needs the opposite: each lane
+ * exposes the next point it wants evaluated, the driver evaluates
+ * all lanes in one batched pass, and feeds every lane its (f,
+ * gradient) pair. LbfgsMachine is that inversion — an exact
+ * transcription of lbfgsMinimize's control flow (initial evaluation,
+ * per-iteration budget poll, two-loop recursion, Armijo
+ * backtracking with quadratic interpolation, curvature updates,
+ * every tolerance and constant) where each objective call becomes a
+ * queryPoint()/consume() round trip. Driven with the same objective
+ * values it produces bit-identical iterates, which the parity tests
+ * pin; any change here must be mirrored in lbfgs.cc and vice versa.
+ *
+ * The machine does not flush the lbfgs.* metrics itself: the batch
+ * driver tallies calls/iterations/evaluations when a lane retires
+ * (mirroring lbfgs.cc's LbfgsTally), so per-run accounting matches
+ * the scalar engine's.
+ */
+
+#ifndef QUEST_SYNTH_BATCH_LBFGS_MACHINE_HH
+#define QUEST_SYNTH_BATCH_LBFGS_MACHINE_HH
+
+#include <deque>
+#include <vector>
+
+#include "synth/lbfgs.hh"
+
+namespace quest::synth {
+
+/** One lane's minimization in progress. */
+class LbfgsMachine
+{
+  public:
+    LbfgsMachine(std::vector<double> x0, const LbfgsOptions &options);
+
+    /** True once the run has terminated; queryPoint() is then
+     *  invalid and takeResult() is ready. */
+    bool done() const { return phase == Phase::Finished; }
+
+    /** The point to evaluate next (valid while !done()). */
+    const std::vector<double> &queryPoint() const;
+
+    /**
+     * Deliver the objective value and gradient at queryPoint().
+     * @p grad is swapped out (its post-call contents are
+     * unspecified); the caller's buffer is reused round-robin.
+     */
+    void consume(double f, std::vector<double> &grad);
+
+    /** The finished result (valid once done()). */
+    LbfgsResult takeResult() { return std::move(result); }
+
+    /** Objective evaluations consumed so far (for the retire-time
+     *  metrics tally). */
+    int evaluations() const { return evals; }
+
+    /** Iterations recorded so far (for the retire-time tally). */
+    int iterations() const { return result.iterations; }
+
+  private:
+    enum class Phase
+    {
+        AwaitInitial,  //!< waiting for f/grad at the start point
+        AwaitTrial,    //!< waiting for f/grad at a line-search trial
+        Finished,
+    };
+
+    struct Pair
+    {
+        std::vector<double> s;
+        std::vector<double> y;
+        double rho;
+    };
+
+    void beginIteration();
+    void proposeTrial();
+    void finishWithValue();
+
+    LbfgsOptions options;
+    LbfgsResult result;
+    Phase phase = Phase::AwaitInitial;
+    size_t n = 0;
+    int evals = 0;
+    int iter = 0;
+
+    double f = 0.0;
+    std::vector<double> grad;
+    std::deque<Pair> history;
+    std::vector<double> direction, x_new, grad_new, alpha_buf;
+
+    // Line-search state.
+    double step = 1.0;
+    double dir_deriv = 0.0;
+    int ls = 0;
+};
+
+} // namespace quest::synth
+
+#endif // QUEST_SYNTH_BATCH_LBFGS_MACHINE_HH

@@ -66,24 +66,13 @@ HsCost::HsCost(const Matrix &target, const Ansatz &ansatz)
     kernels = &kern::kernelsForDim(dim);
 
     // Precompile the op sequence: wire bits and parameter bases are
-    // structural, so resolve them once instead of per evaluation.
-    const auto &ops = ansatz.operations();
-    plan.reserve(ops.size());
-    u3Count = 0;
-    int p = 0;
-    for (const AnsatzOp &op : ops) {
-        OpPlan e;
-        e.isCx = op.isCx;
-        e.bit = ansatz.wireBit(op.a);
-        e.bit2 = op.isCx ? ansatz.wireBit(op.b) : 0;
-        e.base = op.isCx ? -1 : p;
-        if (!op.isCx) {
-            p += 3;
-            ++u3Count;
-        }
-        plan.push_back(e);
-    }
-    nParams = p;
+    // structural, so resolve them once instead of per evaluation. The
+    // plan compiler is shared with the batched engine (op_plan.hh) so
+    // both walk the same sequence.
+    synth::CompiledPlan compiled = synth::compilePlan(ansatz);
+    plan = std::move(compiled.ops);
+    u3Count = compiled.u3Count;
+    nParams = compiled.nParams;
 
     targetConj.resize(dim * dim);
     const Complex *t = target.data().data();
@@ -123,7 +112,7 @@ HsCost::evaluate(const std::vector<double> &params,
         Complex *QUEST_RESTRICT u = ws.scratch.data();
         setIdentity(u, dim);
         Complex g[4];
-        for (const OpPlan &op : plan) {
+        for (const synth::OpPlan &op : plan) {
             if (op.isCx) {
                 k.leftCx(dim, u, op.bit, op.bit2);
             } else {
@@ -144,7 +133,7 @@ HsCost::evaluate(const std::vector<double> &params,
     {
         size_t ui = 0;
         for (size_t j = 0; j < count; ++j) {
-            const OpPlan &op = plan[j];
+            const synth::OpPlan &op = plan[j];
             Complex *cur = pre + j * dd;
             Complex *nxt = cur + dd;
             std::copy(cur, cur + dd, nxt);
@@ -175,7 +164,7 @@ HsCost::evaluate(const std::vector<double> &params,
     Complex w2[4];
     size_t ui = u3Count;
     for (size_t j = count; j-- > 0;) {
-        const OpPlan &op = plan[j];
+        const synth::OpPlan &op = plan[j];
         if (op.isCx) {
             // embed(CX)^T = embed(CX): the same row-swap kernel.
             k.leftCx(dim, bt, op.bit, op.bit2);

@@ -21,6 +21,7 @@
 #include "linalg/matrix.hh"
 #include "synth/ansatz.hh"
 #include "synth/kernels.hh"
+#include "synth/op_plan.hh"
 
 namespace quest {
 
@@ -73,16 +74,6 @@ class HsCost
     const HsWorkspace &workspace() const { return ws; }
 
   private:
-    /** One op of the precompiled execution plan: wire bits and the
-     *  parameter base resolved once at construction. */
-    struct OpPlan
-    {
-        bool isCx;
-        size_t bit;   //!< U3 wire bit, or CX control bit
-        size_t bit2;  //!< CX target bit (unused for U3)
-        int base;     //!< first parameter index (-1 for CX)
-    };
-
     Complex traceAgainstTarget(const Complex *u) const;
 
     const Matrix &target;
@@ -92,7 +83,7 @@ class HsCost
     size_t u3Count;
     int nParams;
     const kern::KernelSet *kernels;
-    std::vector<OpPlan> plan;
+    std::vector<synth::OpPlan> plan;
     std::vector<Complex> targetConj;  //!< conj(target): trace + backward init
     mutable HsWorkspace ws;
 };

@@ -8,6 +8,8 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "synth/batch/batch_instantiate.hh"
+#include "synth/batch/batch_kernels.hh"
 #include "synth/hs_cost.hh"
 #include "util/logging.hh"
 #include "resilience/thread_pool.hh"
@@ -98,7 +100,17 @@ instantiate(const Matrix &target, const Ansatz &ansatz, Rng &rng,
         }
     };
 
-    if (options.pool && n_starts > 1) {
+    // The batched SIMD engine evaluates all starts lane-lockstep on
+    // the calling thread; its per-lane results are bit-identical to
+    // run_start's, so the shared reduction below selects the same
+    // winner either way. The scalar paths stay as written: they are
+    // the determinism-test reference and the QUEST_SIMD=off runtime
+    // fallback.
+    if (options.engine == InstantiaterEngine::Auto && n_starts > 1 &&
+        kern::batch::batchEngineEnabled()) {
+        synth::runBatchedMultistart(target, ansatz, streams, lbfgsOptions,
+                                    options, warm_start, results, computed);
+    } else if (options.pool && n_starts > 1) {
         parallel_counter.add(static_cast<uint64_t>(n_starts));
         options.pool->parallelFor(static_cast<size_t>(n_starts),
                                   run_start, options.budget.cancel);

@@ -28,12 +28,31 @@ namespace quest {
 
 class ThreadPool;
 
+/**
+ * Which cost/optimizer engine instantiate() uses.
+ *
+ * Auto picks the batched SIMD engine (synth/batch/) whenever it is
+ * runtime-enabled and there are at least two multistarts; Scalar
+ * forces the classic one-start-at-a-time path. The two produce
+ * bit-identical results — Scalar exists as the determinism-test
+ * reference and for diagnosing the batched engine, not because the
+ * outputs differ.
+ */
+enum class InstantiaterEngine
+{
+    Auto,
+    Scalar,
+};
+
 /** Instantiation settings. */
 struct InstantiaterOptions
 {
     int multistarts = 4;        //!< random restarts per call
     LbfgsOptions lbfgs;
     double goal = 0.0;          //!< stop restarts early below this cost
+
+    /** Engine selection (see InstantiaterEngine). */
+    InstantiaterEngine engine = InstantiaterEngine::Auto;
 
     /**
      * Worker pool for parallel multistarts (not owned; nullptr runs

@@ -139,16 +139,20 @@ reachableTarget(Ansatz &a, std::vector<double> *truth_out = nullptr)
     return a.unitary(truth);
 }
 
-/** instantiate() with the given pool (nullptr = serial path). */
+/** instantiate() with the given pool (nullptr = serial path) and
+ *  engine. Engine::Scalar pins the classic per-start path; Auto lets
+ *  the batched SIMD engine claim the run when it is enabled. */
 InstantiationResult
 runInstantiation(const Matrix &target, const Ansatz &a, ThreadPool *pool,
-                 double goal)
+                 double goal, InstantiaterEngine engine,
+                 int multistarts = 6)
 {
     InstantiaterOptions opts;
-    opts.multistarts = 6;
+    opts.multistarts = multistarts;
     opts.lbfgs.maxIterations = 200;
     opts.goal = goal;
     opts.pool = pool;
+    opts.engine = engine;
     Rng rng(42);
     return instantiate(target, a, rng, opts);
 }
@@ -163,15 +167,15 @@ TEST(Determinism, ParallelMultistartMatchesSerialWithEarlyStop)
     // goal 1e-10 on the cost is reachable (the target is in the
     // ansatz family), so some start triggers the early stop and the
     // skip/reduction logic is exercised, not just the happy path.
-    const InstantiationResult serial =
-        runInstantiation(target, a, nullptr, 1e-10);
+    const InstantiationResult serial = runInstantiation(
+        target, a, nullptr, 1e-10, InstantiaterEngine::Scalar);
     EXPECT_LT(serial.distance, 1e-4);
 
     // Worker counts 0/1/7 = thread counts 1/2/8 (caller included).
     for (unsigned workers : {0u, 1u, 7u}) {
         ThreadPool pool(workers);
-        const InstantiationResult r =
-            runInstantiation(target, a, &pool, 1e-10);
+        const InstantiationResult r = runInstantiation(
+            target, a, &pool, 1e-10, InstantiaterEngine::Scalar);
         EXPECT_EQ(r.distance, serial.distance) << workers << " workers";
         ASSERT_EQ(r.params.size(), serial.params.size());
         for (size_t i = 0; i < r.params.size(); ++i)
@@ -188,16 +192,76 @@ TEST(Determinism, ParallelMultistartMatchesSerialWithoutEarlyStop)
 
     // goal 0 is unreachable: every start runs to completion and the
     // reduction walks the full results array.
-    const InstantiationResult serial =
-        runInstantiation(target, a, nullptr, 0.0);
+    const InstantiationResult serial = runInstantiation(
+        target, a, nullptr, 0.0, InstantiaterEngine::Scalar);
     for (unsigned workers : {1u, 7u}) {
         ThreadPool pool(workers);
-        const InstantiationResult r =
-            runInstantiation(target, a, &pool, 0.0);
+        const InstantiationResult r = runInstantiation(
+            target, a, &pool, 0.0, InstantiaterEngine::Scalar);
         EXPECT_EQ(r.distance, serial.distance) << workers << " workers";
         ASSERT_EQ(r.params.size(), serial.params.size());
         for (size_t i = 0; i < r.params.size(); ++i)
             EXPECT_EQ(r.params[i], serial.params[i])
+                << workers << " workers, param " << i;
+    }
+}
+
+TEST(Determinism, BatchedEngineMatchesScalarSerialWithEarlyStop)
+{
+    Ansatz a = Ansatz::initialLayer(2);
+    a.addLayer(0, 1);
+    a.addLayer(1, 0);
+    const Matrix target = reachableTarget(a);
+
+    // The reference is the classic serial scalar engine; the batched
+    // SIMD engine (engine = Auto, when enabled at runtime) must match
+    // it bit for bit, including the first-to-goal early stop — and
+    // regardless of any thread pool handed in, since the batched
+    // driver runs lane-lockstep on the calling thread.
+    const InstantiationResult scalar = runInstantiation(
+        target, a, nullptr, 1e-10, InstantiaterEngine::Scalar);
+    EXPECT_LT(scalar.distance, 1e-4);
+
+    const InstantiationResult batched = runInstantiation(
+        target, a, nullptr, 1e-10, InstantiaterEngine::Auto);
+    EXPECT_EQ(batched.distance, scalar.distance);
+    ASSERT_EQ(batched.params.size(), scalar.params.size());
+    for (size_t i = 0; i < batched.params.size(); ++i)
+        EXPECT_EQ(batched.params[i], scalar.params[i]) << "param " << i;
+
+    // Worker counts 0/1/7 = thread counts 1/2/8 (caller included).
+    for (unsigned workers : {0u, 1u, 7u}) {
+        ThreadPool pool(workers);
+        const InstantiationResult r = runInstantiation(
+            target, a, &pool, 1e-10, InstantiaterEngine::Auto);
+        EXPECT_EQ(r.distance, scalar.distance) << workers << " workers";
+        ASSERT_EQ(r.params.size(), scalar.params.size());
+        for (size_t i = 0; i < r.params.size(); ++i)
+            EXPECT_EQ(r.params[i], scalar.params[i])
+                << workers << " workers, param " << i;
+    }
+}
+
+TEST(Determinism, BatchedEngineMatchesScalarSerialAcrossLaneRefills)
+{
+    Ansatz a = Ansatz::initialLayer(2);
+    a.addLayer(0, 1);
+    const Matrix target = reachableTarget(a);
+
+    // 11 starts > kLanes (8) with an unreachable goal: every lane
+    // retires at least once and the refill path runs, so pending
+    // starts are proven to resume on whichever lane frees up without
+    // perturbing any other lane's iterates.
+    const InstantiationResult scalar = runInstantiation(
+        target, a, nullptr, 0.0, InstantiaterEngine::Scalar, 11);
+    for (unsigned workers : {0u, 7u}) {
+        ThreadPool pool(workers);
+        const InstantiationResult r = runInstantiation(
+            target, a, &pool, 0.0, InstantiaterEngine::Auto, 11);
+        EXPECT_EQ(r.distance, scalar.distance) << workers << " workers";
+        ASSERT_EQ(r.params.size(), scalar.params.size());
+        for (size_t i = 0; i < r.params.size(); ++i)
+            EXPECT_EQ(r.params[i], scalar.params[i])
                 << workers << " workers, param " << i;
     }
 }

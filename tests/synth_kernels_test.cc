@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -23,6 +24,8 @@
 #include "linalg/embed.hh"
 #include "linalg/matrix.hh"
 #include "synth/ansatz.hh"
+#include "synth/batch/batch_kernels.hh"
+#include "synth/batch/batched_hs_cost.hh"
 #include "synth/hs_cost.hh"
 #include "synth/kernels.hh"
 #include "util/rng.hh"
@@ -348,6 +351,394 @@ TEST(HsCostWorkspace, EvaluateIsAllocationFreeAfterWarmup)
     EXPECT_EQ(cost.workspace().allocations, ws_allocs)
         << "workspace grew after construction";
     EXPECT_EQ(cost.workspace().reuses, ws_reuses + 100);
+}
+
+// ---------------------------------------------------------------------
+// Batched (SoA, lane-parallel) engine: every kernel and the full
+// batched cost must be BIT-identical per lane to the scalar engine,
+// on every ISA the build and the host provide. All comparisons below
+// are EXPECT_EQ on doubles — exact, not approximate.
+
+namespace batchref {
+
+constexpr size_t kL = kern::batch::kLanes;
+
+/** The ISAs whose tables exist on this build+host. */
+std::vector<kern::batch::SimdIsa>
+availableIsas()
+{
+    std::vector<kern::batch::SimdIsa> isas;
+    for (auto isa :
+         {kern::batch::SimdIsa::Scalar, kern::batch::SimdIsa::Avx2,
+          kern::batch::SimdIsa::Avx512}) {
+        if (kern::batch::batchKernelsForIsa(isa, 2))
+            isas.push_back(isa);
+    }
+    return isas;
+}
+
+/** Scatter kL dense matrices into split-plane SoA storage. */
+void
+pack(const std::vector<Matrix> &ms, std::vector<double> &re,
+     std::vector<double> &im)
+{
+    const size_t dd = ms[0].rows() * ms[0].cols();
+    re.assign(dd * kL, 0.0);
+    im.assign(dd * kL, 0.0);
+    for (size_t l = 0; l < kL; ++l) {
+        const Complex *src = ms[l].data().data();
+        for (size_t e = 0; e < dd; ++e) {
+            re[e * kL + l] = src[e].real();
+            im[e * kL + l] = src[e].imag();
+        }
+    }
+}
+
+/** Gather lane l back out of SoA storage. */
+Matrix
+unpack(const std::vector<double> &re, const std::vector<double> &im,
+       size_t dim, size_t l)
+{
+    Matrix m(dim, dim);
+    Complex *dst = m.data().data();
+    for (size_t e = 0; e < dim * dim; ++e)
+        dst[e] = Complex(re[e * kL + l], im[e * kL + l]);
+    return m;
+}
+
+void
+packGates(const std::vector<std::array<Complex, 4>> &gs,
+          std::vector<double> &re, std::vector<double> &im)
+{
+    re.assign(4 * kL, 0.0);
+    im.assign(4 * kL, 0.0);
+    for (size_t l = 0; l < kL; ++l) {
+        for (size_t e = 0; e < 4; ++e) {
+            re[e * kL + l] = gs[l][e].real();
+            im[e * kL + l] = gs[l][e].imag();
+        }
+    }
+}
+
+} // namespace batchref
+
+TEST(BatchKernels, LeftU3MatchesScalarBitExact)
+{
+    using namespace batchref;
+    Rng rng(401);
+    for (auto isa : availableIsas()) {
+        for (size_t dim : {size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                           size_t{32}}) {
+            const auto *bk = kern::batch::batchKernelsForIsa(isa, dim);
+            ASSERT_NE(bk, nullptr);
+            const kern::KernelSet &sk = kern::kernelsForDim(dim);
+            for (size_t bit = 1; bit < dim; bit <<= 1) {
+                std::vector<Matrix> ms;
+                std::vector<std::array<Complex, 4>> gs;
+                for (size_t l = 0; l < kL; ++l) {
+                    ms.push_back(randomMatrix(dim, rng));
+                    std::array<Complex, 4> g;
+                    for (Complex &v : g)
+                        v = Complex(rng.uniform(-1.0, 1.0),
+                                    rng.uniform(-1.0, 1.0));
+                    gs.push_back(g);
+                }
+                std::vector<double> mRe, mIm, gRe, gIm;
+                pack(ms, mRe, mIm);
+                packGates(gs, gRe, gIm);
+                // The fused out-of-place variant must write exactly
+                // what the in-place kernel computes.
+                std::vector<double> oRe(mRe.size()), oIm(mIm.size());
+                bk->leftU3Out(dim, oRe.data(), oIm.data(), mRe.data(),
+                              mIm.data(), gRe.data(), gIm.data(), bit);
+                bk->leftU3(dim, mRe.data(), mIm.data(), gRe.data(),
+                           gIm.data(), bit);
+                EXPECT_EQ(oRe, mRe);
+                EXPECT_EQ(oIm, mIm);
+                for (size_t l = 0; l < kL; ++l) {
+                    Matrix ref = ms[l];
+                    sk.leftU3(dim, ref.data().data(), gs[l].data(), bit);
+                    const Matrix got = unpack(mRe, mIm, dim, l);
+                    for (size_t e = 0; e < dim * dim; ++e) {
+                        EXPECT_EQ(got.data()[e].real(),
+                                  ref.data()[e].real())
+                            << "isa=" << kern::batch::simdIsaName(isa)
+                            << " dim=" << dim << " lane=" << l;
+                        EXPECT_EQ(got.data()[e].imag(),
+                                  ref.data()[e].imag());
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchKernels, LeftCxMatchesScalarBitExact)
+{
+    using namespace batchref;
+    Rng rng(402);
+    for (auto isa : availableIsas()) {
+        for (size_t dim : {size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
+            const auto *bk = kern::batch::batchKernelsForIsa(isa, dim);
+            ASSERT_NE(bk, nullptr);
+            const kern::KernelSet &sk = kern::kernelsForDim(dim);
+            for (size_t bc = 1; bc < dim; bc <<= 1) {
+                for (size_t bt = 1; bt < dim; bt <<= 1) {
+                    if (bc == bt)
+                        continue;
+                    std::vector<Matrix> ms;
+                    for (size_t l = 0; l < kL; ++l)
+                        ms.push_back(randomMatrix(dim, rng));
+                    std::vector<double> mRe, mIm;
+                    pack(ms, mRe, mIm);
+                    std::vector<double> oRe(mRe.size()), oIm(mIm.size());
+                    bk->leftCxOut(dim, oRe.data(), oIm.data(), mRe.data(),
+                                  mIm.data(), bc, bt);
+                    bk->leftCx(dim, mRe.data(), mIm.data(), bc, bt);
+                    EXPECT_EQ(oRe, mRe);
+                    EXPECT_EQ(oIm, mIm);
+                    for (size_t l = 0; l < kL; ++l) {
+                        Matrix ref = ms[l];
+                        sk.leftCx(dim, ref.data().data(), bc, bt);
+                        const Matrix got = unpack(mRe, mIm, dim, l);
+                        for (size_t e = 0; e < dim * dim; ++e) {
+                            EXPECT_EQ(got.data()[e], ref.data()[e])
+                                << "isa="
+                                << kern::batch::simdIsaName(isa)
+                                << " dim=" << dim << " lane=" << l;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchKernels, ReduceTraceTMatchesScalarBitExact)
+{
+    using namespace batchref;
+    Rng rng(403);
+    for (auto isa : availableIsas()) {
+        for (size_t dim : {size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                           size_t{32}}) {
+            const auto *bk = kern::batch::batchKernelsForIsa(isa, dim);
+            ASSERT_NE(bk, nullptr);
+            const kern::KernelSet &sk = kern::kernelsForDim(dim);
+            for (size_t bit = 1; bit < dim; bit <<= 1) {
+                std::vector<Matrix> ps, bs;
+                for (size_t l = 0; l < kL; ++l) {
+                    ps.push_back(randomMatrix(dim, rng));
+                    bs.push_back(randomMatrix(dim, rng));
+                }
+                std::vector<double> pRe, pIm, bRe, bIm;
+                pack(ps, pRe, pIm);
+                pack(bs, bRe, bIm);
+                std::vector<double> w2Re(4 * kL), w2Im(4 * kL);
+                bk->reduceTraceT(dim, pRe.data(), pIm.data(), bRe.data(),
+                                 bIm.data(), bit, w2Re.data(), w2Im.data());
+                for (size_t l = 0; l < kL; ++l) {
+                    Complex ref[4];
+                    sk.reduceTraceT(dim, ps[l].data().data(),
+                                    bs[l].data().data(), bit, ref);
+                    for (size_t e = 0; e < 4; ++e) {
+                        EXPECT_EQ(w2Re[e * kL + l], ref[e].real())
+                            << "isa=" << kern::batch::simdIsaName(isa)
+                            << " dim=" << dim << " lane=" << l;
+                        EXPECT_EQ(w2Im[e * kL + l], ref[e].imag());
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchKernels, TraceTargetMatchesScalarBitExact)
+{
+    using namespace batchref;
+    Rng rng(404);
+    for (auto isa : availableIsas()) {
+        for (size_t dim : {size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                           size_t{32}}) {
+            const auto *bk = kern::batch::batchKernelsForIsa(isa, dim);
+            ASSERT_NE(bk, nullptr);
+            const size_t dd = dim * dim;
+            const Matrix tgt = randomMatrix(dim, rng);
+            std::vector<double> tcRe(dd), tcIm(dd);
+            std::vector<Complex> tc(dd);
+            for (size_t e = 0; e < dd; ++e) {
+                tc[e] = std::conj(tgt.data()[e]);
+                tcRe[e] = tc[e].real();
+                tcIm[e] = tc[e].imag();
+            }
+            std::vector<Matrix> us;
+            for (size_t l = 0; l < kL; ++l)
+                us.push_back(randomMatrix(dim, rng));
+            std::vector<double> uRe, uIm;
+            pack(us, uRe, uIm);
+            std::vector<double> trRe(kL), trIm(kL);
+            bk->traceTarget(dim, tcRe.data(), tcIm.data(), uRe.data(),
+                            uIm.data(), trRe.data(), trIm.data());
+            for (size_t l = 0; l < kL; ++l) {
+                // The scalar engine's accumulation, verbatim.
+                Complex ref(0.0, 0.0);
+                const Complex *u = us[l].data().data();
+                for (size_t e = 0; e < dd; ++e)
+                    ref += kern::cmul(tc[e], u[e]);
+                EXPECT_EQ(trRe[l], ref.real())
+                    << "isa=" << kern::batch::simdIsaName(isa)
+                    << " dim=" << dim << " lane=" << l;
+                EXPECT_EQ(trIm[l], ref.imag());
+            }
+        }
+    }
+}
+
+TEST(BatchedHsCostSuite, EvaluateMatchesScalarBitExactAllLaneCounts)
+{
+    using namespace batchref;
+    for (auto isa : availableIsas()) {
+        for (int n = 1; n <= 4; ++n) {
+            Rng rng(500 + static_cast<uint64_t>(n));
+            Ansatz a = testAnsatz(n);
+            std::vector<double> truth(a.paramCount());
+            for (double &v : truth)
+                v = rng.uniform(-pi, pi);
+            const Matrix target = a.unitary(truth);
+
+            // Live-lane counts 1..kL cover full and partial batches.
+            for (size_t live = 1; live <= kL; ++live) {
+                std::array<std::vector<double>, kL> xsStore;
+                std::array<const std::vector<double> *, kL> xs{};
+                std::array<std::vector<double>, kL> gradStore;
+                std::array<std::vector<double> *, kL> grads{};
+                for (size_t l = 0; l < live; ++l) {
+                    xsStore[l].resize(
+                        static_cast<size_t>(a.paramCount()));
+                    for (double &v : xsStore[l])
+                        v = rng.uniform(-pi, pi);
+                    xs[l] = &xsStore[l];
+                    grads[l] = &gradStore[l];
+                }
+                synth::BatchedHsCost cost(target, a);
+                const auto *bk = kern::batch::batchKernelsForIsa(
+                    isa, target.rows());
+                ASSERT_NE(bk, nullptr);
+                cost.useKernels(*bk);
+                std::array<double, kL> f{};
+                cost.evaluateBatch(xs, f, grads);
+
+                HsCost ref(target, a);
+                for (size_t l = 0; l < live; ++l) {
+                    std::vector<double> refGrad;
+                    const double refF = ref.evaluate(xsStore[l], &refGrad);
+                    EXPECT_EQ(f[l], refF)
+                        << "isa=" << kern::batch::simdIsaName(isa)
+                        << " n=" << n << " live=" << live
+                        << " lane=" << l;
+                    ASSERT_EQ(gradStore[l].size(), refGrad.size());
+                    for (size_t i = 0; i < refGrad.size(); ++i) {
+                        EXPECT_EQ(gradStore[l][i], refGrad[i])
+                            << "isa=" << kern::batch::simdIsaName(isa)
+                            << " n=" << n << " live=" << live
+                            << " lane=" << l << " param=" << i;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchedHsCostSuite, GradientMatchesFiniteDifference)
+{
+    using namespace batchref;
+    for (int n = 2; n <= 3; ++n) {
+        Rng rng(600 + static_cast<uint64_t>(n));
+        Ansatz a = testAnsatz(n);
+        std::vector<double> truth(a.paramCount());
+        for (double &v : truth)
+            v = rng.uniform(-pi, pi);
+        const Matrix target = a.unitary(truth);
+
+        std::vector<double> x(a.paramCount());
+        for (double &v : x)
+            v = rng.uniform(-pi, pi);
+
+        synth::BatchedHsCost cost(target, a);
+        std::array<const std::vector<double> *, kL> xs{};
+        std::array<std::vector<double>, kL> gradStore;
+        std::array<std::vector<double> *, kL> grads{};
+        std::array<double, kL> f{};
+        xs[0] = &x;
+        grads[0] = &gradStore[0];
+        cost.evaluateBatch(xs, f, grads);
+        const std::vector<double> grad = gradStore[0];
+
+        // Central differences batched two-at-a-time: lane 0 = x+h,
+        // lane 1 = x-h.
+        const double h = 1e-6;
+        for (size_t i = 0; i < x.size(); ++i) {
+            std::vector<double> xp = x, xm = x;
+            xp[i] += h;
+            xm[i] -= h;
+            std::array<const std::vector<double> *, kL> fdxs{};
+            std::array<std::vector<double> *, kL> fdgrads{};
+            fdxs[0] = &xp;
+            fdxs[1] = &xm;
+            fdgrads[0] = &gradStore[0];
+            fdgrads[1] = &gradStore[1];
+            std::array<double, kL> fdf{};
+            cost.evaluateBatch(fdxs, fdf, fdgrads);
+            const double fd = (fdf[0] - fdf[1]) / (2.0 * h);
+            EXPECT_NEAR(grad[i], fd, 1e-5) << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(BatchedHsCostSuite, EvaluateBatchIsAllocationFreeAfterWarmup)
+{
+    using namespace batchref;
+    Rng rng(700);
+    Ansatz a = testAnsatz(3);
+    std::vector<double> truth(a.paramCount());
+    for (double &v : truth)
+        v = rng.uniform(-pi, pi);
+    const Matrix target = a.unitary(truth);
+
+    synth::BatchedHsCost cost(target, a);
+    std::array<std::vector<double>, kL> xsStore;
+    std::array<const std::vector<double> *, kL> xs{};
+    std::array<std::vector<double>, kL> gradStore;
+    std::array<std::vector<double> *, kL> grads{};
+    for (size_t l = 0; l < kL; ++l) {
+        xsStore[l].resize(static_cast<size_t>(a.paramCount()));
+        for (double &v : xsStore[l])
+            v = rng.uniform(-pi, pi);
+        xs[l] = &xsStore[l];
+        grads[l] = &gradStore[l];
+    }
+    std::array<double, kL> f{};
+    // Warm-up sizes the gradient vectors and touches the counter
+    // statics once.
+    cost.evaluateBatch(xs, f, grads);
+
+    const uint64_t ws_allocs = cost.workspace().allocations;
+    double sink = 0.0;
+    const uint64_t before =
+        g_allocation_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 50; ++i) {
+        xsStore[static_cast<size_t>(i) % kL][0] = std::sin(0.7 * i);
+        cost.evaluateBatch(xs, f, grads);
+        sink += f[0];
+    }
+    const uint64_t after =
+        g_allocation_count.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "evaluateBatch() allocated in steady state (sink=" << sink
+        << ")";
+    EXPECT_EQ(cost.workspace().allocations, ws_allocs)
+        << "SoA workspace grew after construction";
+    EXPECT_EQ(cost.workspace().allocations, 1u);
 }
 
 TEST(HsCostWorkspace, ConstructorWarmsTheArena)

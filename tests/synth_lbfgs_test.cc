@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
 
+#include "synth/batch/lbfgs_machine.hh"
 #include "synth/lbfgs.hh"
 
 namespace quest {
@@ -136,6 +140,163 @@ TEST(Lbfgs, MonotoneNonIncreasing)
     double f0 = f(x0, &dummy);
     LbfgsResult r = lbfgsMinimize(f, x0);
     EXPECT_LE(r.value, f0);
+}
+
+// ---------------------------------------------------------------------
+// LbfgsMachine (synth/batch/lbfgs_machine.hh) is the inverted-control
+// transcription of lbfgsMinimize that the batched engine steps in
+// lane lockstep. Fed the same objective it must visit the same points
+// and produce the SAME LbfgsResult, bit for bit — the batched
+// engine's determinism guarantee rests on this.
+
+struct MachineRun
+{
+    LbfgsResult result;
+    int evaluations;
+};
+
+/** Drive a machine to completion with a serial objective. */
+MachineRun
+driveMachine(const GradObjective &objective, std::vector<double> x0,
+             const LbfgsOptions &options = {})
+{
+    synth::LbfgsMachine machine(std::move(x0), options);
+    std::vector<double> grad;
+    while (!machine.done()) {
+        const double f = objective(machine.queryPoint(), &grad);
+        machine.consume(f, grad);
+    }
+    return {machine.takeResult(), machine.evaluations()};
+}
+
+/** Run both engines and require bitwise-identical outcomes. */
+void
+expectMachineMatchesMinimize(const GradObjective &objective,
+                             const std::vector<double> &x0,
+                             const LbfgsOptions &options = {})
+{
+    int serial_evals = 0;
+    GradObjective counted = [&](const std::vector<double> &x,
+                                std::vector<double> *g) {
+        ++serial_evals;
+        return objective(x, g);
+    };
+    const LbfgsResult serial = lbfgsMinimize(counted, x0, options);
+    const MachineRun machine = driveMachine(objective, x0, options);
+
+    EXPECT_EQ(machine.result.value, serial.value);
+    EXPECT_EQ(machine.result.iterations, serial.iterations);
+    EXPECT_EQ(machine.result.converged, serial.converged);
+    EXPECT_EQ(machine.result.stopped, serial.stopped);
+    EXPECT_EQ(machine.evaluations, serial_evals);
+    ASSERT_EQ(machine.result.x.size(), serial.x.size());
+    for (size_t i = 0; i < serial.x.size(); ++i)
+        EXPECT_EQ(machine.result.x[i], serial.x[i]) << "i=" << i;
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnQuadraticBowl)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double v = 0.0;
+        if (g)
+            g->resize(x.size());
+        for (size_t i = 0; i < x.size(); ++i) {
+            v += (x[i] - 1.0) * (x[i] - 1.0);
+            if (g)
+                (*g)[i] = 2.0 * (x[i] - 1.0);
+        }
+        return v;
+    };
+    expectMachineMatchesMinimize(f, {5.0, -3.0, 0.0});
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnIllConditionedQuadratic)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {2.0 * x[0], 2000.0 * x[1]};
+        return x[0] * x[0] + 1000.0 * x[1] * x[1];
+    };
+    expectMachineMatchesMinimize(f, {3.0, 1.0});
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnRosenbrock)
+{
+    // Long run: hundreds of iterations, many line-search rejections
+    // and curvature updates — exercises every branch of the
+    // transcription.
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        if (g)
+            *g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+        return a * a + 100.0 * b * b;
+    };
+    LbfgsOptions opts;
+    opts.maxIterations = 2000;
+    expectMachineMatchesMinimize(f, {-1.2, 1.0}, opts);
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnTrigLandscape)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {std::sin(x[0]), std::sin(x[1])};
+        return -std::cos(x[0]) - std::cos(x[1]);
+    };
+    expectMachineMatchesMinimize(f, {0.3, -0.4});
+}
+
+TEST(LbfgsMachine, MatchesMinimizeAtTheMinimum)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            *g = {2.0 * x[0]};
+        return x[0] * x[0];
+    };
+    expectMachineMatchesMinimize(f, {0.0});
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnEmptyParameterVector)
+{
+    GradObjective f = [](const std::vector<double> &,
+                         std::vector<double> *) { return 7.0; };
+    expectMachineMatchesMinimize(f, {});
+}
+
+TEST(LbfgsMachine, MatchesMinimizeUnderIterationCap)
+{
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        if (g)
+            *g = {-2.0 * a - 400.0 * x[0] * b, 200.0 * b};
+        return a * a + 100.0 * b * b;
+    };
+    for (int cap : {0, 1, 3}) {
+        LbfgsOptions opts;
+        opts.maxIterations = cap;
+        expectMachineMatchesMinimize(f, {-1.2, 1.0}, opts);
+    }
+}
+
+TEST(LbfgsMachine, MatchesMinimizeOnNonFiniteObjective)
+{
+    // A diverged start: both engines must report value = inf without
+    // touching the point.
+    GradObjective f = [](const std::vector<double> &x,
+                         std::vector<double> *g) {
+        if (g)
+            g->assign(x.size(), 0.0);
+        return std::numeric_limits<double>::quiet_NaN();
+    };
+    expectMachineMatchesMinimize(f, {1.0, 2.0});
 }
 
 } // namespace
