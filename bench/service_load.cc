@@ -9,9 +9,15 @@
  * The warm wave is the cross-job dedup demonstration: every block a
  * warm job needs was synthesized by some other tenant's cold job, so
  * the wave must finish with zero new synthesis-cache misses ("synth
- * cache misses: 0" below) and substantially higher throughput. The
- * harness exits non-zero when either property fails, and CI re-checks
- * both from the archived BENCH_service.json rows.
+ * cache misses: 0" below) and substantially higher throughput. A
+ * third, overload wave floods a small queue with 2x its capacity
+ * from two noisy tenants while a well-behaved tenant keeps
+ * submitting: tenant quotas must shed the flood (nonzero
+ * `service.tenants.shed`) and weighted round-robin must keep the
+ * polite tenant's p99 bounded. The harness exits non-zero when any
+ * property fails, and CI re-checks them from the archived
+ * BENCH_service.json rows (the metrics snapshot in the JSON carries
+ * the shed counters).
  */
 
 #include "bench_common.hh"
@@ -110,7 +116,7 @@ WaveStats
 runWave(service::QuestServer &server,
         const std::vector<std::string> &circuits,
         const service::CompileOptions &options, int threads,
-        int jobsPerThread)
+        int jobsPerThread, const std::string &tenant = "")
 {
     using Clock = std::chrono::steady_clock;
 
@@ -141,6 +147,7 @@ runWave(service::QuestServer &server,
                 service::SubmitRequest request;
                 request.options = options;
                 request.deadlineSeconds = smokeJobDeadlineSeconds();
+                request.tenant = tenant;
                 request.qasm = circuits[(static_cast<size_t>(t) + j) %
                                         circuits.size()];
                 const auto t0 = Clock::now();
@@ -255,10 +262,73 @@ main()
         server.stop();
     }
 
+    // Overload wave: two noisy tenants flood a deliberately small
+    // queue with 2x its capacity in fire-and-forget submits while a
+    // well-behaved tenant keeps running submit→result jobs. Tenant
+    // quotas shed the flood (counted in `service.tenants.shed`) and
+    // weighted round-robin keeps the polite tenant's p99 bounded —
+    // the polite row below is measured *during* the flood.
+    WaveStats polite;
+    uint64_t sheds = 0;
+    uint64_t noisyAccepted = 0;
+    uint64_t noisyShed = 0;
+    {
+        service::ServerConfig overload = config;
+        overload.queueCapacity = 8;
+        overload.tenantMaxQueued = 3;
+        overload.tenantWeights["polite"] = 2;
+        const uint64_t sheds0 =
+            counterValue(names::kMetricServiceTenantSheds);
+        service::QuestServer server(overload);
+
+        std::atomic<uint64_t> accepted{0};
+        std::atomic<uint64_t> rejected{0};
+        std::atomic<bool> noisyOk{true};
+        std::vector<std::thread> noisy;
+        for (int n = 0; n < 2; ++n) {
+            noisy.emplace_back([&, n] {
+                int sv[2] = {-1, -1};
+                if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+                    noisyOk = false;
+                    return;
+                }
+                server.attach(sv[0]);
+                service::QuestClient client =
+                    service::QuestClient::fromFd(sv[1]);
+                for (size_t j = 0; j < 2 * overload.queueCapacity;
+                     ++j) {
+                    service::SubmitRequest request;
+                    request.options = options;
+                    request.deadlineSeconds =
+                        smokeJobDeadlineSeconds();
+                    request.tenant = n ? "noisy-b" : "noisy-a";
+                    request.qasm = circuits[j % circuits.size()];
+                    if (client.submit(request).accepted)
+                        ++accepted;
+                    else
+                        ++rejected;
+                }
+            });
+        }
+        polite = runWave(server, circuits, options, /*threads=*/1,
+                         /*jobsPerThread=*/smokeMode() ? 3 : 6,
+                         "polite");
+        for (std::thread &t : noisy)
+            t.join();
+        if (!noisyOk.load())
+            fatal("a noisy-tenant client failed to connect");
+        server.stop(); // drains the accepted noisy backlog
+        sheds = counterValue(names::kMetricServiceTenantSheds) -
+                sheds0;
+        noisyAccepted = accepted.load();
+        noisyShed = rejected.load();
+    }
+
     Table table({"wave", "jobs", "jobs_per_sec", "p50_ms", "p99_ms",
                  "cache_hits", "cache_misses", "hit_rate"});
     addWaveRow(table, "cold", cold);
     addWaveRow(table, "warm", warm);
+    addWaveRow(table, "overload_polite", polite);
     finishBench("service", table);
 
     std::cout << "\nwarm synth cache misses: " << warm.misses << "\n";
@@ -280,6 +350,20 @@ main()
         warn("warm wave is not 2x faster than cold (",
              Table::num(warm.jobsPerSec(), 2), " vs ",
              Table::num(cold.jobsPerSec(), 2), " jobs/sec)");
+        return 1;
+    }
+    std::cout << "\noverload: noisy tenants accepted " << noisyAccepted
+              << ", shed " << noisyShed << " (tenant-quota sheds: "
+              << sheds << "); polite p99 "
+              << Table::num(polite.p99Ms, 1) << " ms\n";
+    if (sheds == 0) {
+        warn("overload wave shed nothing: the tenant quota never "
+             "engaged");
+        return 1;
+    }
+    if (polite.p99Ms > 60000.0) {
+        warn("polite tenant p99 unbounded under overload (",
+             Table::num(polite.p99Ms, 1), " ms)");
         return 1;
     }
     std::cout << "\nExpected shape (paper, Sec. 6): QUEST's one-time "

@@ -1,10 +1,16 @@
 #include "service/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include <unistd.h>
 
+#include "obs/metrics.hh"
 #include "resilience/error.hh"
 #include "service/socket.hh"
 #include "util/names.hh"
+#include "util/rng.hh"
 
 namespace quest::service {
 
@@ -36,12 +42,48 @@ categoryForExitCode(int32_t code)
     }
 }
 
+void
+sleepSeconds(double seconds)
+{
+    if (seconds <= 0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds));
+}
+
 } // namespace
 
-QuestClient
-QuestClient::connect(const std::string &path, double timeoutSeconds)
+std::vector<double>
+backoffSchedule(const RetryPolicy &policy, size_t attempts)
 {
-    return QuestClient(connectTo(path, timeoutSeconds));
+    // Deterministic by construction: the k-th delay depends only on
+    // (base, max, seed, k). Jitter de-synchronizes a fleet of
+    // clients retrying the same outage without sacrificing
+    // reproducibility — the test pins same-seed → same-schedule.
+    std::vector<double> delays;
+    delays.reserve(attempts);
+    Rng rng(policy.seed, 1);
+    double step = std::max(policy.baseDelaySeconds, 0.0);
+    for (size_t k = 0; k < attempts; ++k) {
+        const double capped =
+            policy.maxDelaySeconds > 0
+                ? std::min(step, policy.maxDelaySeconds)
+                : step;
+        delays.push_back(capped * (0.5 + 0.5 * rng.uniform()));
+        step *= 2;
+    }
+    return delays;
+}
+
+QuestClient
+QuestClient::connect(const std::string &path, double timeoutSeconds,
+                     RetryPolicy policy)
+{
+    QuestClient client(connectTo(path, timeoutSeconds));
+    client.path = path;
+    client.connectTimeout = timeoutSeconds;
+    client.policy = policy;
+    return client;
 }
 
 QuestClient
@@ -57,7 +99,8 @@ QuestClient::~QuestClient()
 }
 
 QuestClient::QuestClient(QuestClient &&other) noexcept
-    : sock(other.sock)
+    : sock(other.sock), path(std::move(other.path)),
+      connectTimeout(other.connectTimeout), policy(other.policy)
 {
     other.sock = -1;
 }
@@ -69,53 +112,119 @@ QuestClient::operator=(QuestClient &&other) noexcept
         if (sock >= 0)
             ::close(sock);
         sock = other.sock;
+        path = std::move(other.path);
+        connectTimeout = other.connectTimeout;
+        policy = other.policy;
         other.sock = -1;
     }
     return *this;
 }
 
-Frame
-QuestClient::roundTrip(MsgType type,
-                       const std::vector<uint8_t> &payload,
-                       MsgType expect)
+bool
+QuestClient::attemptRoundTrip(MsgType type,
+                              const std::vector<uint8_t> &payload,
+                              Frame &out, std::string &detail)
 {
-    if (!sendFrame(sock, type, payload)) {
-        throw QuestError(ErrorCategory::Io,
-                         std::string("cannot send ") +
-                             msgTypeName(type) + " frame");
+    if (sock < 0) {
+        detail = "not connected";
+        return false;
+    }
+    if (sendFrame(sock, type, payload) != SendStatus::Ok) {
+        detail = std::string("cannot send ") + msgTypeName(type) +
+                 " frame";
+        ::close(sock);
+        sock = -1;
+        return false;
     }
     RecvResult r = recvFrame(sock);
     switch (r.status) {
       case RecvStatus::Ok:
-        break;
-      case RecvStatus::Eof:
-        throw QuestError(ErrorCategory::Io,
-                         "server closed the connection");
-      case RecvStatus::IoError:
-        throw QuestError(ErrorCategory::Io, r.error);
-      default: // Malformed, VersionMismatch, Oversized
+        out = std::move(r.frame);
+        return true;
+      case RecvStatus::Malformed:
+      case RecvStatus::VersionMismatch:
+      case RecvStatus::Oversized:
+        // The server is speaking, just not our dialect: retrying
+        // the same bytes cannot help, so fail loudly instead.
+        ::close(sock);
+        sock = -1;
         throw QuestError(ErrorCategory::InvalidInput, r.error);
+      case RecvStatus::Eof:
+        detail = "server closed the connection";
+        break;
+      default: // IoError (and the unreachable deadline statuses)
+        detail = r.error;
+        break;
     }
-    if (r.frame.type == MsgType::Error) {
+    ::close(sock);
+    sock = -1;
+    return false;
+}
+
+Frame
+QuestClient::roundTrip(MsgType type,
+                       const std::vector<uint8_t> &payload,
+                       MsgType expect, MsgType alsoExpect,
+                       bool idempotent)
+{
+    static auto &clientRetries =
+        obs::MetricsRegistry::global().counter(
+            names::kMetricServiceClientRetries);
+
+    const bool canHeal =
+        idempotent && !path.empty() && policy.retries > 0;
+    const std::vector<double> delays =
+        canHeal ? backoffSchedule(
+                      policy, static_cast<size_t>(policy.retries))
+                : std::vector<double>{};
+
+    Frame reply;
+    std::string detail;
+    for (size_t attempt = 0;; ++attempt) {
+        if (attemptRoundTrip(type, payload, reply, detail))
+            break;
+        if (!canHeal || attempt >= delays.size()) {
+            throw QuestError(ErrorCategory::Io,
+                             std::string("transport failure on ") +
+                                 msgTypeName(type) + ": " + detail);
+        }
+        // Self-healing: back off, reconnect, resend. The server's
+        // submission-key dedup (for submits) and idempotent reads
+        // (for everything else) make the blind resend safe.
+        clientRetries.increment();
+        sleepSeconds(delays[attempt]);
+        try {
+            sock = connectTo(path, connectTimeout);
+        } catch (const QuestError &) {
+            if (attempt + 1 >= delays.size())
+                throw;
+            // The daemon may still be coming back; spend another
+            // attempt on it.
+        }
+    }
+
+    if (reply.type == MsgType::Error) {
         const ErrorReply err =
-            decodePayload<ErrorReply>(r.frame.payload);
+            decodePayload<ErrorReply>(reply.payload);
         throw QuestError(categoryForExitCode(err.exitCode),
                          err.message);
     }
-    if (r.frame.type != expect) {
+    if (reply.type != expect && reply.type != alsoExpect) {
         throw QuestError(ErrorCategory::InvalidInput,
                          std::string("expected a ") +
                              msgTypeName(expect) + " frame, got " +
-                             msgTypeName(r.frame.type));
+                             msgTypeName(reply.type));
     }
-    return std::move(r.frame);
+    return reply;
 }
 
 SubmitReply
 QuestClient::submit(const SubmitRequest &request)
 {
-    const Frame reply = roundTrip(
-        MsgType::Submit, encodePayload(request), MsgType::SubmitReply);
+    const Frame reply =
+        roundTrip(MsgType::Submit, encodePayload(request),
+                  MsgType::SubmitReply, MsgType::SubmitReply,
+                  /*idempotent=*/!request.submissionKey.empty());
     return decodePayload<SubmitReply>(reply.payload);
 }
 
@@ -125,20 +234,53 @@ QuestClient::status(uint64_t jobId)
     StatusRequest request;
     request.jobId = jobId;
     const Frame reply = roundTrip(
-        MsgType::Status, encodePayload(request), MsgType::StatusReply);
+        MsgType::Status, encodePayload(request), MsgType::StatusReply,
+        MsgType::StatusReply, /*idempotent=*/true);
     return decodePayload<JobStatus>(reply.payload);
 }
 
 ResultReply
 QuestClient::result(uint64_t jobId, bool wait, double timeoutSeconds)
 {
-    ResultRequest request;
-    request.jobId = jobId;
-    request.wait = wait;
-    request.timeoutSeconds = timeoutSeconds;
-    const Frame reply = roundTrip(
-        MsgType::Result, encodePayload(request), MsgType::ResultReply);
-    return decodePayload<ResultReply>(reply.payload);
+    using Clock = std::chrono::steady_clock;
+    const bool boundedWait = wait && timeoutSeconds > 0;
+    const Clock::time_point giveUp =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               std::max(timeoutSeconds, 0.0)));
+    for (;;) {
+        ResultRequest request;
+        request.jobId = jobId;
+        request.wait = wait;
+        request.timeoutSeconds = timeoutSeconds;
+        if (boundedWait) {
+            const double left =
+                std::chrono::duration<double>(giveUp - Clock::now())
+                    .count();
+            // Never send 0 (= unbounded) once a bound was asked
+            // for: a nearly expired wait becomes a tiny one.
+            request.timeoutSeconds = std::max(left, 1e-3);
+        }
+        const Frame reply = roundTrip(
+            MsgType::Result, encodePayload(request),
+            MsgType::ResultReply, MsgType::Retry,
+            /*idempotent=*/true);
+        if (reply.type == MsgType::ResultReply)
+            return decodePayload<ResultReply>(reply.payload);
+
+        // A Retry frame: the server's bounded wait ran out first.
+        const RetryReply retry =
+            decodePayload<RetryReply>(reply.payload);
+        if (boundedWait && Clock::now() >= giveUp) {
+            // Our own budget ran out too: surface the non-terminal
+            // status the same way the seed's unbounded server wait
+            // would have.
+            ResultReply out;
+            out.status = retry.status;
+            return out;
+        }
+        sleepSeconds(retry.retryAfterSeconds);
+    }
 }
 
 CancelReply
@@ -147,7 +289,8 @@ QuestClient::cancelJob(uint64_t jobId)
     CancelRequest request;
     request.jobId = jobId;
     const Frame reply = roundTrip(
-        MsgType::Cancel, encodePayload(request), MsgType::CancelReply);
+        MsgType::Cancel, encodePayload(request), MsgType::CancelReply,
+        MsgType::CancelReply, /*idempotent=*/true);
     return decodePayload<CancelReply>(reply.payload);
 }
 
@@ -155,7 +298,8 @@ StatsReply
 QuestClient::stats()
 {
     const Frame reply =
-        roundTrip(MsgType::Stats, {}, MsgType::StatsReply);
+        roundTrip(MsgType::Stats, {}, MsgType::StatsReply,
+                  MsgType::StatsReply, /*idempotent=*/true);
     return decodePayload<StatsReply>(reply.payload);
 }
 
@@ -164,8 +308,12 @@ QuestClient::shutdown(bool drain)
 {
     ShutdownRequest request;
     request.drain = drain;
+    // Not idempotent in spirit (a second Shutdown is harmless but
+    // the first may already be tearing the socket down), so no
+    // healing: a transport failure here usually *is* the shutdown.
     roundTrip(MsgType::Shutdown, encodePayload(request),
-              MsgType::ShutdownReply);
+              MsgType::ShutdownReply, MsgType::ShutdownReply,
+              /*idempotent=*/false);
 }
 
 } // namespace quest::service

@@ -34,6 +34,8 @@ msgTypeName(MsgType type)
         return "shutdown-reply";
       case MsgType::Error:
         return "error";
+      case MsgType::Retry:
+        return "retry";
     }
     return "unknown";
 }
@@ -166,6 +168,8 @@ SubmitRequest::encode(ByteWriter &w) const
     w.i32(priority);
     w.f64(deadlineSeconds);
     encodeOptions(w, options);
+    w.str(tenant);
+    w.str(submissionKey);
     w.str(qasm);
 }
 
@@ -176,6 +180,8 @@ SubmitRequest::decode(ByteReader &r)
     m.priority = r.i32();
     m.deadlineSeconds = r.f64();
     m.options = decodeOptions(r);
+    m.tenant = r.str();
+    m.submissionKey = r.str();
     m.qasm = r.str();
     return m;
 }
@@ -187,6 +193,8 @@ SubmitReply::encode(ByteWriter &w) const
     w.u8(accepted ? 1 : 0);
     w.u8(static_cast<uint8_t>(state));
     w.str(detail);
+    w.u8(deduplicated ? 1 : 0);
+    w.f64(retryAfterSeconds);
 }
 
 SubmitReply
@@ -197,6 +205,8 @@ SubmitReply::decode(ByteReader &r)
     m.accepted = r.u8() != 0;
     m.state = decodeState(r);
     m.detail = r.str();
+    m.deduplicated = r.u8() != 0;
+    m.retryAfterSeconds = r.f64();
     return m;
 }
 
@@ -373,6 +383,22 @@ ErrorReply::decode(ByteReader &r)
     ErrorReply m;
     m.exitCode = r.i32();
     m.message = r.str();
+    return m;
+}
+
+void
+RetryReply::encode(ByteWriter &w) const
+{
+    status.encode(w);
+    w.f64(retryAfterSeconds);
+}
+
+RetryReply
+RetryReply::decode(ByteReader &r)
+{
+    RetryReply m;
+    m.status = JobStatus::decode(r);
+    m.retryAfterSeconds = r.f64();
     return m;
 }
 

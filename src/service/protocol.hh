@@ -37,10 +37,12 @@
 namespace quest::service {
 
 inline constexpr uint8_t kFrameMagic[4] = {'Q', 'S', 'V', '1'};
-// Version 2 appended the selection-mode byte to CompileOptions; a
-// version-1 peer gets a clean version-mismatch error, not a garbled
-// decode.
-inline constexpr uint16_t kProtocolVersion = 2;
+// Version 2 appended the selection-mode byte to CompileOptions;
+// version 3 added the tenant/submission-key strings to Submit, the
+// retry-hint fields to SubmitReply, and the Retry frame (bounded
+// result waits). An old peer gets a clean version-mismatch error,
+// not a garbled decode.
+inline constexpr uint16_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 12;
 inline constexpr size_t kFrameTrailerBytes = 8;
 
@@ -64,6 +66,7 @@ enum class MsgType : uint16_t {
     Shutdown = 11,
     ShutdownReply = 12,
     Error = 13,
+    Retry = 14, //!< reply only: poll again (bounded result wait ran out)
 };
 
 /** Stable lower-case name ("submit", "status-reply", ...). */
@@ -97,6 +100,21 @@ struct SubmitRequest
     int32_t priority = 0;        //!< higher pops first
     double deadlineSeconds = 0;  //!< per-job wall-clock budget (0 = none)
     CompileOptions options;
+
+    /** Fair-share identity: quotas and weighted round-robin group
+     *  jobs by this string. Empty is itself a tenant (the anonymous
+     *  one), so untagged clients share one fair-share slot. */
+    std::string tenant;
+
+    /**
+     * Idempotency key. When non-empty, a resubmit carrying the same
+     * (tenant, key) pair returns the already-admitted job instead of
+     * running a second copy — a client that lost the connection
+     * after the server's Submit ack can blindly retry. Empty
+     * disables dedup (every submit is a fresh job).
+     */
+    std::string submissionKey;
+
     std::string qasm;            //!< OpenQASM 2.0 source
 
     void encode(ByteWriter &w) const;
@@ -109,6 +127,15 @@ struct SubmitReply
     bool accepted = false;
     JobState state = JobState::Rejected;
     std::string detail;    //!< rejection reason when !accepted
+
+    /** True when submissionKey matched an existing job: jobId/state
+     *  describe that job and nothing new was enqueued. */
+    bool deduplicated = false;
+
+    /** Backoff hint on a shed (quota/queue-full) rejection: seconds
+     *  the client should wait before retrying. Deterministic — a
+     *  pure function of the tenant's standing load at rejection. */
+    double retryAfterSeconds = 0;
 
     void encode(ByteWriter &w) const;
     static SubmitReply decode(ByteReader &r);
@@ -217,6 +244,23 @@ struct ShutdownRequest
 
     void encode(ByteWriter &w) const;
     static ShutdownRequest decode(ByteReader &r);
+};
+
+/**
+ * "Not done yet — ask again." The reply to a `result --wait`
+ * request whose job outlived the server's bounded wait
+ * (ServerConfig::maxResultWaitSeconds): instead of pinning a
+ * connection thread until the job finishes, the server returns the
+ * current status plus a retry hint and the client polls again.
+ * QuestClient::result() loops on these transparently.
+ */
+struct RetryReply
+{
+    JobStatus status;
+    double retryAfterSeconds = 0; //!< suggested poll delay (0 = now)
+
+    void encode(ByteWriter &w) const;
+    static RetryReply decode(ByteReader &r);
 };
 
 /** The server's reply to a request it could not serve. */

@@ -11,6 +11,8 @@
 #include "obs/metrics.hh"
 #include "quest/pipeline.hh"
 #include "resilience/error.hh"
+#include "resilience/fault.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/names.hh"
 
@@ -81,10 +83,39 @@ millisSince(std::chrono::steady_clock::time_point start)
             .count());
 }
 
+/** Seconds → poll milliseconds (0 and below disable: -1). */
+int
+timeoutMs(double seconds)
+{
+    if (seconds <= 0)
+        return -1;
+    return std::max(1, static_cast<int>(seconds * 1000.0));
+}
+
+/** The idempotency-index key: tenant and key cannot collide across
+ *  tenants ('\n' never appears in either role's typical values, and
+ *  a collision would only merge two jobs of the same tenant). */
+std::string
+submissionIndexKey(const SubmitRequest &request)
+{
+    return request.tenant + '\n' + request.submissionKey;
+}
+
+QueueLimits
+queueLimits(const ServerConfig &cfg)
+{
+    QueueLimits lim;
+    lim.capacity = cfg.queueCapacity;
+    lim.tenantMaxQueued = cfg.tenantMaxQueued;
+    lim.tenantMaxRunning = cfg.tenantMaxRunning;
+    lim.tenantWeights = cfg.tenantWeights;
+    return lim;
+}
+
 } // namespace
 
 QuestServer::QuestServer(ServerConfig config)
-    : cfg(std::move(config)), queue(cfg.queueCapacity)
+    : cfg(std::move(config)), queue(queueLimits(cfg))
 {
     const unsigned budget = std::max(
         1u, cfg.threads == 0 ? ThreadPool::hardwareConcurrency()
@@ -161,7 +192,9 @@ QuestServer::replayJournal()
                 job->request.deadlineSeconds);
         }
         jobs[job->id] = job;
-        if (queue.tryPush(job)) {
+        if (!job->request.submissionKey.empty())
+            submissionIndex[submissionIndexKey(job->request)] = job;
+        if (queue.tryPush(job) == PushOutcome::Ok) {
             replayed.increment();
             ++replayedCount;
             inform("service: replaying in-flight job ", job->id);
@@ -189,11 +222,51 @@ QuestServer::start()
 }
 
 void
+QuestServer::reapConnSlotsLocked()
+{
+    for (auto it = connSlots.begin(); it != connSlots.end();) {
+        if (it->done.load()) {
+            it->thread.join();
+            it = connSlots.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
 QuestServer::attach(int fd)
 {
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &active =
+        registry.gauge(names::kMetricServiceConnsActive);
+    static auto &rejectedConns =
+        registry.counter(names::kMetricServiceConnsRejected);
+
     std::lock_guard<std::mutex> lock(connMu);
+    reapConnSlotsLocked();
+    if (cfg.maxConnections > 0 &&
+        connFds.size() >= cfg.maxConnections) {
+        // Over the cap: tell the peer why, then hang up. The Error
+        // frame carries the resource code, so quest_client exits
+        // like any other shed and its retry policy backs off.
+        rejectedConns.increment();
+        ErrorReply err;
+        err.exitCode = names::kExitResource;
+        err.message = "connection limit reached (max " +
+                      std::to_string(cfg.maxConnections) + ")";
+        sendFrame(fd, MsgType::Error, encodePayload(err),
+                  timeoutMs(cfg.ioTimeoutSeconds));
+        ::close(fd);
+        return;
+    }
     connFds.push_back(fd);
-    connThreads.emplace_back([this, fd] { serveConnection(fd); });
+    active.set(static_cast<int64_t>(connFds.size()));
+    ConnSlot &slot = connSlots.emplace_back();
+    slot.thread = std::thread([this, fd, &slot] {
+        serveConnection(fd);
+        slot.done.store(true);
+    });
 }
 
 void
@@ -233,15 +306,17 @@ QuestServer::stop(bool drain)
         t.join();
     executorThreads.clear();
 
-    std::vector<std::thread> threads;
+    std::list<ConnSlot> slots;
     {
         std::lock_guard<std::mutex> lock(connMu);
-        threads.swap(connThreads);
+        slots.splice(slots.begin(), connSlots);
         for (int fd : connFds)
             ::shutdown(fd, SHUT_RDWR);
     }
-    for (std::thread &t : threads)
-        t.join();
+    for (ConnSlot &slot : slots) {
+        if (slot.thread.joinable())
+            slot.thread.join();
+    }
 }
 
 void
@@ -274,13 +349,35 @@ QuestServer::serveConnection(int fd)
         registry.counter(names::kMetricServiceConnections);
     static auto &rejectedFrames =
         registry.counter(names::kMetricServiceFramesRejected);
+    static auto &recvStalls =
+        registry.counter(names::kMetricServiceRecvStalls);
+    static auto &reaped =
+        registry.counter(names::kMetricServiceConnsReaped);
+    static auto &active =
+        registry.gauge(names::kMetricServiceConnsActive);
     connections.increment();
+
+    SocketTimeouts timeouts;
+    timeouts.ioMs = timeoutMs(cfg.ioTimeoutSeconds);
+    timeouts.idleMs = timeoutMs(cfg.idleTimeoutSeconds);
 
     bool keep = true;
     while (keep) {
-        RecvResult r = recvFrame(fd, cfg.maxFrameBytes);
+        RecvResult r = recvFrame(fd, cfg.maxFrameBytes, timeouts);
         if (r.status == RecvStatus::Eof ||
             r.status == RecvStatus::IoError) {
+            break;
+        }
+        if (r.status == RecvStatus::Stalled) {
+            // Slowloris: the peer started a frame and went quiet
+            // past the I/O deadline. Count the drop; the frame is
+            // unrecoverable, so there is nothing to reply to.
+            recvStalls.increment();
+            break;
+        }
+        if (r.status == RecvStatus::Idle) {
+            // The reaper: nothing arrived within the idle deadline.
+            reaped.increment();
             break;
         }
         if (r.status != RecvStatus::Ok) {
@@ -292,7 +389,14 @@ QuestServer::serveConnection(int fd)
             ErrorReply err;
             err.exitCode = names::kExitInvalidInput;
             err.message = r.error;
-            sendFrame(fd, MsgType::Error, encodePayload(err));
+            sendReply(fd, MsgType::Error, encodePayload(err));
+            break;
+        }
+        if (QUEST_FAULT_POINT(names::kFaultServiceConnDrop)) {
+            // Simulated torn connection between a request and its
+            // reply — the window where a client cannot know whether
+            // the server acted, which the submission-key dedup
+            // makes safe to blindly retry.
             break;
         }
         keep = dispatch(fd, r.frame);
@@ -302,6 +406,29 @@ QuestServer::serveConnection(int fd)
     ::close(fd);
     connFds.erase(std::remove(connFds.begin(), connFds.end(), fd),
                   connFds.end());
+    active.set(static_cast<int64_t>(connFds.size()));
+}
+
+bool
+QuestServer::sendReply(int fd, MsgType type,
+                       const std::vector<uint8_t> &payload)
+{
+    static auto &sendStalls = obs::MetricsRegistry::global().counter(
+        names::kMetricServiceSendStalls);
+    switch (sendFrame(fd, type, payload,
+                      timeoutMs(cfg.ioTimeoutSeconds))) {
+      case SendStatus::Ok:
+        return true;
+      case SendStatus::Stalled:
+        // The peer stopped draining its socket until our send
+        // buffer filled past the deadline: a counted drop,
+        // symmetric with the recv-side slowloris.
+        sendStalls.increment();
+        return false;
+      case SendStatus::Error:
+        return false;
+    }
+    return false;
 }
 
 bool
@@ -315,34 +442,38 @@ QuestServer::dispatch(int fd, const Frame &frame)
           case MsgType::Submit: {
             const SubmitReply reply = handleSubmit(
                 decodePayload<SubmitRequest>(frame.payload));
-            return sendFrame(fd, MsgType::SubmitReply,
+            return sendReply(fd, MsgType::SubmitReply,
                              encodePayload(reply));
           }
           case MsgType::Status: {
             const StatusRequest req =
                 decodePayload<StatusRequest>(frame.payload);
-            return sendFrame(fd, MsgType::StatusReply,
+            return sendReply(fd, MsgType::StatusReply,
                              encodePayload(statusOf(req.jobId)));
           }
           case MsgType::Result: {
-            const ResultReply reply = handleResult(
+            const ResultDispatch d = handleResult(
                 decodePayload<ResultRequest>(frame.payload));
-            return sendFrame(fd, MsgType::ResultReply,
-                             encodePayload(reply));
+            if (d.retry) {
+                return sendReply(fd, MsgType::Retry,
+                                 encodePayload(d.retryHint));
+            }
+            return sendReply(fd, MsgType::ResultReply,
+                             encodePayload(d.result));
           }
           case MsgType::Cancel: {
             const CancelRequest req =
                 decodePayload<CancelRequest>(frame.payload);
-            return sendFrame(fd, MsgType::CancelReply,
+            return sendReply(fd, MsgType::CancelReply,
                              encodePayload(handleCancel(req.jobId)));
           }
           case MsgType::Stats:
-            return sendFrame(fd, MsgType::StatsReply,
+            return sendReply(fd, MsgType::StatsReply,
                              encodePayload(handleStats()));
           case MsgType::Shutdown: {
             const ShutdownRequest req =
                 decodePayload<ShutdownRequest>(frame.payload);
-            sendFrame(fd, MsgType::ShutdownReply, {});
+            sendReply(fd, MsgType::ShutdownReply, {});
             requestStop(req.drain);
             return false;
           }
@@ -352,7 +483,7 @@ QuestServer::dispatch(int fd, const Frame &frame)
             err.exitCode = names::kExitInvalidInput;
             err.message = std::string("unexpected frame type '") +
                           msgTypeName(frame.type) + "'";
-            sendFrame(fd, MsgType::Error, encodePayload(err));
+            sendReply(fd, MsgType::Error, encodePayload(err));
             return false;
           }
         }
@@ -362,22 +493,57 @@ QuestServer::dispatch(int fd, const Frame &frame)
         err.exitCode = names::kExitInvalidInput;
         err.message = std::string("bad ") + msgTypeName(frame.type) +
                       " payload: " + e.what();
-        sendFrame(fd, MsgType::Error, encodePayload(err));
+        sendReply(fd, MsgType::Error, encodePayload(err));
         return false;
     }
+}
+
+double
+QuestServer::retryHintSeconds(const std::string &tenant) const
+{
+    // Deterministic: a pure function of the tenant's standing load
+    // at the moment of rejection, so two identical overloads ask
+    // their clients to back off identically.
+    const size_t standing =
+        queue.queuedOf(tenant) + queue.runningOf(tenant);
+    return 0.05 * static_cast<double>(standing + 1);
 }
 
 SubmitReply
 QuestServer::handleSubmit(const SubmitRequest &request)
 {
-    static auto &submitted = obs::MetricsRegistry::global().counter(
-        names::kMetricServiceJobsSubmitted);
+    auto &registry = obs::MetricsRegistry::global();
+    static auto &submitted =
+        registry.counter(names::kMetricServiceJobsSubmitted);
+    static auto &dedupHits =
+        registry.counter(names::kMetricServiceSubmitDedupHits);
+    static auto &tenantSheds =
+        registry.counter(names::kMetricServiceTenantSheds);
 
     SubmitReply reply;
     if (stopping.load()) {
         terminalCounter(JobState::Rejected).increment();
         reply.detail = "server is shutting down";
         return reply;
+    }
+
+    if (!request.submissionKey.empty()) {
+        // Idempotent resubmission: the same (tenant, key) pair maps
+        // to the job it first admitted — a client that lost its
+        // connection after our ack can retry blindly without
+        // double-running the job.
+        std::lock_guard<std::mutex> lock(stateMu);
+        auto it = submissionIndex.find(submissionIndexKey(request));
+        if (it != submissionIndex.end()) {
+            const Job &existing = *it->second;
+            dedupHits.increment();
+            reply.jobId = existing.id;
+            reply.accepted = true;
+            reply.state = existing.state;
+            reply.detail = existing.detail;
+            reply.deduplicated = true;
+            return reply;
+        }
     }
 
     auto job = std::make_shared<Job>(&serverCancel);
@@ -398,13 +564,24 @@ QuestServer::handleSubmit(const SubmitRequest &request)
             request.encode(w);
             journal->append(kRecSubmit, w.take());
         }
-        if (!queue.tryPush(job)) {
+        const PushOutcome pushed = queue.tryPush(job);
+        if (pushed != PushOutcome::Ok) {
             // Load shedding: the bounded queue is the admission
             // valve, and the refusal maps to the `resource` code.
+            // A TenantQuota refusal sheds only the noisy tenant —
+            // everyone else's share of the queue stays intact.
             job->state = JobState::Rejected;
             job->exitCode = names::kExitResource;
-            job->detail = "queue full (capacity " +
-                          std::to_string(cfg.queueCapacity) + ")";
+            if (pushed == PushOutcome::TenantQuota) {
+                tenantSheds.increment();
+                job->detail =
+                    "tenant queued quota exhausted (cap " +
+                    std::to_string(cfg.tenantMaxQueued) + ")";
+            } else {
+                job->detail = "queue full (capacity " +
+                              std::to_string(cfg.queueCapacity) +
+                              ")";
+            }
             job->completionSeq = ++completionCounter;
             if (journal) {
                 ByteWriter w;
@@ -418,8 +595,12 @@ QuestServer::handleSubmit(const SubmitRequest &request)
             reply.jobId = job->id;
             reply.state = JobState::Rejected;
             reply.detail = job->detail;
+            reply.retryAfterSeconds =
+                retryHintSeconds(request.tenant);
             return reply;
         }
+        if (!request.submissionKey.empty())
+            submissionIndex[submissionIndexKey(request)] = job;
     }
     submitted.increment();
     setQueueDepthGauge();
@@ -473,31 +654,60 @@ QuestServer::waitTerminal(uint64_t jobId, double timeoutSeconds)
     return statusOf(jobId);
 }
 
-ResultReply
+QuestServer::ResultDispatch
 QuestServer::handleResult(const ResultRequest &request)
 {
-    if (request.wait)
-        waitTerminal(request.jobId, request.timeoutSeconds);
+    static auto &resultRetries =
+        obs::MetricsRegistry::global().counter(
+            names::kMetricServiceResultRetries);
+
+    // A waiter is served in bounded slices: wait at most
+    // maxResultWaitSeconds (and never past the client's own
+    // timeout), then either return the terminal result or tell the
+    // client to poll again. No connection thread pins itself to a
+    // long job, so slow compiles cannot exhaust the thread budget
+    // the I/O deadlines protect.
+    const bool bounded = cfg.maxResultWaitSeconds > 0;
+    if (request.wait) {
+        double budget = request.timeoutSeconds;
+        if (bounded && (budget <= 0 ||
+                        budget > cfg.maxResultWaitSeconds))
+            budget = cfg.maxResultWaitSeconds;
+        waitTerminal(request.jobId, budget);
+    }
 
     std::lock_guard<std::mutex> lock(stateMu);
+    ResultDispatch d;
     auto it = jobs.find(request.jobId);
     if (it == jobs.end()) {
-        ResultReply reply;
-        reply.status.jobId = request.jobId;
-        return reply;
+        d.result.status.jobId = request.jobId;
+        return d;
     }
     const Job &job = *it->second;
-    ResultReply reply;
+    JobStatus status;
+    status.jobId = job.id;
+    status.known = true;
+    status.state = job.state;
+    status.exitCode = exitCodeForJobState(job.state, job.exitCode);
+    status.completionSeq = job.completionSeq;
+    status.detail = job.detail;
+
+    if (!isTerminalJobState(job.state) && request.wait && bounded &&
+        (request.timeoutSeconds <= 0 ||
+         request.timeoutSeconds > cfg.maxResultWaitSeconds)) {
+        // Our bounded slice ran out before the job did, and the
+        // client has wait budget left: hand the wait back to it.
+        resultRetries.increment();
+        d.retry = true;
+        d.retryHint.status = status;
+        d.retryHint.retryAfterSeconds = 0; // re-poll now; we pace
+        return d;
+    }
+
     if (isTerminalJobState(job.state))
-        reply = job.result; // summary + samples + metrics snapshot
-    reply.status.jobId = job.id;
-    reply.status.known = true;
-    reply.status.state = job.state;
-    reply.status.exitCode =
-        exitCodeForJobState(job.state, job.exitCode);
-    reply.status.completionSeq = job.completionSeq;
-    reply.status.detail = job.detail;
-    return reply;
+        d.result = job.result; // summary + samples + metrics
+    d.result.status = status;
+    return d;
 }
 
 CancelReply
@@ -550,8 +760,12 @@ QuestServer::handleStats() const
 void
 QuestServer::executorLoop()
 {
-    while (std::shared_ptr<Job> job = queue.pop())
+    while (std::shared_ptr<Job> job = queue.pop()) {
         runJob(job);
+        // Release the running slot pop() charged to the tenant —
+        // runJob() finalizes on every path, so this always pairs.
+        queue.jobFinished(job->request.tenant);
+    }
 }
 
 void
@@ -606,7 +820,19 @@ QuestServer::runJob(const std::shared_ptr<Job> &job)
             std::max(job->deadline.remainingSeconds(), 1e-9);
     }
 
+    static auto &executorCrashes =
+        obs::MetricsRegistry::global().counter(
+            names::kMetricServiceExecutorCrashes);
+
     try {
+        if (QUEST_FAULT_POINT(names::kFaultServiceExecutorCrash)) {
+            // Simulated executor bug: a foreign (non-QuestError,
+            // non-std) exception escaping the pipeline. The
+            // catch-all below must contain it to this one job.
+            struct InjectedExecutorCrash
+            {};
+            throw InjectedExecutorCrash{};
+        }
         Circuit circuit;
         try {
             circuit = parseQasm(job->request.qasm);
@@ -656,8 +882,23 @@ QuestServer::runJob(const std::shared_ptr<Job> &job)
         }
     } catch (const std::exception &e) {
         runMs.record(millisSince(started));
+        executorCrashes.increment();
         finalize(job, JobState::Failed, names::kExitInternal,
                  e.what());
+    } catch (...) {
+        // The supervision backstop: *any* exception an executor
+        // lets escape — even a foreign type carrying no what() —
+        // finalizes its one job as Internal and leaves the daemon
+        // serving. An executor thread must never die.
+        QUEST_INTENTIONAL_SWALLOW("the exception is converted into "
+                                  "the job's terminal Failed record; "
+                                  "rethrowing would kill the executor "
+                                  "thread");
+        runMs.record(millisSince(started));
+        executorCrashes.increment();
+        finalize(job, JobState::Failed, names::kExitInternal,
+                 "executor crashed: non-standard exception escaped "
+                 "the pipeline");
     }
 }
 

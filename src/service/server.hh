@@ -35,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,39 @@ struct ServerConfig
     uint32_t maxFrameBytes = kDefaultMaxPayloadBytes;
 
     /**
+     * Per-frame socket I/O deadline in seconds (0 disables). A peer
+     * that starts a frame but fails to finish it — or stops reading
+     * our reply until the send buffer fills — past this deadline is
+     * a counted drop (`service.recv.stalls`/`service.send.stalls`),
+     * not a hung connection thread.
+     */
+    double ioTimeoutSeconds = 30;
+
+    /** Idle-connection reaper: a connection with no traffic for this
+     *  many seconds is closed and counted (`service.conns.reaped`;
+     *  0 disables). */
+    double idleTimeoutSeconds = 300;
+
+    /** Concurrent-connection cap: a connection past it is refused
+     *  with a `resource` Error frame and counted
+     *  (`service.conns.rejected`; 0 = unlimited). */
+    size_t maxConnections = 64;
+
+    /**
+     * Bound on one `result --wait` round trip, in seconds (0 =
+     * unbounded, the seed behavior). A job still running when the
+     * bound fires earns a Retry reply instead of pinning the
+     * connection thread; QuestClient polls again transparently.
+     */
+    double maxResultWaitSeconds = 5;
+
+    /** Per-tenant fair-share knobs, enforced by the queue: queued
+     *  and running caps (0 = unlimited) and round-robin weights. */
+    size_t tenantMaxQueued = 0;
+    size_t tenantMaxRunning = 0;
+    std::map<std::string, uint32_t> tenantWeights;
+
+    /**
      * Base QuestConfig jobs start from before their CompileOptions
      * apply. Defaults to baseCompileConfig() — quest_compile's
      * config, the byte-identity anchor. Benches override it to run
@@ -174,15 +208,34 @@ class QuestServer
     const std::string &socketPath() const { return cfg.socketPath; }
 
   private:
+    /** What handleResult() decided: a final ResultReply, or a
+     *  bounded-wait Retry telling the client to poll again. */
+    struct ResultDispatch
+    {
+        bool retry = false;
+        ResultReply result;
+        RetryReply retryHint;
+    };
+
     void replayJournal();
     void acceptLoop();
     void serveConnection(int fd);
     bool dispatch(int fd, const Frame &frame);
 
+    /** Send one reply frame under the I/O deadline; a stalled or
+     *  torn write is counted and returns false (drop the
+     *  connection). */
+    bool sendReply(int fd, MsgType type,
+                   const std::vector<uint8_t> &payload);
+
     SubmitReply handleSubmit(const SubmitRequest &request);
-    ResultReply handleResult(const ResultRequest &request);
+    ResultDispatch handleResult(const ResultRequest &request);
     CancelReply handleCancel(uint64_t jobId);
     StatsReply handleStats() const;
+
+    /** Deterministic backoff hint for a shed submit: grows linearly
+     *  with the tenant's standing (queued + running) load. */
+    double retryHintSeconds(const std::string &tenant) const;
 
     void executorLoop();
     void runJob(const std::shared_ptr<Job> &job);
@@ -207,6 +260,13 @@ class QuestServer
     mutable std::mutex stateMu;
     std::condition_variable stateCv;
     std::map<uint64_t, std::shared_ptr<Job>> jobs;
+
+    /** Idempotency index: "tenant\nsubmissionKey" → the job that
+     *  key admitted (under stateMu). Entries live as long as the
+     *  job record, so a retried submit of a finished job returns
+     *  its terminal state instead of re-running it. */
+    std::map<std::string, std::shared_ptr<Job>> submissionIndex;
+
     uint64_t nextId = 1;
     uint64_t nextSeq = 1;
     uint64_t completionCounter = 0;
@@ -220,9 +280,21 @@ class QuestServer
     std::thread acceptThread;
     std::vector<std::thread> executorThreads;
 
+    /** One connection thread's slot. `done` flips when the thread
+     *  is about to exit, letting attach() join-and-reap finished
+     *  slots instead of accumulating dead thread handles forever. */
+    struct ConnSlot
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     std::mutex connMu;
-    std::vector<std::thread> connThreads; //!< under connMu
-    std::vector<int> connFds;             //!< under connMu, live only
+    std::list<ConnSlot> connSlots; //!< under connMu
+    std::vector<int> connFds;      //!< under connMu, live only
+
+    /** Join and erase finished connection slots (connMu held). */
+    void reapConnSlotsLocked();
 };
 
 } // namespace quest::service

@@ -1,5 +1,6 @@
 #include "service/socket.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -18,43 +19,81 @@ namespace quest::service {
 
 namespace {
 
-/** Read exactly @p n bytes. Returns the bytes read (short only at
- *  EOF) or -1 on a read error. */
-ssize_t
-readExact(int fd, uint8_t *buf, size_t n)
+using Clock = std::chrono::steady_clock;
+
+/** A deadline for one frame's worth of I/O; unset blocks forever. */
+struct IoDeadline
 {
-    size_t got = 0;
+    bool armed = false;
+    Clock::time_point at{};
+
+    static IoDeadline
+    in(int ms)
+    {
+        IoDeadline d;
+        if (ms >= 0) {
+            d.armed = true;
+            d.at = Clock::now() + std::chrono::milliseconds(ms);
+        }
+        return d;
+    }
+
+    bool
+    expired() const
+    {
+        return armed && Clock::now() >= at;
+    }
+
+    /** poll(2) timeout argument: remaining ms (≥1) or -1. */
+    int
+    pollMs() const
+    {
+        if (!armed)
+            return -1;
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(at - Clock::now());
+        return std::max<int>(1, static_cast<int>(left.count()) + 1);
+    }
+};
+
+/** How one bounded read attempt ended. */
+enum class IoOutcome { Ok, Eof, Error, Stalled };
+
+/**
+ * Read exactly @p n bytes under @p deadline. Ok fills the buffer;
+ * Eof is a clean close before the first byte *of this call*
+ * (@p got says how many arrived); Stalled is the deadline firing
+ * with the read incomplete.
+ */
+IoOutcome
+readExact(int fd, uint8_t *buf, size_t n, const IoDeadline &deadline,
+          size_t &got)
+{
+    got = 0;
     while (got < n) {
-        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (deadline.expired())
+            return IoOutcome::Stalled;
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, deadline.pollMs());
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoOutcome::Error;
+        }
+        if (ready == 0)
+            continue; // poll timeout: loop re-checks the deadline
+        const ssize_t r = ::recv(fd, buf + got, n - got, MSG_DONTWAIT);
         if (r > 0) {
             got += static_cast<size_t>(r);
             continue;
         }
         if (r == 0)
-            break; // EOF
-        if (errno == EINTR)
+            return IoOutcome::Eof;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
             continue;
-        return -1;
+        return IoOutcome::Error;
     }
-    return static_cast<ssize_t>(got);
-}
-
-bool
-writeAll(int fd, const uint8_t *buf, size_t n)
-{
-    size_t sent = 0;
-    while (sent < n) {
-        const ssize_t w =
-            ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
-        if (w > 0) {
-            sent += static_cast<size_t>(w);
-            continue;
-        }
-        if (w < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
+    return IoOutcome::Ok;
 }
 
 uint16_t
@@ -94,18 +133,51 @@ fail(RecvStatus status, std::string error)
 } // namespace
 
 RecvResult
-recvFrame(int fd, uint32_t maxPayloadBytes)
+recvFrame(int fd, uint32_t maxPayloadBytes, SocketTimeouts timeouts)
 {
+    // The first header byte is the idle/active boundary: waiting for
+    // it is bounded by the idle deadline (a silent connection is
+    // reaped), everything after it by the per-frame I/O deadline (a
+    // dribbling peer is a slowloris stall).
     uint8_t header[kFrameHeaderBytes];
-    ssize_t got = readExact(fd, header, sizeof header);
-    if (got < 0)
+    size_t got = 0;
+    switch (readExact(fd, header, 1, IoDeadline::in(timeouts.idleMs),
+                      got)) {
+      case IoOutcome::Ok:
+        break;
+      case IoOutcome::Eof:
+        return fail(RecvStatus::Eof, "connection closed");
+      case IoOutcome::Stalled:
+        return fail(RecvStatus::Idle,
+                    "no frame started within the idle deadline");
+      case IoOutcome::Error:
         return fail(RecvStatus::IoError,
                     std::string("read failed: ") +
                         std::strerror(errno));
-    if (got == 0)
-        return fail(RecvStatus::Eof, "connection closed");
-    if (got < static_cast<ssize_t>(sizeof header))
+    }
+
+    const IoDeadline frameDeadline = IoDeadline::in(timeouts.ioMs);
+    switch (readExact(fd, header + 1, sizeof header - 1,
+                      frameDeadline, got)) {
+      case IoOutcome::Ok:
+        break;
+      case IoOutcome::Eof:
         return fail(RecvStatus::Malformed, "truncated frame header");
+      case IoOutcome::Stalled:
+        return fail(RecvStatus::Stalled,
+                    "frame header stalled past the I/O deadline");
+      case IoOutcome::Error:
+        return fail(RecvStatus::IoError,
+                    std::string("read failed: ") +
+                        std::strerror(errno));
+    }
+
+    if (QUEST_FAULT_POINT(names::kFaultServiceRecvStall)) {
+        // Simulated slowloris: the peer framed a header, then went
+        // quiet until the I/O deadline fired.
+        return fail(RecvStatus::Stalled,
+                    "injected mid-frame stall (service.recv.stall)");
+    }
 
     if (std::memcmp(header, kFrameMagic, sizeof kFrameMagic) != 0)
         return fail(RecvStatus::Malformed,
@@ -129,14 +201,22 @@ recvFrame(int fd, uint32_t maxPayloadBytes)
 
     std::vector<uint8_t> body(static_cast<size_t>(length) +
                               kFrameTrailerBytes);
-    got = readExact(fd, body.data(), body.size());
-    if (got < 0)
+    switch (readExact(fd, body.data(), body.size(), frameDeadline,
+                      got)) {
+      case IoOutcome::Ok:
+        break;
+      case IoOutcome::Eof:
+        return fail(RecvStatus::Malformed,
+                    "torn frame: payload cut short by connection "
+                    "close");
+      case IoOutcome::Stalled:
+        return fail(RecvStatus::Stalled,
+                    "frame payload stalled past the I/O deadline");
+      case IoOutcome::Error:
         return fail(RecvStatus::IoError,
                     std::string("read failed: ") +
                         std::strerror(errno));
-    if (got < static_cast<ssize_t>(body.size()))
-        return fail(RecvStatus::Malformed, "torn frame: payload cut "
-                                           "short by connection close");
+    }
 
     const uint64_t want = le64(body.data() + length);
     const uint64_t got_sum = fnv1a64(body.data(), length);
@@ -152,13 +232,47 @@ recvFrame(int fd, uint32_t maxPayloadBytes)
     return result;
 }
 
-bool
-sendFrame(int fd, MsgType type, const std::vector<uint8_t> &payload)
+SendStatus
+sendExact(int fd, const uint8_t *data, size_t n, int ioTimeoutMs)
 {
-    if (QUEST_FAULT_POINT(names::kFaultServiceWrite))
-        return false; // simulated torn write: drop the connection
+    const IoDeadline deadline = IoDeadline::in(ioTimeoutMs);
+    size_t sent = 0;
+    while (sent < n) {
+        if (deadline.expired())
+            return SendStatus::Stalled;
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, deadline.pollMs());
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return SendStatus::Error;
+        }
+        if (ready == 0)
+            continue; // poll timeout: loop re-checks the deadline
+        const ssize_t w = ::send(fd, data + sent, n - sent,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (w > 0) {
+            sent += static_cast<size_t>(w);
+            continue;
+        }
+        if (w < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK))
+            continue;
+        return SendStatus::Error;
+    }
+    return SendStatus::Ok;
+}
+
+SendStatus
+sendFrame(int fd, MsgType type, const std::vector<uint8_t> &payload,
+          int ioTimeoutMs)
+{
+    if (QUEST_FAULT_POINT(names::kFaultServiceWrite)) {
+        // Simulated torn write: drop the connection.
+        return SendStatus::Error;
+    }
     const std::vector<uint8_t> frame = encodeFrame(type, payload);
-    return writeAll(fd, frame.data(), frame.size());
+    return sendExact(fd, frame.data(), frame.size(), ioTimeoutMs);
 }
 
 Listener::Listener(const std::string &path) : sockPath(path)

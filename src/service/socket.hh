@@ -6,11 +6,18 @@
  *
  * The receive path never throws on bad peer bytes — a daemon must
  * survive any garbage a client writes — so recvFrame() classifies the
- * defect (malformed, version mismatch, oversized, EOF, I/O error)
- * and the server turns it into an Error reply plus a counted
- * rejection. The failure-prone syscalls carry fault points
- * (`service.accept`, `service.write`) so the resilience suite can
- * prove a dropped accept or a torn write degrades to one closed
+ * defect (malformed, version mismatch, oversized, EOF, I/O error,
+ * stalled, idle) and the server turns it into an Error reply plus a
+ * counted rejection, or a counted drop. Both directions carry
+ * deadlines: recvFrame() bounds the wait for a whole frame once its
+ * first byte arrives (a slowloris peer that dribbles a header is
+ * Stalled, not a hung thread) and separately bounds the wait for
+ * that first byte (an idle connection is reaped); sendFrame() bounds
+ * the write symmetrically, so a peer that stops reading until our
+ * send buffer fills is a counted drop too. The failure-prone
+ * syscalls carry fault points (`service.accept`, `service.write`,
+ * `service.recv.stall`) so the resilience suite can prove a dropped
+ * accept, a torn write or a stalled read degrades to one closed
  * connection, never a wedged daemon.
  */
 
@@ -31,6 +38,8 @@ enum class RecvStatus {
     VersionMismatch, //!< well-framed but a different QSV version
     Oversized,       //!< length prefix exceeds the payload cap
     IoError,         //!< read(2) failed
+    Stalled,         //!< frame started but the I/O deadline passed
+    Idle,            //!< no first byte within the idle deadline
 };
 
 /** One receive attempt: the frame on Ok, a diagnostic otherwise. */
@@ -41,21 +50,58 @@ struct RecvResult
     std::string error;
 };
 
-/**
- * Read exactly one frame from @p fd (blocking). Header and payload
- * are validated as in decodeFrame(); mid-frame EOF is Malformed
- * (a torn frame), EOF before any header byte is Eof.
- */
-RecvResult recvFrame(int fd,
-                     uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes);
+/** How a sendFrame()/sendExact() attempt ended. */
+enum class SendStatus {
+    Ok,
+    Error,   //!< EPIPE, torn connection, injected `service.write`
+    Stalled, //!< peer stopped reading past the I/O deadline
+};
 
 /**
- * Write one whole frame to @p fd. Returns false when the write fails
- * (EPIPE, a torn connection, or an injected `service.write` fault);
- * the caller's contract is then to drop the connection.
+ * Deadlines for one frame exchange, in milliseconds; -1 disables a
+ * deadline (the seed's fully blocking behavior).
  */
-bool sendFrame(int fd, MsgType type,
-               const std::vector<uint8_t> &payload);
+struct SocketTimeouts
+{
+    /** Budget for a whole frame once its first byte arrived (and
+     *  for a whole outgoing frame). Exceeding it is Stalled — the
+     *  slowloris classification. */
+    int ioMs = -1;
+
+    /** Receive-only: how long to wait for a frame to *start*.
+     *  Exceeding it is Idle — the reaper classification. */
+    int idleMs = -1;
+};
+
+/**
+ * Read exactly one frame from @p fd. Header and payload are
+ * validated as in decodeFrame(); mid-frame EOF is Malformed (a torn
+ * frame), EOF before any header byte is Eof. With deadlines set, a
+ * frame that fails to complete within `ioMs` of its first byte is
+ * Stalled and a connection with no traffic for `idleMs` is Idle;
+ * either way no bytes past the failure are consumed and the
+ * caller's contract is to drop the connection.
+ */
+RecvResult recvFrame(int fd,
+                     uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes,
+                     SocketTimeouts timeouts = {});
+
+/**
+ * Write one whole frame to @p fd, bounded by @p ioTimeoutMs (-1 =
+ * no deadline). Error means the connection is torn (EPIPE or an
+ * injected `service.write` fault); Stalled means the peer stopped
+ * draining its socket until our send buffer filled past the
+ * deadline. Either non-Ok status obliges the caller to drop the
+ * connection.
+ */
+SendStatus sendFrame(int fd, MsgType type,
+                     const std::vector<uint8_t> &payload,
+                     int ioTimeoutMs = -1);
+
+/** sendFrame()'s byte-level core, exposed for the slowloris tests:
+ *  write exactly @p n bytes within @p ioTimeoutMs. */
+SendStatus sendExact(int fd, const uint8_t *data, size_t n,
+                     int ioTimeoutMs = -1);
 
 /**
  * A bound, listening unix-domain stream socket. The constructor

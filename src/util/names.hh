@@ -134,6 +134,24 @@ inline constexpr const char kMetricServiceConnections[] =
     "service.connections";
 inline constexpr const char kMetricServiceFramesRejected[] =
     "service.frames.rejected";
+inline constexpr const char kMetricServiceRecvStalls[] =
+    "service.recv.stalls";
+inline constexpr const char kMetricServiceSendStalls[] =
+    "service.send.stalls";
+inline constexpr const char kMetricServiceConnsReaped[] =
+    "service.conns.reaped";
+inline constexpr const char kMetricServiceConnsRejected[] =
+    "service.conns.rejected";
+inline constexpr const char kMetricServiceTenantSheds[] =
+    "service.tenants.shed";
+inline constexpr const char kMetricServiceSubmitDedupHits[] =
+    "service.submit.dedup_hits";
+inline constexpr const char kMetricServiceResultRetries[] =
+    "service.result.retries";
+inline constexpr const char kMetricServiceExecutorCrashes[] =
+    "service.executor.crashes";
+inline constexpr const char kMetricServiceClientRetries[] =
+    "service.client.retries";
 
 // ---- Metrics: gauges ---------------------------------------------
 
@@ -141,6 +159,8 @@ inline constexpr const char kMetricBlocks[] = "quest.blocks";
 inline constexpr const char kMetricSamples[] = "quest.samples";
 inline constexpr const char kMetricServiceQueueDepth[] =
     "service.queue.depth";
+inline constexpr const char kMetricServiceConnsActive[] =
+    "service.conns.active";
 
 // ---- Metrics: histograms -----------------------------------------
 
@@ -172,6 +192,12 @@ inline constexpr const char kFaultSynthBlockTimeout[] =
     "synth.block.timeout";
 inline constexpr const char kFaultServiceAccept[] = "service.accept";
 inline constexpr const char kFaultServiceWrite[] = "service.write";
+inline constexpr const char kFaultServiceRecvStall[] =
+    "service.recv.stall";
+inline constexpr const char kFaultServiceConnDrop[] =
+    "service.conn.drop";
+inline constexpr const char kFaultServiceExecutorCrash[] =
+    "service.executor.crash";
 
 // ---- Process exit codes (QuestError taxonomy) --------------------
 

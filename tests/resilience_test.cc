@@ -679,12 +679,14 @@ TEST(ServiceFaults, WriteFaultDropsOneFrameNotTheSocket)
         // The faulted send reports failure before writing a single
         // byte — the caller's contract is to drop that connection,
         // never to leave a torn frame on the wire.
-        EXPECT_FALSE(
-            service::sendFrame(sv[0], service::MsgType::Stats, {}));
+        EXPECT_EQ(
+            service::sendFrame(sv[0], service::MsgType::Stats, {}),
+            service::SendStatus::Error);
         EXPECT_EQ(counterValue("fault.service.write"), before + 1);
         // `once` has burned: the very next send goes through whole.
-        EXPECT_TRUE(
-            service::sendFrame(sv[0], service::MsgType::Stats, {}));
+        EXPECT_EQ(
+            service::sendFrame(sv[0], service::MsgType::Stats, {}),
+            service::SendStatus::Ok);
     }
     const service::RecvResult got = service::recvFrame(sv[1]);
     EXPECT_EQ(got.status, service::RecvStatus::Ok);
@@ -713,9 +715,14 @@ TEST(ServiceFaults, AcceptFaultDropsOneConnectionDaemonSurvives)
         // The first connection is accepted and immediately dropped by
         // the injected fault. The client's connect(2) itself succeeds
         // (the listener backlog took it), so the failure surfaces on
-        // the first round trip as a closed connection.
-        service::QuestClient victim =
-            service::QuestClient::connect(config.socketPath);
+        // the first round trip as a closed connection. Healing is
+        // disabled so the drop itself is observable — a default
+        // client would reconnect and retry straight through it
+        // (service_hardening_test pins that).
+        service::RetryPolicy noHeal;
+        noHeal.retries = 0;
+        service::QuestClient victim = service::QuestClient::connect(
+            config.socketPath, 5.0, noHeal);
         EXPECT_THROW(victim.stats(), QuestError);
         EXPECT_EQ(counterValue("fault.service.accept"), before + 1);
 

@@ -107,7 +107,7 @@ TEST(Qsv1Frame, GoldenStatusRequestBytes)
         encodeFrame(MsgType::Status, encodePayload(request));
     EXPECT_EQ(toHex(frame.data(), frame.size()),
               "51535631"          // magic "QSV1"
-              "0200"              // version 2
+              "0300"              // version 3
               "0300"              // type 3 (status)
               "08000000"          // payload length 8
               "0700000000000000"  // u64 jobId = 7
@@ -126,6 +126,8 @@ TEST(Qsv1Frame, EncodeDecodeBijection)
     request.options.blockSize = 3;
     request.options.seed = 0xdeadbeefcafe;
     request.options.selectionMode = SelectionMode::BlockBound;
+    request.tenant = "team-quantum";
+    request.submissionKey = "job-7f3a";
     request.qasm = tinyQasm(0.3);
 
     const std::vector<uint8_t> frame =
@@ -144,6 +146,8 @@ TEST(Qsv1Frame, EncodeDecodeBijection)
     EXPECT_EQ(back.options.seed, request.options.seed);
     EXPECT_EQ(back.options.selectionMode,
               request.options.selectionMode);
+    EXPECT_EQ(back.tenant, request.tenant);
+    EXPECT_EQ(back.submissionKey, request.submissionKey);
     EXPECT_EQ(back.qasm, request.qasm);
 
     // Re-encoding the decoded message reproduces the frame bytes.
@@ -178,6 +182,33 @@ TEST(Qsv1Frame, ResultReplyRoundTrips)
     ASSERT_EQ(back.metrics.size(), 1u);
     EXPECT_EQ(back.metrics[0].first, "quest.synth.cache_misses");
     EXPECT_EQ(back.metrics[0].second, 2u);
+}
+
+TEST(Qsv1Frame, SubmitAndRetryRepliesRoundTrip)
+{
+    SubmitReply reply;
+    reply.jobId = 17;
+    reply.accepted = true;
+    reply.state = JobState::Queued;
+    reply.deduplicated = true;
+    reply.retryAfterSeconds = 0.25;
+    const SubmitReply back =
+        decodePayload<SubmitReply>(encodePayload(reply));
+    EXPECT_EQ(back.jobId, 17u);
+    EXPECT_TRUE(back.accepted);
+    EXPECT_TRUE(back.deduplicated);
+    EXPECT_EQ(back.retryAfterSeconds, 0.25);
+
+    RetryReply retry;
+    retry.status.jobId = 17;
+    retry.status.known = true;
+    retry.status.state = JobState::Running;
+    retry.retryAfterSeconds = 0.5;
+    const RetryReply retryBack =
+        decodePayload<RetryReply>(encodePayload(retry));
+    EXPECT_EQ(retryBack.status.jobId, 17u);
+    EXPECT_EQ(retryBack.status.state, JobState::Running);
+    EXPECT_EQ(retryBack.retryAfterSeconds, 0.5);
 }
 
 TEST(Qsv1Frame, MalformedFramesRejected)
@@ -322,7 +353,7 @@ TEST(Qsv1Socket, RecvStatusesOverSocketpair)
     {
         auto [a, b] = streamPair();
         std::vector<uint8_t> bad = frame;
-        bad[4] = 3;
+        bad[4] = 9;
         ASSERT_EQ(static_cast<size_t>(write(a, bad.data(), bad.size())),
                   bad.size());
         const RecvResult r = recvFrame(b);
@@ -346,8 +377,9 @@ TEST(Qsv1Socket, RecvStatusesOverSocketpair)
     // A good frame round-trips through send/recv.
     {
         auto [a, b] = streamPair();
-        EXPECT_TRUE(
-            sendFrame(a, MsgType::Status, encodePayload(request)));
+        EXPECT_EQ(
+            sendFrame(a, MsgType::Status, encodePayload(request)),
+            SendStatus::Ok);
         const RecvResult r = recvFrame(b);
         ASSERT_EQ(r.status, RecvStatus::Ok);
         EXPECT_EQ(r.frame.type, MsgType::Status);
@@ -452,7 +484,8 @@ TEST(ServiceEndToEnd, BadPayloadEarnsErrorFrameAndBadQasmFails)
     {
         auto [serverFd, clientFd] = streamPair();
         server.attach(serverFd);
-        ASSERT_TRUE(sendFrame(clientFd, MsgType::Submit, {0x01}));
+        ASSERT_EQ(sendFrame(clientFd, MsgType::Submit, {0x01}),
+                  SendStatus::Ok);
         const RecvResult r = recvFrame(clientFd);
         ASSERT_EQ(r.status, RecvStatus::Ok);
         ASSERT_EQ(r.frame.type, MsgType::Error);

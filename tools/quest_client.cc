@@ -3,7 +3,16 @@
  * quest_client — command-line QSV1 client for quest_served.
  *
  * Usage:
- *   quest_client --socket <path> <command> [args]
+ *   quest_client --socket <path> [--retries n | --no-retry] \
+ *                <command> [args]
+ *
+ * Transport failures (a torn or dropped connection mid-request)
+ * self-heal: the client reconnects and resends idempotent requests
+ * per a deterministic exponential-backoff schedule. `--retries n`
+ * sets the attempt budget (default 3), `--no-retry` disables
+ * healing. A submit is resent only when it carries a submission key
+ * (`submit --submission-key`), because the server then dedups the
+ * retry onto the original job instead of running it twice.
  *
  * Commands:
  *   submit [options] <input.qasm> [output-dir]
@@ -14,6 +23,10 @@
  *         --threshold t  --max-samples m  --max-layers l
  *         --block-size k --seed s         --priority p
  *         --deadline sec (per-job wall-clock budget)
+ *         --tenant name  (fair-share identity: quotas and weighted
+ *                        round-robin group jobs by it)
+ *         --submission-key key  (idempotency token: a retried
+ *                        submit with the same key runs once)
  *         --large        block-only (BlockBound) mode for 64+-qubit
  *                        circuits (same as quest_compile --large)
  *         --async        print the job id and return immediately
@@ -49,9 +62,15 @@ using service::QuestClient;
 int
 usage()
 {
-    std::cerr << "usage: quest_client --socket <path> <command>\n"
+    std::cerr << "usage: quest_client --socket <path> "
+                 "[--retries n | --no-retry] <command>\n"
+              << "  --retries n   reconnect attempts on transport "
+                 "failure (default 3)\n"
+              << "  --no-retry    fail fast instead of healing\n"
               << "commands:\n"
               << "  submit [options] <input.qasm> [output-dir]\n"
+              << "      options include --tenant name and "
+                 "--submission-key key\n"
               << "  status <job-id>\n"
               << "  result <job-id> [output-dir]\n"
               << "  cancel <job-id>\n"
@@ -159,6 +178,10 @@ runSubmit(QuestClient &client, const std::vector<std::string> &args)
                 priority = std::stoi(value);
             } else if (arg == "--deadline") {
                 request.deadlineSeconds = std::stod(value);
+            } else if (arg == "--tenant") {
+                request.tenant = value;
+            } else if (arg == "--submission-key") {
+                request.submissionKey = value;
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
                 return usage();
@@ -185,9 +208,18 @@ runSubmit(QuestClient &client, const std::vector<std::string> &args)
 
     const service::SubmitReply reply = client.submit(request);
     if (!reply.accepted) {
-        std::cerr << "quest_client: submit rejected: " << reply.detail
-                  << "\n";
+        std::cerr << "quest_client: submit rejected: "
+                  << reply.detail;
+        if (reply.retryAfterSeconds > 0) {
+            std::cerr << " (retry after ~" << reply.retryAfterSeconds
+                      << "s)";
+        }
+        std::cerr << "\n";
         return names::kExitResource;
+    }
+    if (reply.deduplicated) {
+        std::cerr << "quest_client: submission key matched job "
+                  << reply.jobId << "; not resubmitted\n";
     }
     if (async) {
         std::cout << "job " << reply.jobId << ": queued\n";
@@ -203,12 +235,24 @@ runClient(int argc, char **argv)
     std::string socket_path;
     std::string command;
     std::vector<std::string> args;
+    service::RetryPolicy policy;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--socket" && command.empty()) {
             if (i + 1 >= argc)
                 return usage();
             socket_path = argv[++i];
+        } else if (arg == "--retries" && command.empty()) {
+            if (i + 1 >= argc)
+                return usage();
+            try {
+                policy.retries = std::stoi(argv[++i]);
+            } catch (const std::exception &) {
+                std::cerr << "bad value for --retries\n";
+                return usage();
+            }
+        } else if (arg == "--no-retry" && command.empty()) {
+            policy.retries = 0;
         } else if (command.empty()) {
             command = arg;
         } else {
@@ -218,7 +262,8 @@ runClient(int argc, char **argv)
     if (socket_path.empty() || command.empty())
         return usage();
 
-    QuestClient client = QuestClient::connect(socket_path);
+    QuestClient client = QuestClient::connect(socket_path, 5.0,
+                                              policy);
 
     if (command == "submit")
         return runSubmit(client, args);

@@ -20,6 +20,20 @@
  *   --executors <n>      concurrently compiled jobs (default 2)
  *   --queue-capacity <n> admission bound; beyond it submits are
  *                        Rejected with exit code 15 (default 64)
+ *   --io-timeout <sec>   per-frame socket I/O deadline: a peer that
+ *                        stalls mid-frame (or stops reading) past it
+ *                        is a counted drop (default 30, 0 = off)
+ *   --idle-timeout <sec> reap connections with no traffic for this
+ *                        long (default 300, 0 = off)
+ *   --max-connections n  concurrent-connection cap; excess peers get
+ *                        a resource Error frame (default 64, 0 = off)
+ *   --result-wait <sec>  bound on one `result --wait` round trip;
+ *                        longer waits become Retry replies the
+ *                        client re-polls through (default 5, 0 = off)
+ *   --tenant-max-queued n   per-tenant queued-job quota (0 = off)
+ *   --tenant-max-running n  per-tenant running-job quota (0 = off)
+ *   --tenant-weight t=w  round-robin weight for tenant t (repeatable;
+ *                        unlisted tenants weigh 1)
  *
  * SIGINT/SIGTERM (and the protocol Shutdown message) stop the
  * daemon; a draining stop finishes queued jobs first. Exit codes
@@ -50,7 +64,21 @@ usage()
         << "  --cache-max-bytes n  cache size cap\n"
         << "  --threads n          synthesis thread budget\n"
         << "  --executors n        concurrent jobs\n"
-        << "  --queue-capacity n   admission bound\n";
+        << "  --queue-capacity n   admission bound\n"
+        << "  --io-timeout sec     per-frame I/O deadline "
+           "(default 30, 0 = off)\n"
+        << "  --idle-timeout sec   idle-connection reaper "
+           "(default 300, 0 = off)\n"
+        << "  --max-connections n  concurrent-connection cap "
+           "(default 64, 0 = off)\n"
+        << "  --result-wait sec    bounded result --wait slice "
+           "(default 5, 0 = off)\n"
+        << "  --tenant-max-queued n   per-tenant queued quota "
+           "(0 = off)\n"
+        << "  --tenant-max-running n  per-tenant running quota "
+           "(0 = off)\n"
+        << "  --tenant-weight t=w  round-robin weight for tenant t "
+           "(repeatable)\n";
     return 2;
 }
 
@@ -82,6 +110,29 @@ runServed(int argc, char **argv)
                     static_cast<unsigned>(std::stoul(value));
             } else if (arg == "--queue-capacity") {
                 config.queueCapacity = std::stoul(value);
+            } else if (arg == "--io-timeout") {
+                config.ioTimeoutSeconds = std::stod(value);
+            } else if (arg == "--idle-timeout") {
+                config.idleTimeoutSeconds = std::stod(value);
+            } else if (arg == "--max-connections") {
+                config.maxConnections = std::stoul(value);
+            } else if (arg == "--result-wait") {
+                config.maxResultWaitSeconds = std::stod(value);
+            } else if (arg == "--tenant-max-queued") {
+                config.tenantMaxQueued = std::stoul(value);
+            } else if (arg == "--tenant-max-running") {
+                config.tenantMaxRunning = std::stoul(value);
+            } else if (arg == "--tenant-weight") {
+                const size_t eq = value.find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    std::cerr << "--tenant-weight wants tenant=w, "
+                                 "got: "
+                              << value << "\n";
+                    return usage();
+                }
+                config.tenantWeights[value.substr(0, eq)] =
+                    static_cast<uint32_t>(
+                        std::stoul(value.substr(eq + 1)));
             } else {
                 std::cerr << "unknown option: " << arg << "\n";
                 return usage();
